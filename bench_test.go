@@ -1,0 +1,387 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus micro-benchmarks of the hot paths (profiling, CSG path
+// search, matching). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-table benches execute the code that produces the corresponding
+// report on the running example; the per-figure benches run the respective
+// part of the §6 evaluation.
+package efes_test
+
+import (
+	"fmt"
+	"testing"
+
+	"efes"
+	"efes/internal/baseline"
+	"efes/internal/core"
+	"efes/internal/csg"
+	"efes/internal/effort"
+	"efes/internal/exchange"
+	"efes/internal/experiments"
+	"efes/internal/mapping"
+	"efes/internal/match"
+	"efes/internal/profile"
+	"efes/internal/scenario"
+	sqlpkg "efes/internal/sql"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+// benchExample caches the small running example across benchmarks.
+var benchExample = scenario.MusicExample(scenario.SmallExampleConfig())
+
+func benchFramework() *core.Framework {
+	return core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), valuefit.New())
+}
+
+// BenchmarkTable1BaselineCatalog prices a scenario with Harden's
+// attribute-counting catalog (Table 1).
+func BenchmarkTable1BaselineCatalog(b *testing.B) {
+	c := baseline.New()
+	for i := 0; i < b.N; i++ {
+		if c.Estimate(benchExample, effort.LowEffort).Total() <= 0 {
+			b.Fatal("zero estimate")
+		}
+	}
+}
+
+// BenchmarkTable2MappingComplexity produces the mapping complexity report
+// (Table 2).
+func BenchmarkTable2MappingComplexity(b *testing.B) {
+	m := mapping.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AssessComplexity(benchExample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3StructureConflicts runs the structure conflict detector
+// (Table 3): CSG conversion, relationship matching, violation counting.
+func BenchmarkTable3StructureConflicts(b *testing.B) {
+	m := structure.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AssessComplexity(benchExample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4RepairCatalog plans repairs for a synthetic conflict mix
+// covering every row of the Table-4 catalog.
+func BenchmarkTable4RepairCatalog(b *testing.B) {
+	m := structure.New()
+	rep, err := m.AssessComplexity(benchExample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range []effort.Quality{effort.LowEffort, effort.HighQuality} {
+			if _, err := m.PlanTasks(rep, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable5RepairPlan derives and prices the high-quality structure
+// repair plan (Table 5).
+func BenchmarkTable5RepairPlan(b *testing.B) {
+	m := structure.New()
+	rep, err := m.AssessComplexity(benchExample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	calc := effort.NewCalculator(effort.DefaultSettings())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tasks, err := m.PlanTasks(rep, effort.HighQuality)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := calc.Price(effort.HighQuality, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6ValueFit runs the value fit detector (Table 6): per-pair
+// statistics and the Algorithm-1 decision model.
+func BenchmarkTable6ValueFit(b *testing.B) {
+	m := valuefit.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AssessComplexity(benchExample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8ValuePlan derives and prices the value transformation
+// plan (Table 8).
+func BenchmarkTable8ValuePlan(b *testing.B) {
+	m := valuefit.New()
+	rep, err := m.AssessComplexity(benchExample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	calc := effort.NewCalculator(effort.DefaultSettings())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tasks, err := m.PlanTasks(rep, effort.HighQuality)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := calc.Price(effort.HighQuality, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable9EffortFunctions prices a representative task list with
+// the Table-9 effort functions.
+func BenchmarkTable9EffortFunctions(b *testing.B) {
+	calc := effort.NewCalculator(effort.DefaultSettings())
+	tasks := []effort.Task{
+		{Type: effort.TaskWriteMapping, Repetitions: 1, Params: map[string]float64{"tables": 3, "attributes": 2, "PKs": 1}},
+		{Type: effort.TaskAddTuples, Repetitions: 102},
+		{Type: effort.TaskAddMissingValues, Repetitions: 102, Params: map[string]float64{"values": 102}},
+		{Type: effort.TaskMergeValues, Repetitions: 503},
+		{Type: effort.TaskConvertValues, Repetitions: 274523, Params: map[string]float64{"values": 274523, "dist-vals": 260923}},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := calc.Price(effort.HighQuality, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4CSGConversion converts the running example's schemas and
+// instance into cardinality-constrained schema graphs (Figure 4).
+func BenchmarkFigure4CSGConversion(b *testing.B) {
+	src := benchExample.Sources[0].DB
+	for i := 0; i < b.N; i++ {
+		g, err := csg.FromSchema(src.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := csg.FromDatabase(g, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5RepairSimulation runs the virtual-CSG repair simulation
+// with its side-effect trace (Figure 5).
+func BenchmarkFigure5RepairSimulation(b *testing.B) {
+	m := structure.New()
+	rep, err := m.AssessComplexity(benchExample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.PlanWithTrace(rep, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Bibliographic runs the bibliographic domain end to end:
+// four scenarios × two qualities × three estimators plus cross-validated
+// calibration (Figure 6).
+func BenchmarkFigure6Bibliographic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.Run(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exp.Bibliographic.EfesRMSE >= exp.Bibliographic.CountingRMSE {
+			b.Fatal("EFES must beat the baseline in the bibliographic domain")
+		}
+	}
+}
+
+// BenchmarkFigure7Music asserts the music-domain result of the same run
+// (Figure 7).
+func BenchmarkFigure7Music(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.Run(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exp.Music.EfesRMSE >= exp.Music.CountingRMSE {
+			b.Fatal("EFES must beat the baseline in the music domain")
+		}
+	}
+}
+
+// BenchmarkFullEstimate runs the complete two-phase pipeline on the
+// running example (the "completes within seconds" claim of §6.2).
+func BenchmarkFullEstimate(b *testing.B) {
+	fw := benchFramework()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Estimate(benchExample, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileColumn profiles one 10k-value column.
+func BenchmarkProfileColumn(b *testing.B) {
+	values := make([]efes.Value, 10000)
+	for i := range values {
+		values[i] = "4:43"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile.Values("t", "c", efes.String, values)
+	}
+}
+
+// BenchmarkPathSearch matches a target relationship against the source CSG
+// (the §4.1 graph search).
+func BenchmarkPathSearch(b *testing.B) {
+	src := csg.MustFromSchema(benchExample.Sources[0].DB.Schema)
+	from := src.Node("albums")
+	to := src.Node("artist_credits.artist")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := csg.FindPaths(src, from, to, csg.MaxPathLength)
+		if csg.BestPath(paths) == nil {
+			b.Fatal("no path")
+		}
+	}
+}
+
+// BenchmarkMatcher discovers correspondences between the running example's
+// source and target.
+func BenchmarkMatcher(b *testing.B) {
+	m := match.NewMatcher()
+	for i := 0; i < b.N; i++ {
+		if set := m.Match(benchExample.Sources[0].DB, benchExample.Target); len(set.All) == 0 {
+			b.Fatal("no correspondences")
+		}
+	}
+}
+
+// BenchmarkConstraintValidation validates the running example instance
+// against all of its constraints.
+func BenchmarkConstraintValidation(b *testing.B) {
+	db := benchExample.Sources[0].DB
+	for i := 0; i < b.N; i++ {
+		if v := db.Validate(); len(v) != 0 {
+			b.Fatal("fixture invalid")
+		}
+	}
+}
+
+// BenchmarkAblation runs the module ablation study (DESIGN.md §7): the
+// full evaluation for five framework configurations.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablation(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("unexpected ablation size")
+		}
+	}
+}
+
+// BenchmarkCostBenefit derives the §7 cost-benefit curve of the running
+// example.
+func BenchmarkCostBenefit(b *testing.B) {
+	fw := benchFramework()
+	for i := 0; i < b.N; i++ {
+		curve, err := fw.CostBenefit(benchExample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curve.Points) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+// BenchmarkDiscovery reverse-engineers constraints from the running
+// example's source instance (§3.1 completeness).
+func BenchmarkDiscovery(b *testing.B) {
+	db := benchExample.Sources[0].DB
+	for i := 0; i < b.N; i++ {
+		if d := profile.Discover(db); len(d.PrimaryKeys) == 0 {
+			b.Fatal("no keys discovered")
+		}
+	}
+}
+
+// BenchmarkIntegrationExecution performs the actual integration of the
+// running example (the production side of Figure 1), naive and repaired.
+func BenchmarkIntegrationExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exchange.Integrate(benchExample, exchange.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.InsertedRows["records"] == 0 {
+			b.Fatal("nothing integrated")
+		}
+	}
+}
+
+// BenchmarkEstimateScaling measures the full estimate over growing
+// instance sizes (the §6.2 claim: "completes within seconds for databases
+// with thousands of tuples" — the analysis is linear in the data).
+func BenchmarkEstimateScaling(b *testing.B) {
+	for _, songs := range []int{1000, 10000, 50000} {
+		songs := songs
+		b.Run(fmt.Sprintf("songs=%d", songs), func(b *testing.B) {
+			cfg := scenario.SmallExampleConfig()
+			cfg.Songs = songs
+			cfg.DistinctLengths = songs * 9 / 10
+			cfg.Albums = songs / 10
+			cfg.AlbumsNoArtist = songs / 100
+			cfg.AlbumsMultiArtist = songs / 80
+			scn := scenario.MusicExample(cfg)
+			fw := benchFramework()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fw.Estimate(scn, effort.HighQuality); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQLAnalysisQuery runs a representative analysis query (join +
+// group + aggregate) over the running example's source, the kind of query
+// the paper's prototype issues for violation counting.
+func BenchmarkSQLAnalysisQuery(b *testing.B) {
+	db := benchExample.Sources[0].DB
+	const q = "SELECT artist_list, COUNT(*) FROM artist_credits GROUP BY artist_list"
+	for i := 0; i < b.N; i++ {
+		res, err := sqlpkg.Query(db, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSQLJoin measures the hash join over songs and albums.
+func BenchmarkSQLJoin(b *testing.B) {
+	db := benchExample.Sources[0].DB
+	const q = "SELECT COUNT(*) FROM songs JOIN albums ON songs.album = albums.id"
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlpkg.Query(db, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

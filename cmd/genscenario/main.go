@@ -1,0 +1,112 @@
+// Command genscenario materializes any of the evaluation scenarios to
+// disk in the format cmd/efes consumes: one directory per database
+// (schema.txt + CSVs) and a correspondence file.
+//
+//	genscenario -scenario s1-s2 -out ./work        # bibliographic pair
+//	genscenario -scenario m1-d2 -out ./work        # music pair
+//	genscenario -scenario example -out ./work      # the Figure-2 running example
+//	genscenario -list                              # show available scenarios
+//
+// Afterwards:
+//
+//	efes -target ./work/<tgt> -source ./work/<src> -corr ./work/corrs.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"efes/internal/core"
+	"efes/internal/scenario"
+)
+
+var bibliographic = []string{"s1-s2", "s1-s3", "s3-s4", "s4-s4"}
+var music = []string{"f1-m2", "m1-d2", "m1-f2", "d1-d2"}
+
+func main() {
+	name := flag.String("scenario", "", "scenario name (see -list) or src-tgt pair")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 2015, "generator seed")
+	list := flag.Bool("list", false, "list the available scenarios")
+	paperScale := flag.Bool("paper-scale", false, "for 'example': use the published sizes (274k songs)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("bibliographic:", strings.Join(bibliographic, ", "))
+		fmt.Println("music:        ", strings.Join(music, ", "))
+		fmt.Println("running example: example")
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	scn, err := build(*name, *seed, *paperScale)
+	if err != nil {
+		fatal(err)
+	}
+	if err := save(scn, *out); err != nil {
+		fatal(err)
+	}
+}
+
+func build(name string, seed int64, paperScale bool) (*core.Scenario, error) {
+	if name == "example" {
+		cfg := scenario.SmallExampleConfig()
+		if paperScale {
+			cfg = scenario.PaperExampleConfig()
+		}
+		cfg.Seed = seed
+		return scenario.MusicExample(cfg), nil
+	}
+	parts := strings.SplitN(name, "-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("genscenario: scenario %q is not a src-tgt pair", name)
+	}
+	if strings.HasPrefix(parts[0], "s") {
+		return scenario.BibliographicScenario(parts[0], parts[1], seed)
+	}
+	return scenario.MusicScenario(parts[0], parts[1], seed)
+}
+
+func save(scn *core.Scenario, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	tgtDir := filepath.Join(out, "target-"+scn.Target.Schema.Name)
+	if err := scn.Target.SaveDir(tgtDir); err != nil {
+		return err
+	}
+	fmt.Println("wrote", tgtDir)
+	for _, src := range scn.Sources {
+		srcDir := filepath.Join(out, "source-"+src.Name)
+		if err := src.DB.SaveDir(srcDir); err != nil {
+			return err
+		}
+		fmt.Println("wrote", srcDir)
+		corrPath := filepath.Join(out, "corrs-"+src.Name+".txt")
+		f, err := os.Create(corrPath)
+		if err != nil {
+			return err
+		}
+		if err := src.Correspondences.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", corrPath)
+		fmt.Printf("\nestimate with:\n  go run ./cmd/efes -target %s -source %s -corr %s\n",
+			tgtDir, srcDir, corrPath)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genscenario:", err)
+	os.Exit(1)
+}

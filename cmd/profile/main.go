@@ -1,0 +1,98 @@
+// Command profile runs the data profiler over a database directory
+// (schema.txt + per-table CSVs) and prints single-column statistics plus
+// the constraints reverse-engineered from the data:
+//
+//	profile -dir ./mydb [-table customers] [-topk 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"efes/internal/profile"
+	"efes/internal/relational"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (schema.txt + CSVs)")
+	table := flag.String("table", "", "restrict profiling to one table")
+	topk := flag.Int("topk", 5, "number of top values and patterns to print")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	schemaText, err := os.ReadFile(filepath.Join(*dir, "schema.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	s, err := relational.ParseSchemaText(string(schemaText))
+	if err != nil {
+		fatal(err)
+	}
+	db := relational.NewDatabase(s)
+	if err := db.LoadDir(*dir); err != nil {
+		fatal(err)
+	}
+
+	for _, t := range s.Tables() {
+		if *table != "" && t.Name != *table {
+			continue
+		}
+		fmt.Printf("table %s (%d rows)\n", t.Name, db.NumRows(t.Name))
+		for _, c := range t.Columns {
+			cs, err := profile.Column(db, t.Name, c.Name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %s %s: fill %.1f%%, %d distinct, constancy %.2f\n",
+				c.Name, c.Type, cs.Fill*100, cs.Distinct, cs.Constancy)
+			if len(cs.Patterns) > 0 {
+				fmt.Printf("    patterns:")
+				for i, p := range cs.Patterns {
+					if i == *topk {
+						break
+					}
+					fmt.Printf(" %q×%d", p.Value, p.Count)
+				}
+				fmt.Println()
+			}
+			if cs.HasNumeric {
+				fmt.Printf("    numeric: mean %.2f ± %.2f, range [%g, %g]\n",
+					cs.Mean.Mean, cs.Mean.StdDev, cs.Min, cs.Max)
+			}
+			if len(cs.TopK) > 0 && cs.TopKCoverage > 0.3 {
+				fmt.Printf("    top values:")
+				for i, v := range cs.TopK {
+					if i == *topk {
+						break
+					}
+					fmt.Printf(" %q×%d", v.Value, v.Count)
+				}
+				fmt.Printf(" (%.0f%% coverage)\n", cs.TopKCoverage*100)
+			}
+		}
+	}
+
+	d := profile.Discover(db)
+	fmt.Println("\ndiscovered constraints:")
+	var lines []string
+	for tbl, pk := range d.PrimaryKeys {
+		lines = append(lines, fmt.Sprintf("  key candidate: %s (unique, not null)", tbl+"."+pk.Column))
+	}
+	for _, inc := range d.Inclusions {
+		lines = append(lines, fmt.Sprintf("  inclusion: %s ⊆ %s", inc.Dependent, inc.Referenced))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command sql runs SELECT queries against a database directory
+// (schema.txt + CSVs, as written by cmd/genscenario or Database.SaveDir):
+// the "simple SQL queries" the paper's prototype uses to analyze its
+// datasets (§6.2), usable for inspecting scenario data and integration
+// results by hand.
+//
+//	sql -dir ./work/source-m1 "SELECT COUNT(*) FROM release"
+//	sql -dir ./work/source-m1 "SELECT name FROM artist WHERE name LIKE 'Velvet%' LIMIT 5"
+//
+// Without a query argument, queries are read line by line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"efes/internal/relational"
+	"efes/internal/sql"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (schema.txt + CSVs)")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := loadDatabase(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			if err := runQuery(db, q); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprintln(os.Stderr, "sql: reading queries from stdin (one per line)")
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		if err := runQuery(db, q); err != nil {
+			fmt.Fprintln(os.Stderr, "sql:", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func runQuery(db *relational.Database, q string) error {
+	res, err := sql.Query(db, q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	return nil
+}
+
+func loadDatabase(dir string) (*relational.Database, error) {
+	text, err := os.ReadFile(filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		return nil, err
+	}
+	s, err := relational.ParseSchemaText(string(text))
+	if err != nil {
+		return nil, err
+	}
+	db := relational.NewDatabase(s)
+	if err := db.LoadDir(dir); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+package efes_test
+
+import (
+	"strings"
+	"testing"
+
+	"efes"
+	"efes/internal/scenario"
+)
+
+// buildTinyScenario assembles a small scenario through the public API
+// only, as a downstream user would.
+func buildTinyScenario(t *testing.T) *efes.Scenario {
+	t.Helper()
+	tgtSchema := efes.NewSchema("warehouse")
+	tgtSchema.MustAddTable(efes.MustTable("customers",
+		efes.Column{Name: "id", Type: efes.Integer},
+		efes.Column{Name: "name", Type: efes.String},
+		efes.Column{Name: "signup", Type: efes.String},
+	))
+	tgtSchema.MustAddConstraint(efes.PrimaryKey{Table: "customers", Columns: []string{"id"}})
+	tgtSchema.MustAddConstraint(efes.NotNull{Table: "customers", Column: "name"})
+	tgt := efes.NewDatabase(tgtSchema)
+	tgt.MustInsert("customers", 1, "Ada", "2015-03-23")
+
+	srcSchema := efes.NewSchema("crm")
+	srcSchema.MustAddTable(efes.MustTable("clients",
+		efes.Column{Name: "client_id", Type: efes.Integer},
+		efes.Column{Name: "full_name", Type: efes.String},
+		efes.Column{Name: "since", Type: efes.Integer},
+	))
+	srcSchema.MustAddConstraint(efes.PrimaryKey{Table: "clients", Columns: []string{"client_id"}})
+	src := efes.NewDatabase(srcSchema)
+	src.MustInsert("clients", 10, "Grace Hopper", 20140101)
+	src.MustInsert("clients", 11, nil, 20150101)
+
+	corrs := efes.NewCorrespondences()
+	corrs.Table("clients", "customers")
+	corrs.Attr("clients", "full_name", "customers", "name")
+	corrs.Attr("clients", "since", "customers", "signup")
+
+	scn := efes.NewScenario("crm-to-warehouse", tgt)
+	efes.AddSource(scn, "crm", src, corrs)
+	return scn
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	scn := buildTinyScenario(t)
+	fw := efes.NewFramework(efes.DefaultSettings())
+	res, err := fw.Estimate(scn, efes.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMinutes() <= 0 {
+		t.Error("estimate must be positive")
+	}
+	// A NULL full_name violates the NOT NULL target constraint, and the
+	// since/signup formats differ: both modules must report problems.
+	if res.ProblemCount() < 2 {
+		t.Errorf("problems = %d, want at least the NOT NULL conflict and the date heterogeneity\n%s",
+			res.ProblemCount(), res.Summary())
+	}
+	summary := res.Summary()
+	for _, want := range []string{"mapping", "structural conflicts", "value heterogeneities"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestPublicAPIMatcher(t *testing.T) {
+	scn := buildTinyScenario(t)
+	m := efes.NewMatcher()
+	discovered := m.Match(scn.Sources[0].DB, scn.Target)
+	// The id columns should be matched automatically.
+	found := false
+	for _, c := range discovered.AttributePairs() {
+		if c.SourceColumn == "client_id" && c.TargetColumn == "id" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("matcher missed client_id -> id: %v", discovered.All)
+	}
+}
+
+func TestPublicAPIBaseline(t *testing.T) {
+	scn := buildTinyScenario(t)
+	counting := efes.NewCountingBaseline()
+	est := counting.Estimate(scn, efes.LowEffort)
+	if est.Total() <= 0 {
+		t.Error("baseline estimate must be positive")
+	}
+}
+
+func TestPublicAPICustomSettings(t *testing.T) {
+	scn := buildTinyScenario(t)
+	s := efes.DefaultSettings()
+	s.MappingTool = true
+	s.Criticality = 2
+	fwDefault := efes.NewFramework(efes.DefaultSettings())
+	fwCritical := efes.NewFramework(s)
+	a, err := fwDefault.Estimate(scn, efes.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fwCritical.Estimate(scn, efes.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalMinutes() == b.TotalMinutes() {
+		t.Error("execution settings must influence the estimate")
+	}
+}
+
+func TestPublicAPIFitScore(t *testing.T) {
+	scn := buildTinyScenario(t)
+	fw := efes.NewFramework(efes.DefaultSettings())
+	res, err := fw.Estimate(scn, efes.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := efes.FitScore(res); fit <= 0 || fit >= 1 {
+		t.Errorf("fit = %v", fit)
+	}
+}
+
+func TestPublicAPIRunningExample(t *testing.T) {
+	// The paper's Figure-2 example is reachable through the scenario
+	// package and estimable through the public framework.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := efes.NewFramework(efes.DefaultSettings())
+	res, err := fw.Estimate(scn, efes.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := res.Estimate.ByCategory()
+	if by[efes.CategoryMapping] <= 0 || by[efes.CategoryCleaningStructure] <= 0 || by[efes.CategoryCleaningValues] <= 0 {
+		t.Errorf("breakdown = %v", by)
+	}
+}

@@ -1,0 +1,133 @@
+package efes_test
+
+import (
+	"fmt"
+	"log"
+
+	"efes"
+)
+
+// crmScenario builds the documentation scenario: a CRM dump integrating
+// into a warehouse, with a missing required name and a date-format
+// mismatch.
+func crmScenario() *efes.Scenario {
+	tgtSchema := efes.NewSchema("warehouse")
+	tgtSchema.MustAddTable(efes.MustTable("customers",
+		efes.Column{Name: "id", Type: efes.Integer},
+		efes.Column{Name: "name", Type: efes.String},
+		efes.Column{Name: "signup", Type: efes.String},
+	))
+	tgtSchema.MustAddConstraint(efes.PrimaryKey{Table: "customers", Columns: []string{"id"}})
+	tgtSchema.MustAddConstraint(efes.NotNull{Table: "customers", Column: "name"})
+	tgt := efes.NewDatabase(tgtSchema)
+	for i := 0; i < 30; i++ {
+		tgt.MustInsert("customers", i+1, fmt.Sprintf("Person %d", i), fmt.Sprintf("2015-%02d-%02d", 1+i%12, 1+i%28))
+	}
+
+	srcSchema := efes.NewSchema("crm")
+	srcSchema.MustAddTable(efes.MustTable("clients",
+		efes.Column{Name: "client_id", Type: efes.Integer},
+		efes.Column{Name: "full_name", Type: efes.String},
+		efes.Column{Name: "since", Type: efes.Integer},
+	))
+	srcSchema.MustAddConstraint(efes.PrimaryKey{Table: "clients", Columns: []string{"client_id"}})
+	src := efes.NewDatabase(srcSchema)
+	src.MustInsert("clients", 100, nil, 20150101) // missing required name
+	for i := 0; i < 29; i++ {
+		src.MustInsert("clients", 101+i, fmt.Sprintf("Member %d", i), 20140101+i*7)
+	}
+
+	corrs := efes.NewCorrespondences()
+	corrs.Table("clients", "customers")
+	corrs.Attr("clients", "full_name", "customers", "name")
+	corrs.Attr("clients", "since", "customers", "signup")
+
+	scn := efes.NewScenario("crm-to-warehouse", tgt)
+	efes.AddSource(scn, "crm", src, corrs)
+	return scn
+}
+
+// ExampleFramework_Estimate shows the two-phase estimation on a small
+// scenario.
+func ExampleFramework_Estimate() {
+	fw := efes.NewFramework(efes.DefaultSettings())
+	res, err := fw.Estimate(crmScenario(), efes.HighQuality)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problems: %d\n", res.ProblemCount())
+	fmt.Printf("effort: %.0f minutes\n", res.TotalMinutes())
+	// Output:
+	// problems: 3
+	// effort: 40 minutes
+}
+
+// ExampleFramework_AssessComplexity runs only the objective phase 1.
+func ExampleFramework_AssessComplexity() {
+	fw := efes.NewFramework(efes.DefaultSettings())
+	reports, err := fw.AssessComplexity(crmScenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("%s: %d problems\n", r.ModuleName(), r.ProblemCount())
+	}
+	// Output:
+	// mapping: 1 problems
+	// structural conflicts: 1 problems
+	// value heterogeneities: 1 problems
+}
+
+// ExampleIntegrate executes the integration naively and shows the
+// predicted conflict materializing.
+func ExampleIntegrate() {
+	out, err := efes.Integrate(crmScenario(), efes.IntegrationOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted customers: %d\n", out.InsertedRows["customers"])
+	fmt.Printf("required names left NULL: %d\n", out.NullsInserted["customers.name"])
+	fmt.Printf("violations: %d\n", len(out.Violations))
+	// Output:
+	// inserted customers: 30
+	// required names left NULL: 1
+	// violations: 1
+}
+
+// ExampleNewProgress tracks a running project and recalibrates.
+func ExampleNewProgress() {
+	fw := efes.NewFramework(efes.DefaultSettings())
+	res, err := fw.Estimate(crmScenario(), efes.LowEffort)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker := efes.NewProgress(res.Estimate)
+	// The first task takes twice its estimate.
+	first := tracker.Tasks()[0]
+	if err := tracker.Complete(0, first.Minutes*2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibration factor: %.1f\n", tracker.CalibrationFactor())
+	// Output:
+	// calibration factor: 2.0
+}
+
+// ExampleHeatmap locates the problems on the target schema.
+func ExampleHeatmap() {
+	fw := efes.NewFramework(efes.DefaultSettings())
+	reports, err := fw.AssessComplexity(crmScenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range efes.Heatmap(reports) {
+		name := e.Table
+		if e.Attribute != "" {
+			name += "." + e.Attribute
+		}
+		fmt.Printf("%s: %d\n", name, e.Problems)
+	}
+	// Output:
+	// customers: 1
+	// customers.name: 1
+	// customers.signup: 1
+}

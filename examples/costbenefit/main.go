@@ -1,0 +1,59 @@
+// Cost-benefit analysis: the paper's §7 sketches plotting "cost-benefit
+// graphs for the integration: the more effort, the better the quality of
+// the result". This example derives that curve for the running example —
+// starting from the mandatory low-effort baseline, each high-quality
+// repair is an optional upgrade, greedily ordered by problems resolved per
+// marginal minute — and renders it as an ASCII plot.
+//
+//	go run ./examples/costbenefit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"efes"
+	"efes/internal/scenario"
+)
+
+func main() {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := efes.NewFramework(efes.DefaultSettings())
+	curve, err := fw.CostBenefit(scn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(curve.String())
+
+	// ASCII plot: effort (x) vs quality share (y).
+	fmt.Println("\nquality")
+	const rows, cols = 10, 60
+	maxMin := curve.Points[len(curve.Points)-1].Minutes
+	grid := make([][]rune, rows+1)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", cols+1))
+	}
+	for _, p := range curve.Points {
+		x := int(p.Minutes / maxMin * cols)
+		y := rows - int(p.QualityShare*rows)
+		grid[y][x] = '●'
+	}
+	for i, row := range grid {
+		fmt.Printf("%4.0f%% |%s\n", float64(rows-i)/rows*100, string(row))
+	}
+	fmt.Printf("      +%s effort\n", strings.Repeat("-", cols))
+	fmt.Printf("       0%sup to %.0f min\n", strings.Repeat(" ", cols-18), maxMin)
+
+	// The knee of the curve is where a manager would stop: find the
+	// point with the best quality at no more than half the full effort.
+	var knee efes.CostBenefitPoint
+	for _, p := range curve.Points {
+		if p.Minutes <= curve.Points[0].Minutes+(maxMin-curve.Points[0].Minutes)/2 {
+			knee = p
+		}
+	}
+	fmt.Printf("\nwith half of the upgrade budget, %.0f%% of the problems are resolved well (after %.0f min)\n",
+		knee.QualityShare*100, knee.Minutes)
+}

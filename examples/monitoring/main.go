@@ -1,0 +1,47 @@
+// Project monitoring: §1 lists "monitoring the progress of the project"
+// among the uses of effort estimates. This example estimates the running
+// example, then simulates the project executing task by task — each task
+// taking a somewhat different time than estimated — and shows how the
+// tracker recalibrates the projection for the remaining work as evidence
+// accumulates.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"efes"
+	"efes/internal/effort"
+	"efes/internal/scenario"
+)
+
+func main() {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := efes.NewFramework(efes.DefaultSettings())
+	res, err := fw.Estimate(scn, efes.HighQuality)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d tasks, %.0f minutes estimated\n\n", len(res.Estimate.Tasks), res.TotalMinutes())
+
+	tracker := effort.NewProgress(res.Estimate)
+	r := rand.New(rand.NewSource(42))
+	for i, te := range tracker.Tasks() {
+		// The "real" execution takes 70-150 % of the estimate.
+		actual := te.Minutes * (0.7 + 0.8*r.Float64())
+		if err := tracker.Complete(i, actual); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("completed %-48s est %6.0f min, actual %6.0f min\n",
+			te.Task.String(), te.Minutes, actual)
+		fmt.Printf("  -> %3.0f%% done, projected total now %.0f min\n",
+			tracker.CompletedShare()*100, tracker.ProjectedTotal())
+	}
+	fmt.Println()
+	fmt.Print(tracker.Summary())
+	fmt.Printf("\noriginal estimate %.0f min, final actual %.0f min (ratio %.2f)\n",
+		res.TotalMinutes(), tracker.SpentMinutes(), tracker.SpentMinutes()/res.TotalMinutes())
+}

@@ -1,0 +1,70 @@
+// Source selection: given several candidate sources and one target, rank
+// the candidates by how easily they integrate — the application the paper
+// motivates in §1 and §3.3 ("given a set of integration candidates, find
+// the source with the best 'fit'").
+//
+// Three bibliographic schema variants (s1, s3, s4) compete as sources for
+// the s2 target. The complexity reports explain *why* a candidate ranks
+// where it does.
+//
+//	go run ./examples/sourceselection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"efes"
+	"efes/internal/scenario"
+)
+
+func main() {
+	target := "s2"
+	candidates := []string{"s1", "s3", "s4"}
+
+	fw := efes.NewFramework(efes.DefaultSettings())
+	type ranked struct {
+		source  string
+		fit     float64
+		minutes float64
+		result  *efes.Result
+	}
+	var ranking []ranked
+	for _, src := range candidates {
+		scn, err := scenario.BibliographicScenario(src, target, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := fw.Estimate(scn, efes.HighQuality)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranking = append(ranking, ranked{
+			source: src, fit: efes.FitScore(res),
+			minutes: res.TotalMinutes(), result: res,
+		})
+	}
+	sort.Slice(ranking, func(i, j int) bool { return ranking[i].fit > ranking[j].fit })
+
+	fmt.Printf("Source ranking for target %s (high-quality integration):\n\n", target)
+	for i, r := range ranking {
+		fmt.Printf("%d. source %s — fit %.5f, estimated %.0f min, %d problems\n",
+			i+1, r.source, r.fit, r.minutes, r.result.ProblemCount())
+		by := r.result.Estimate.ByCategory()
+		fmt.Printf("   mapping %.0f | structural cleaning %.0f | value cleaning %.0f\n",
+			by[efes.CategoryMapping], by[efes.CategoryCleaningStructure], by[efes.CategoryCleaningValues])
+	}
+
+	fmt.Printf("\nWhy the winner wins — its complexity reports:\n")
+	for _, rep := range ranking[0].result.Reports {
+		fmt.Printf("--- %s ---\n%s\n", rep.ModuleName(), rep.Summary())
+	}
+
+	// And where the *loser* hurts: the problem heatmap highlights the
+	// parts of the target schema that are hard to integrate (§3.3's
+	// data-visualization application).
+	loser := ranking[len(ranking)-1]
+	fmt.Printf("problem heatmap for the worst candidate (%s):\n%s",
+		loser.source, efes.RenderHeatmap(efes.Heatmap(loser.result.Reports)))
+}

@@ -1,0 +1,3 @@
+module efes
+
+go 1.22

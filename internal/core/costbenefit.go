@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efes/internal/effort"
+)
+
+// The paper's §7 names cost-benefit analysis as the natural next step:
+// "this integration would allow to plot cost-benefit graphs for the
+// integration: the more effort, the better the quality of the result."
+// CostBenefit implements it on top of the existing task planners: the
+// low-effort plan is the mandatory baseline, every high-quality repair is
+// an optional upgrade with a marginal cost and a number of problems it
+// resolves well, and greedily picking upgrades by marginal benefit yields
+// the Pareto-style curve.
+
+// CostBenefitPoint is one point of the curve: after spending Minutes, the
+// integration resolves QualityShare of its problems value-preservingly.
+type CostBenefitPoint struct {
+	// Minutes is the cumulative estimated effort.
+	Minutes float64
+	// QualityShare is the fraction of detected problems resolved with
+	// the high-quality repair, in [0,1].
+	QualityShare float64
+	// Upgrade names the task upgraded at this point ("" for the
+	// baseline point).
+	Upgrade string
+}
+
+// CostBenefitCurve is the effort-vs-quality trade-off for one scenario.
+type CostBenefitCurve struct {
+	// Scenario is the analyzed scenario's name.
+	Scenario string
+	// TotalProblems counts the problems that can be upgraded.
+	TotalProblems int
+	// Points starts at the mandatory low-effort baseline and adds one
+	// point per upgrade, ordered by marginal quality per minute.
+	Points []CostBenefitPoint
+}
+
+// String renders the curve as a small table.
+func (c *CostBenefitCurve) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cost-benefit curve for %s (%d upgradeable problems)\n", c.Scenario, c.TotalProblems)
+	fmt.Fprintf(&b, "%10s %9s  %s\n", "Minutes", "Quality", "Upgrade")
+	for _, p := range c.Points {
+		label := p.Upgrade
+		if label == "" {
+			label = "(low-effort baseline)"
+		}
+		fmt.Fprintf(&b, "%10.0f %8.0f%%  %s\n", p.Minutes, p.QualityShare*100, label)
+	}
+	return b.String()
+}
+
+// CostBenefit derives the effort-vs-quality curve of a scenario: it plans
+// both quality levels, treats shared tasks as mandatory, pairs each
+// high-quality repair with its low-effort counterpart by subject, and
+// orders the upgrades by problems-resolved per marginal minute.
+func (f *Framework) CostBenefit(s *Scenario) (*CostBenefitCurve, error) {
+	low, err := f.Estimate(s, effort.LowEffort)
+	if err != nil {
+		return nil, err
+	}
+	high, err := f.Estimate(s, effort.HighQuality)
+	if err != nil {
+		return nil, err
+	}
+	lowBySubject := make(map[string]effort.TaskEffort)
+	for _, te := range low.Estimate.Tasks {
+		lowBySubject[taskKey(te.Task)] = te
+	}
+	type upgrade struct {
+		task     effort.Task
+		delta    float64
+		resolved int
+	}
+	var upgrades []upgrade
+	baseline := low.Estimate.Total()
+	total := 0
+	for _, te := range high.Estimate.Tasks {
+		key := taskKey(te.Task)
+		l, hasLow := lowBySubject[key]
+		if hasLow && l.Task.Type == te.Task.Type {
+			continue // mandatory task, identical at both quality levels
+		}
+		delta := te.Minutes
+		if hasLow {
+			delta -= l.Minutes
+		}
+		if delta < 0 {
+			delta = 0 // an upgrade never refunds effort
+		}
+		resolved := te.Task.Repetitions
+		if resolved <= 0 {
+			resolved = 1
+		}
+		total += resolved
+		upgrades = append(upgrades, upgrade{task: te.Task, delta: delta, resolved: resolved})
+	}
+	sort.SliceStable(upgrades, func(i, j int) bool {
+		bi := benefitRate(upgrades[i].resolved, upgrades[i].delta)
+		bj := benefitRate(upgrades[j].resolved, upgrades[j].delta)
+		if bi != bj {
+			return bi > bj
+		}
+		return upgrades[i].task.String() < upgrades[j].task.String()
+	})
+	curve := &CostBenefitCurve{Scenario: s.Name, TotalProblems: total}
+	curve.Points = append(curve.Points, CostBenefitPoint{Minutes: baseline})
+	minutes := baseline
+	resolved := 0
+	for _, u := range upgrades {
+		minutes += u.delta
+		resolved += u.resolved
+		share := 0.0
+		if total > 0 {
+			share = float64(resolved) / float64(total)
+		}
+		curve.Points = append(curve.Points, CostBenefitPoint{
+			Minutes: minutes, QualityShare: share, Upgrade: u.task.String(),
+		})
+	}
+	return curve, nil
+}
+
+// taskKey pairs the low and high variant of one repair: same category and
+// subject.
+func taskKey(t effort.Task) string {
+	return string(t.Category) + "|" + t.Subject
+}
+
+// benefitRate orders upgrades; free upgrades come first.
+func benefitRate(resolved int, delta float64) float64 {
+	if delta <= 0 {
+		return float64(resolved) * 1e9
+	}
+	return float64(resolved) / delta
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+	"efes/internal/scenario"
+)
+
+func exampleCurve(t *testing.T) *core.CostBenefitCurve {
+	t.Helper()
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := defaultFramework()
+	curve, err := fw.CostBenefit(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return curve
+}
+
+func TestCostBenefitMonotone(t *testing.T) {
+	curve := exampleCurve(t)
+	if len(curve.Points) < 2 {
+		t.Fatalf("curve has %d points; the example has upgradeable problems", len(curve.Points))
+	}
+	// Effort and quality are both non-decreasing along the curve.
+	for i := 1; i < len(curve.Points); i++ {
+		prev, cur := curve.Points[i-1], curve.Points[i]
+		if cur.Minutes < prev.Minutes {
+			t.Errorf("effort decreased at point %d: %v -> %v", i, prev.Minutes, cur.Minutes)
+		}
+		if cur.QualityShare < prev.QualityShare {
+			t.Errorf("quality decreased at point %d", i)
+		}
+	}
+	// The curve starts at the low-effort baseline with zero quality and
+	// ends at full quality.
+	if curve.Points[0].QualityShare != 0 || curve.Points[0].Upgrade != "" {
+		t.Errorf("first point = %+v, want the baseline", curve.Points[0])
+	}
+	last := curve.Points[len(curve.Points)-1]
+	if last.QualityShare != 1 {
+		t.Errorf("final quality = %v, want 1", last.QualityShare)
+	}
+}
+
+func TestCostBenefitEndsAtHighQualityEstimate(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := defaultFramework()
+	curve, err := fw.CostBenefit(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := fw.Estimate(scn, effort.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curve.Points[0].Minutes; got != low.TotalMinutes() {
+		t.Errorf("baseline = %v, want the low-effort estimate %v", got, low.TotalMinutes())
+	}
+	// All upgrades applied: at least the high-quality total (the greedy
+	// pairing never refunds effort, so the end point can be slightly
+	// above but never below).
+	high, err := fw.Estimate(scn, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := curve.Points[len(curve.Points)-1]
+	if last.Minutes < 0.9*high.TotalMinutes() {
+		t.Errorf("curve end %v far below the high-quality estimate %v", last.Minutes, high.TotalMinutes())
+	}
+}
+
+func TestCostBenefitGreedyOrdering(t *testing.T) {
+	curve := exampleCurve(t)
+	// Marginal quality per minute must be non-increasing (greedy order),
+	// allowing free upgrades at the start.
+	prevRate := -1.0
+	for i := 1; i < len(curve.Points); i++ {
+		dm := curve.Points[i].Minutes - curve.Points[i-1].Minutes
+		dq := curve.Points[i].QualityShare - curve.Points[i-1].QualityShare
+		if dm <= 0 {
+			continue // free upgrade
+		}
+		rate := dq / dm
+		if prevRate >= 0 && rate > prevRate+1e-9 {
+			t.Errorf("benefit rate increased at point %d: %v after %v", i, rate, prevRate)
+		}
+		prevRate = rate
+	}
+}
+
+func TestCostBenefitNoProblems(t *testing.T) {
+	// An identical-schema scenario without conflicts yields a flat curve
+	// with just the baseline.
+	scn := scenario.MustMusicScenario("d1", "d2", 3)
+	fw := defaultFramework()
+	curve, err := fw.CostBenefit(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.TotalProblems > 0 && curve.Points[len(curve.Points)-1].QualityShare != 1 {
+		t.Errorf("curve must reach full quality: %+v", curve.Points)
+	}
+}
+
+func TestCostBenefitString(t *testing.T) {
+	curve := exampleCurve(t)
+	s := curve.String()
+	for _, want := range []string{"Cost-benefit curve", "baseline", "Quality"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import "encoding/json"
+
+// The export DTOs give downstream tooling (dashboards, project planning,
+// the paper's source-selection and data-visualization applications) a
+// stable JSON view of an estimation result.
+
+// ResultExport is the serializable form of a Result.
+type ResultExport struct {
+	// Scenario is the analyzed scenario's name.
+	Scenario string `json:"scenario"`
+	// Quality is the expected result quality ("low eff." / "high qual.").
+	Quality string `json:"quality"`
+	// TotalMinutes is the overall estimate.
+	TotalMinutes float64 `json:"totalMinutes"`
+	// Breakdown maps effort categories to minutes.
+	Breakdown map[string]float64 `json:"breakdown"`
+	// Problems is the total problem count over all modules.
+	Problems int `json:"problems"`
+	// FitScore is the source-selection fit (higher is better).
+	FitScore float64 `json:"fitScore"`
+	// Reports carries one entry per module.
+	Reports []ReportExport `json:"reports"`
+	// Tasks is the priced task list.
+	Tasks []TaskExport `json:"tasks"`
+}
+
+// ReportExport is the serializable form of a module report.
+type ReportExport struct {
+	Module   string `json:"module"`
+	Problems int    `json:"problems"`
+	Summary  string `json:"summary"`
+}
+
+// TaskExport is the serializable form of a priced task.
+type TaskExport struct {
+	Type        string             `json:"type"`
+	Category    string             `json:"category"`
+	Subject     string             `json:"subject,omitempty"`
+	Repetitions int                `json:"repetitions"`
+	Params      map[string]float64 `json:"params,omitempty"`
+	Minutes     float64            `json:"minutes"`
+}
+
+// Export converts the result into its serializable form.
+func (r *Result) Export() ResultExport {
+	out := ResultExport{
+		Scenario:     r.Scenario,
+		Quality:      r.Estimate.Quality.String(),
+		TotalMinutes: r.Estimate.Total(),
+		Breakdown:    make(map[string]float64),
+		Problems:     r.ProblemCount(),
+		FitScore:     FitScore(r),
+	}
+	for cat, mins := range r.Estimate.ByCategory() {
+		out.Breakdown[string(cat)] = mins
+	}
+	for _, rep := range r.Reports {
+		out.Reports = append(out.Reports, ReportExport{
+			Module:   rep.ModuleName(),
+			Problems: rep.ProblemCount(),
+			Summary:  rep.Summary(),
+		})
+	}
+	for _, te := range r.Estimate.Tasks {
+		out.Tasks = append(out.Tasks, TaskExport{
+			Type:        string(te.Task.Type),
+			Category:    string(te.Task.Category),
+			Subject:     te.Task.Subject,
+			Repetitions: te.Task.Repetitions,
+			Params:      te.Task.Params,
+			Minutes:     te.Minutes,
+		})
+	}
+	return out
+}
+
+// JSON renders the result as indented JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Export(), "", "  ")
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+	"efes/internal/scenario"
+)
+
+func TestResultExportJSON(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := defaultFramework()
+	res, err := fw.Estimate(scn, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back core.ResultExport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if back.Scenario != "music-example" || back.Quality != "high qual." {
+		t.Errorf("header = %q / %q", back.Scenario, back.Quality)
+	}
+	if back.TotalMinutes != res.TotalMinutes() {
+		t.Errorf("total = %v, want %v", back.TotalMinutes, res.TotalMinutes())
+	}
+	if len(back.Reports) != 3 {
+		t.Errorf("reports = %d", len(back.Reports))
+	}
+	if len(back.Tasks) != len(res.Estimate.Tasks) {
+		t.Errorf("tasks = %d, want %d", len(back.Tasks), len(res.Estimate.Tasks))
+	}
+	sum := 0.0
+	for _, task := range back.Tasks {
+		sum += task.Minutes
+	}
+	if sum != back.TotalMinutes {
+		t.Errorf("task minutes sum %v != total %v", sum, back.TotalMinutes)
+	}
+	if len(back.Breakdown) == 0 || back.Problems == 0 || back.FitScore <= 0 {
+		t.Errorf("export incomplete: %+v", back)
+	}
+}

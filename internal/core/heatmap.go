@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper's §3.3 names data visualization as a consumer of the
+// complexity reports: "highlight parts of the schemas that are hard to
+// integrate" [7]. The heatmap aggregates every module's problems onto the
+// target schema elements they concern.
+
+// ProblemSite locates one problem cluster on the target schema.
+type ProblemSite struct {
+	// Table is the affected target table.
+	Table string
+	// Attribute is the affected target attribute ("" for table-level
+	// problems such as mapping connections).
+	Attribute string
+	// Count is the number of problems at this site.
+	Count int
+}
+
+// ProblemLocator is implemented by module reports that can locate their
+// problems on the target schema. All bundled modules implement it; the
+// heatmap silently skips reports that do not.
+type ProblemLocator interface {
+	ProblemSites() []ProblemSite
+}
+
+// HeatmapEntry is one aggregated row of the heatmap.
+type HeatmapEntry struct {
+	// Table and Attribute locate the schema element.
+	Table, Attribute string
+	// Problems is the total problem count over all modules.
+	Problems int
+	// Modules lists the modules reporting problems here.
+	Modules []string
+}
+
+// Heatmap aggregates the problem sites of all locatable reports onto
+// target schema elements, hottest first.
+func Heatmap(reports []Report) []HeatmapEntry {
+	type key struct{ table, attr string }
+	counts := make(map[key]int)
+	modules := make(map[key]map[string]struct{})
+	for _, rep := range reports {
+		loc, ok := rep.(ProblemLocator)
+		if !ok {
+			continue
+		}
+		for _, site := range loc.ProblemSites() {
+			k := key{site.Table, site.Attribute}
+			counts[k] += site.Count
+			if modules[k] == nil {
+				modules[k] = make(map[string]struct{})
+			}
+			modules[k][rep.ModuleName()] = struct{}{}
+		}
+	}
+	out := make([]HeatmapEntry, 0, len(counts))
+	for k, n := range counts {
+		var mods []string
+		for m := range modules[k] {
+			mods = append(mods, m)
+		}
+		sort.Strings(mods)
+		out = append(out, HeatmapEntry{Table: k.table, Attribute: k.attr, Problems: n, Modules: mods})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Problems != out[j].Problems {
+			return out[i].Problems > out[j].Problems
+		}
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}
+
+// RenderHeatmap renders the heatmap as text with bar lengths proportional
+// to the problem counts.
+func RenderHeatmap(entries []HeatmapEntry) string {
+	if len(entries) == 0 {
+		return "no integration problems located\n"
+	}
+	var b strings.Builder
+	maxCount := entries[0].Problems
+	fmt.Fprintf(&b, "%-30s %8s  %-24s %s\n", "Target element", "Problems", "Heat", "Modules")
+	for _, e := range entries {
+		name := e.Table
+		if e.Attribute != "" {
+			name += "." + e.Attribute
+		}
+		barLen := 1
+		if maxCount > 0 {
+			barLen = 1 + e.Problems*23/maxCount
+		}
+		fmt.Fprintf(&b, "%-30s %8d  %-24s %s\n", name, e.Problems,
+			strings.Repeat("█", barLen), strings.Join(e.Modules, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/scenario"
+)
+
+func TestHeatmapLocatesProblems(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := defaultFramework()
+	reports, err := fw.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := core.Heatmap(reports)
+	if len(entries) == 0 {
+		t.Fatal("heatmap is empty although the example has problems")
+	}
+	// Sorted hottest first.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Problems > entries[i-1].Problems {
+			t.Errorf("heatmap not sorted at %d", i)
+		}
+	}
+	// The records.artist cardinality conflict dominates the example.
+	top := entries[0]
+	if top.Table != "records" || top.Attribute != "artist" {
+		t.Errorf("hottest element = %s.%s, want records.artist", top.Table, top.Attribute)
+	}
+	if len(top.Modules) == 0 {
+		t.Error("hottest element lists no modules")
+	}
+	// The duration heterogeneity appears at tracks.duration.
+	foundDuration := false
+	for _, e := range entries {
+		if e.Table == "tracks" && e.Attribute == "duration" {
+			foundDuration = true
+		}
+	}
+	if !foundDuration {
+		t.Errorf("tracks.duration missing from heatmap: %+v", entries)
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := defaultFramework()
+	reports, err := fw.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := core.RenderHeatmap(core.Heatmap(reports))
+	for _, want := range []string{"Target element", "records.artist", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if got := core.RenderHeatmap(nil); !strings.Contains(got, "no integration problems") {
+		t.Errorf("empty rendering = %q", got)
+	}
+}
+
+type unlocatableReport struct{ stubReport }
+
+func TestHeatmapSkipsUnlocatableReports(t *testing.T) {
+	entries := core.Heatmap([]core.Report{unlocatableReport{}})
+	if len(entries) != 0 {
+		t.Errorf("unlocatable reports must be skipped: %v", entries)
+	}
+}

@@ -1,0 +1,271 @@
+// Package csg implements cardinality-constrained schema graphs (CSGs), the
+// formalism of the paper's §4: graphs of table and attribute nodes whose
+// relationships carry prescribed cardinalities, four relationship
+// construction operators (composition, union, join, collateral) with
+// cardinality inference per Lemmas 1-4, conversion of relational schemas
+// and instances, and path search to match target relationships to
+// (composed) source relationships.
+package csg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the sentinel for an unbounded upper cardinality ("*").
+const Inf = math.MaxInt64
+
+// Card is a cardinality: a set of admissible link counts per element. All
+// cardinalities arising from relational schemas and from the inference
+// lemmas are contiguous intervals over the naturals (possibly unbounded or
+// empty), so Card is represented as a closed interval [Lo, Hi] with
+// Hi == Inf meaning "*". The zero Card is the empty set.
+type Card struct {
+	// Lo and Hi bound the interval. Invariant for non-empty cards:
+	// 0 <= Lo <= Hi.
+	Lo, Hi int64
+	// nonEmpty discriminates the empty cardinality (the zero value)
+	// from genuine intervals.
+	nonEmpty bool
+}
+
+// Common cardinalities.
+var (
+	// CardEmpty is the empty cardinality set (Lemma 3 degenerate case).
+	CardEmpty = Card{}
+	// CardOne is exactly one: κ = {1}.
+	CardOne = Interval(1, 1)
+	// CardOpt is at most one: κ = 0..1.
+	CardOpt = Interval(0, 1)
+	// CardMany is one or more: κ = 1..*.
+	CardMany = Interval(1, Inf)
+	// CardAny is any number: κ = 0..*.
+	CardAny = Interval(0, Inf)
+)
+
+// Interval constructs the cardinality lo..hi. It panics on invalid bounds;
+// cardinalities are normally produced by the algebra, which maintains the
+// invariants.
+func Interval(lo, hi int64) Card {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("csg: invalid cardinality %d..%d", lo, hi))
+	}
+	return Card{Lo: lo, Hi: hi, nonEmpty: true}
+}
+
+// Exactly constructs the singleton cardinality {n}.
+func Exactly(n int64) Card { return Interval(n, n) }
+
+// IsEmpty reports whether the cardinality is the empty set.
+func (c Card) IsEmpty() bool { return !c.nonEmpty }
+
+// Contains reports whether link count n is admissible under c.
+func (c Card) Contains(n int64) bool {
+	return c.nonEmpty && n >= c.Lo && n <= c.Hi
+}
+
+// SubsetOf reports c ⊆ d. The empty cardinality is a subset of everything.
+func (c Card) SubsetOf(d Card) bool {
+	if c.IsEmpty() {
+		return true
+	}
+	if d.IsEmpty() {
+		return false
+	}
+	return c.Lo >= d.Lo && c.Hi <= d.Hi
+}
+
+// StrictSubsetOf reports c ⊂ d; used for the conciseness ordering of §4.1
+// ("a relationship is more concise than another if its cardinality is more
+// specific, κ1 ⊂ κ2").
+func (c Card) StrictSubsetOf(d Card) bool {
+	return c.SubsetOf(d) && c != d
+}
+
+// Equal reports whether two cardinalities denote the same set.
+func (c Card) Equal(d Card) bool { return c == d }
+
+// Unbounded reports whether the cardinality has no upper bound.
+func (c Card) Unbounded() bool { return c.nonEmpty && c.Hi == Inf }
+
+// String renders the cardinality in the paper's notation: "1", "0..1",
+// "1..*", "0..*", "∅".
+func (c Card) String() string {
+	if c.IsEmpty() {
+		return "∅"
+	}
+	if c.Lo == c.Hi {
+		return fmt.Sprintf("%d", c.Lo)
+	}
+	if c.Hi == Inf {
+		return fmt.Sprintf("%d..*", c.Lo)
+	}
+	return fmt.Sprintf("%d..%d", c.Lo, c.Hi)
+}
+
+func sgn(n int64) int64 {
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+func mulInf(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	// Saturating multiply; cardinality counts never approach overflow in
+	// practice but the algebra should stay total.
+	if a > Inf/b {
+		return Inf
+	}
+	return a * b
+}
+
+func addInf(a, b int64) int64 {
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	if a > Inf-b {
+		return Inf
+	}
+	return a + b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Compose infers the cardinality of the composition ρ1 ∘ ρ2 per Lemma 1:
+//
+//	a1..b1 ∘ a2..b2 = (sgn a1 · a2)..(b1 · b2)
+func Compose(c1, c2 Card) Card {
+	if c1.IsEmpty() || c2.IsEmpty() {
+		return CardEmpty
+	}
+	return Interval(sgn(c1.Lo)*c2.Lo, mulInf(c1.Hi, c2.Hi))
+}
+
+// DomainRelation describes how the domains and codomains of two
+// relationships being united relate to each other (the case split of
+// Lemma 2).
+type DomainRelation int
+
+// The cases of Lemma 2.
+const (
+	// DisjointDomains: the united relationships start from disjoint
+	// element sets; each element keeps its own cardinality.
+	DisjointDomains DomainRelation = iota
+	// EqualDomainsDisjointCodomains: every element participates in
+	// both relationships and their link sets cannot overlap; counts
+	// add up exactly.
+	EqualDomainsDisjointCodomains
+	// EqualDomainsOverlappingCodomains: counts may coincide on shared
+	// links; the result ranges from max(a,b) to a+b.
+	EqualDomainsOverlappingCodomains
+)
+
+// Union infers the cardinality of ρ1 ∪ ρ2 per Lemma 2, given how the
+// domains relate.
+func Union(c1, c2 Card, rel DomainRelation) Card {
+	if c1.IsEmpty() {
+		return c2
+	}
+	if c2.IsEmpty() {
+		return c1
+	}
+	switch rel {
+	case DisjointDomains:
+		// κ1 ∪ κ2: the interval hull of the two sets.
+		return Interval(minInt64(c1.Lo, c2.Lo), maxInt64(c1.Hi, c2.Hi))
+	case EqualDomainsDisjointCodomains:
+		// κ1 + κ2 = {a+b}.
+		return Interval(addInf(c1.Lo, c2.Lo), addInf(c1.Hi, c2.Hi))
+	case EqualDomainsOverlappingCodomains:
+		// κ1 +̂ κ2 = {c : max(a,b) <= c <= a+b}.
+		return Interval(maxInt64(c1.Lo, c2.Lo), addInf(c1.Hi, c2.Hi))
+	default:
+		panic(fmt.Sprintf("csg: unknown domain relation %d", rel))
+	}
+}
+
+// Join infers the cardinality of ρ1 ⋈ ρ2 per Lemma 3 for two relationships
+// with a common end node: with m = min(max κ1, max κ2),
+//
+//	κ(ρ1 ⋈ ρ2) = ∅ if m = 0, else 1..m
+func Join(c1, c2 Card) Card {
+	if c1.IsEmpty() || c2.IsEmpty() {
+		return CardEmpty
+	}
+	m := minInt64(c1.Hi, c2.Hi)
+	if m == 0 {
+		return CardEmpty
+	}
+	return Interval(1, m)
+}
+
+// JoinInverse infers the inverse cardinality of the join per Lemma 3:
+//
+//	κ((ρ1 ⋈ ρ2)^-1) = (min κ1 · min κ2)..(max κ1 · max κ2)
+func JoinInverse(c1, c2 Card) Card {
+	if c1.IsEmpty() || c2.IsEmpty() {
+		return CardEmpty
+	}
+	return Interval(mulInf(c1.Lo, c2.Lo), mulInf(c1.Hi, c2.Hi))
+}
+
+// Collateral infers the cardinality of ρ1 ∥ ρ2 per Lemma 4:
+//
+//	κ(ρ1 ∥ ρ2) = 0..(max κ1 · max κ2)
+func Collateral(c1, c2 Card) Card {
+	if c1.IsEmpty() || c2.IsEmpty() {
+		return CardEmpty
+	}
+	return Interval(0, mulInf(c1.Hi, c2.Hi))
+}
+
+// ParseCard parses the notation produced by Card.String: "1", "0..1",
+// "1..*", "∅", "*" (alias for 0..*).
+func ParseCard(s string) (Card, error) {
+	switch s {
+	case "∅", "empty":
+		return CardEmpty, nil
+	case "*":
+		return CardAny, nil
+	}
+	var lo, hi int64
+	if n, err := fmt.Sscanf(s, "%d..%d", &lo, &hi); err == nil && n == 2 {
+		if lo < 0 || hi < lo {
+			return CardEmpty, fmt.Errorf("csg: invalid cardinality %q", s)
+		}
+		return Interval(lo, hi), nil
+	}
+	var loOnly int64
+	if n, err := fmt.Sscanf(s, "%d..*", &loOnly); err == nil && n == 1 {
+		if loOnly < 0 {
+			return CardEmpty, fmt.Errorf("csg: invalid cardinality %q", s)
+		}
+		return Interval(loOnly, Inf), nil
+	}
+	var exact int64
+	if n, err := fmt.Sscanf(s, "%d", &exact); err == nil && n == 1 {
+		if exact < 0 {
+			return CardEmpty, fmt.Errorf("csg: invalid cardinality %q", s)
+		}
+		return Exactly(exact), nil
+	}
+	return CardEmpty, fmt.Errorf("csg: cannot parse cardinality %q", s)
+}

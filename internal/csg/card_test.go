@@ -1,0 +1,331 @@
+package csg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genCard produces arbitrary well-formed cardinalities for property tests.
+func genCard(r *rand.Rand) Card {
+	switch r.Intn(6) {
+	case 0:
+		return CardEmpty
+	case 1:
+		return CardOne
+	case 2:
+		return CardOpt
+	case 3:
+		return CardMany
+	case 4:
+		return CardAny
+	default:
+		lo := int64(r.Intn(5))
+		hi := lo + int64(r.Intn(5))
+		if r.Intn(3) == 0 {
+			hi = Inf
+		}
+		return Interval(lo, hi)
+	}
+}
+
+// cardGen adapts genCard to testing/quick.
+type cardGen struct{ Card }
+
+// Generate implements quick.Generator.
+func (cardGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(cardGen{genCard(r)})
+}
+
+func TestCardString(t *testing.T) {
+	cases := []struct {
+		c    Card
+		want string
+	}{
+		{CardOne, "1"},
+		{CardOpt, "0..1"},
+		{CardMany, "1..*"},
+		{CardAny, "0..*"},
+		{CardEmpty, "∅"},
+		{Interval(2, 5), "2..5"},
+		{Exactly(3), "3"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestParseCardRoundTrip(t *testing.T) {
+	f := func(g cardGen) bool {
+		parsed, err := ParseCard(g.Card.String())
+		return err == nil && parsed.Equal(g.Card)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseCard("bogus"); err == nil {
+		t.Error("ParseCard(bogus) should fail")
+	}
+	if _, err := ParseCard(""); err == nil {
+		t.Error("ParseCard(\"\") should fail")
+	}
+}
+
+func TestContainsAndSubset(t *testing.T) {
+	if !CardOpt.Contains(0) || !CardOpt.Contains(1) || CardOpt.Contains(2) {
+		t.Error("0..1 membership wrong")
+	}
+	if !CardMany.Contains(1000000) {
+		t.Error("1..* should contain large counts")
+	}
+	if CardEmpty.Contains(0) {
+		t.Error("∅ contains nothing")
+	}
+	if !CardOne.SubsetOf(CardOpt) || !CardOne.SubsetOf(CardMany) || !CardOpt.SubsetOf(CardAny) {
+		t.Error("expected subset relations missing")
+	}
+	if CardOpt.SubsetOf(CardMany) || CardMany.SubsetOf(CardOpt) {
+		t.Error("0..1 and 1..* are incomparable")
+	}
+	if !CardOne.StrictSubsetOf(CardAny) || CardOne.StrictSubsetOf(CardOne) {
+		t.Error("strict subset wrong")
+	}
+	if !CardEmpty.SubsetOf(CardOne) || CardOne.SubsetOf(CardEmpty) {
+		t.Error("empty-set subset rules wrong")
+	}
+}
+
+func TestSubsetPartialOrder(t *testing.T) {
+	reflexive := func(a cardGen) bool { return a.SubsetOf(a.Card) }
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	transitive := func(a, b, c cardGen) bool {
+		if a.SubsetOf(b.Card) && b.SubsetOf(c.Card) {
+			return a.SubsetOf(c.Card)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	antisym := func(a, b cardGen) bool {
+		if a.SubsetOf(b.Card) && b.SubsetOf(a.Card) {
+			return a.Card.Equal(b.Card) || (a.IsEmpty() && b.IsEmpty())
+		}
+		return true
+	}
+	if err := quick.Check(antisym, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+}
+
+func TestComposeLemma1(t *testing.T) {
+	cases := []struct {
+		a, b, want Card
+	}{
+		// Paper §4.1: both candidate paths for records→artist infer 0..*.
+		{CardOpt, CardMany, CardAny},       // 0..1 ∘ 1..* = 0..*
+		{CardOne, CardOne, CardOne},        // 1 ∘ 1 = 1
+		{CardMany, CardMany, CardMany},     // 1..* ∘ 1..* = 1..*
+		{CardAny, CardOne, CardAny},        // 0..* ∘ 1 = 0..*
+		{CardOne, CardOpt, CardOpt},        // 1 ∘ 0..1 = 0..1
+		{Exactly(0), CardMany, Exactly(0)}, // sgn 0 = 0, 0·* = 0
+		{Interval(2, 3), Interval(4, 5), Interval(4, 15)},
+		{CardEmpty, CardOne, CardEmpty},
+		{CardOne, CardEmpty, CardEmpty},
+	}
+	for _, c := range cases {
+		if got := Compose(c.a, c.b); !got.Equal(c.want) {
+			t.Errorf("Compose(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestComposeIdentityAndAssociativity(t *testing.T) {
+	// Lemma 1's lower bound only keeps the sign of the first operand,
+	// so κ=1 is a left identity, and composing with κ=1 on the right is
+	// a sound over-approximation (a superset of the operand).
+	leftIdentity := func(a cardGen) bool {
+		return Compose(CardOne, a.Card).Equal(a.Card)
+	}
+	if err := quick.Check(leftIdentity, nil); err != nil {
+		t.Errorf("κ=1 must be the left identity of composition: %v", err)
+	}
+	rightSound := func(a cardGen) bool {
+		return a.SubsetOf(Compose(a.Card, CardOne))
+	}
+	if err := quick.Check(rightSound, nil); err != nil {
+		t.Errorf("composing with κ=1 on the right must over-approximate: %v", err)
+	}
+	assoc := func(a, b, c cardGen) bool {
+		l := Compose(Compose(a.Card, b.Card), c.Card)
+		r := Compose(a.Card, Compose(b.Card, c.Card))
+		return l.Equal(r)
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("composition must be associative: %v", err)
+	}
+}
+
+func TestComposeSemanticSoundness(t *testing.T) {
+	// If an element has n1 ∈ κ1 first-hop links and each of those has
+	// n2 ∈ κ2 second-hop links, the reachable set size lies within
+	// κ1 ∘ κ2 (it is at most n1·n2 and at least sgn(n1)·min per-hop).
+	f := func(a, b cardGen, x1, x2 uint8) bool {
+		c1, c2 := a.Card, b.Card
+		if c1.IsEmpty() || c2.IsEmpty() {
+			return Compose(c1, c2).IsEmpty()
+		}
+		n1 := clampTo(c1, int64(x1))
+		n2 := clampTo(c2, int64(x2))
+		total := n1 * n2 // maximal distinct reachable count
+		return Compose(c1, c2).Contains(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampTo(c Card, n int64) int64 {
+	if n < c.Lo {
+		return c.Lo
+	}
+	hi := c.Hi
+	if hi == Inf {
+		hi = c.Lo + 10
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+func TestUnionLemma2(t *testing.T) {
+	// Disjoint domains: interval hull.
+	if got := Union(CardOne, Exactly(3), DisjointDomains); !got.Equal(Interval(1, 3)) {
+		t.Errorf("disjoint union = %s", got)
+	}
+	// Equal domains, disjoint codomains: κ1 + κ2.
+	if got := Union(CardOne, CardOne, EqualDomainsDisjointCodomains); !got.Equal(Exactly(2)) {
+		t.Errorf("sum union = %s", got)
+	}
+	if got := Union(CardOpt, CardMany, EqualDomainsDisjointCodomains); !got.Equal(CardMany) {
+		t.Errorf("0..1 + 1..* = %s, want 1..*", got)
+	}
+	// Equal domains, overlapping codomains: max(a,b)..a+b.
+	if got := Union(CardOne, CardOne, EqualDomainsOverlappingCodomains); !got.Equal(Interval(1, 2)) {
+		t.Errorf("hat-sum union = %s", got)
+	}
+	if got := Union(Interval(2, 4), Interval(3, 5), EqualDomainsOverlappingCodomains); !got.Equal(Interval(3, 9)) {
+		t.Errorf("hat-sum union = %s", got)
+	}
+	// Empty operand: union is the other side.
+	if got := Union(CardEmpty, CardOpt, DisjointDomains); !got.Equal(CardOpt) {
+		t.Errorf("∅ ∪ 0..1 = %s", got)
+	}
+}
+
+func TestUnionCommutative(t *testing.T) {
+	for _, rel := range []DomainRelation{DisjointDomains, EqualDomainsDisjointCodomains, EqualDomainsOverlappingCodomains} {
+		rel := rel
+		f := func(a, b cardGen) bool {
+			return Union(a.Card, b.Card, rel).Equal(Union(b.Card, a.Card, rel))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("union (rel=%d) must be commutative: %v", rel, err)
+		}
+	}
+}
+
+func TestUnionContainsOperands(t *testing.T) {
+	// For disjoint domains, the union cardinality must cover both
+	// operand cardinalities (each element keeps its own count).
+	f := func(a, b cardGen) bool {
+		u := Union(a.Card, b.Card, DisjointDomains)
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinLemma3(t *testing.T) {
+	if got := Join(CardOne, CardMany); !got.Equal(CardOne) {
+		t.Errorf("join(1, 1..*) = %s, want 1", got)
+	}
+	if got := Join(CardMany, CardMany); !got.Equal(CardMany) {
+		t.Errorf("join(1..*, 1..*) = %s, want 1..*", got)
+	}
+	if got := Join(Exactly(0), CardMany); !got.IsEmpty() {
+		t.Errorf("join with max 0 = %s, want ∅", got)
+	}
+	if got := Join(CardEmpty, CardOne); !got.IsEmpty() {
+		t.Errorf("join with ∅ = %s, want ∅", got)
+	}
+	if got := Join(Interval(0, 3), Interval(2, 5)); !got.Equal(Interval(1, 3)) {
+		t.Errorf("join(0..3, 2..5) = %s, want 1..3", got)
+	}
+	// Inverse cardinality.
+	if got := JoinInverse(Interval(1, 2), Interval(3, 4)); !got.Equal(Interval(3, 8)) {
+		t.Errorf("join inverse = %s, want 3..8", got)
+	}
+	if got := JoinInverse(CardMany, CardMany); !got.Equal(CardMany) {
+		t.Errorf("join inverse(1..*, 1..*) = %s, want 1..*", got)
+	}
+}
+
+func TestCollateralLemma4(t *testing.T) {
+	if got := Collateral(CardOne, CardOne); !got.Equal(CardOpt) {
+		t.Errorf("collateral(1,1) = %s, want 0..1", got)
+	}
+	if got := Collateral(CardMany, Interval(2, 3)); !got.Equal(Interval(0, Inf)) {
+		t.Errorf("collateral(1..*, 2..3) = %s, want 0..*", got)
+	}
+	if got := Collateral(CardEmpty, CardOne); !got.IsEmpty() {
+		t.Errorf("collateral with ∅ = %s", got)
+	}
+	// Collateral always admits zero: it pairs independent relationships.
+	f := func(a, b cardGen) bool {
+		c := Collateral(a.Card, b.Card)
+		return c.IsEmpty() || c.Contains(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeMonotone(t *testing.T) {
+	// Widening an operand can only widen the composition.
+	f := func(a, b, c cardGen) bool {
+		if !a.SubsetOf(b.Card) {
+			return true
+		}
+		return Compose(a.Card, c.Card).SubsetOf(Compose(b.Card, c.Card)) &&
+			Compose(c.Card, a.Card).SubsetOf(Compose(c.Card, b.Card))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if got := mulInf(Inf, 0); got != 0 {
+		t.Errorf("Inf·0 = %d, want 0", got)
+	}
+	if got := mulInf(Inf, 5); got != Inf {
+		t.Errorf("Inf·5 = %d, want Inf", got)
+	}
+	if got := mulInf(Inf-1, 2); got != Inf {
+		t.Errorf("overflow must saturate, got %d", got)
+	}
+	if got := addInf(Inf, 1); got != Inf {
+		t.Errorf("Inf+1 = %d", got)
+	}
+	if got := addInf(Inf-1, 5); got != Inf {
+		t.Errorf("near-overflow add must saturate, got %d", got)
+	}
+}

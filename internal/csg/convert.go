@@ -1,0 +1,258 @@
+package csg
+
+import (
+	"fmt"
+
+	"efes/internal/relational"
+)
+
+// AttributeNodeID returns the node ID used for an attribute node.
+func AttributeNodeID(table, column string) string { return table + "." + column }
+
+// FromSchema converts a relational schema into a CSG per §4.1:
+//
+//   - each relation becomes a table node;
+//   - each attribute becomes an attribute node connected to its table
+//     node, with κ(tuple→value) = 1 if NOT NULL else 0..1 (each tuple has
+//     at most one value per attribute), and κ(value→tuple) = 1 if UNIQUE
+//     else 1..* (each distinct value is contained in at least one tuple);
+//   - each single-column foreign key becomes an equality edge between the
+//     two attribute nodes with κ(fk→ref) = 1 (every FK value equals
+//     exactly one referenced value) and κ(ref→fk) = 0..1 (attribute nodes
+//     hold distinct values, so at most one equal value exists).
+//
+// Composite foreign keys are represented by one equality edge per column
+// pair; the collateral operator ('∥', Lemma 4) covers their combined
+// semantics.
+func FromSchema(s *relational.Schema) (*Graph, error) {
+	g := NewGraph(s.Name)
+	for _, t := range s.Tables() {
+		tn := &Node{ID: t.Name, Kind: TableNode, Table: t.Name}
+		if err := g.AddNode(tn); err != nil {
+			return nil, err
+		}
+		for _, c := range t.Columns {
+			an := &Node{ID: AttributeNodeID(t.Name, c.Name), Kind: AttributeNode, Table: t.Name, Attribute: c.Name}
+			if err := g.AddNode(an); err != nil {
+				return nil, err
+			}
+			fwd := CardOpt
+			if s.NotNull(t.Name, c.Name) {
+				fwd = CardOne
+			}
+			back := CardMany
+			if s.Unique(t.Name, c.Name) {
+				back = CardOne
+			}
+			if _, err := g.Connect(tn, an, fwd, back, AttributeEdge); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, fk := range s.ForeignKeys() {
+		for i := range fk.Columns {
+			from := g.Node(AttributeNodeID(fk.Table, fk.Columns[i]))
+			to := g.Node(AttributeNodeID(fk.RefTable, fk.RefColumns[i]))
+			if from == nil || to == nil {
+				return nil, fmt.Errorf("csg: foreign key references missing node (%v)", fk)
+			}
+			if _, err := g.Connect(from, to, CardOne, CardOpt, EqualityEdge); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustFromSchema is FromSchema but panics on error.
+func MustFromSchema(s *relational.Schema) *Graph {
+	g, err := FromSchema(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Instance is a CSG instance I(Γ) = (I_N, I_P): elements per node and
+// links per atomic relationship. Elements are interned as strings: tuple
+// identities "t<row>" for table nodes and rendered distinct values for
+// attribute nodes.
+type Instance struct {
+	// Graph is the CSG this instance belongs to.
+	Graph *Graph
+
+	elements map[*Node][]string
+	links    map[*Edge]map[string][]string
+}
+
+// NewInstance creates an empty instance of the graph.
+func NewInstance(g *Graph) *Instance {
+	return &Instance{
+		Graph:    g,
+		elements: make(map[*Node][]string),
+		links:    make(map[*Edge]map[string][]string),
+	}
+}
+
+// Elements returns the elements assigned to a node.
+func (in *Instance) Elements(n *Node) []string { return in.elements[n] }
+
+// NumElements returns the number of elements of a node.
+func (in *Instance) NumElements(n *Node) int { return len(in.elements[n]) }
+
+// AddElement assigns an element to a node.
+func (in *Instance) AddElement(n *Node, elem string) {
+	in.elements[n] = append(in.elements[n], elem)
+}
+
+// AddLink records a link of the atomic relationship e and its inverse.
+func (in *Instance) AddLink(e *Edge, from, to string) {
+	addLink(in.links, e, from, to)
+	addLink(in.links, e.Inverse, to, from)
+}
+
+func addLink(links map[*Edge]map[string][]string, e *Edge, from, to string) {
+	m := links[e]
+	if m == nil {
+		m = make(map[string][]string)
+		links[e] = m
+	}
+	m[from] = append(m[from], to)
+}
+
+// Links returns the targets linked to elem via the atomic relationship e.
+func (in *Instance) Links(e *Edge, elem string) []string {
+	return in.links[e][elem]
+}
+
+// FromDatabase converts a relational instance into a CSG instance over the
+// graph produced by FromSchema on the same schema. Tuples become abstract
+// identity elements, attribute nodes receive the distinct values, and the
+// relationships link them (§4.1, Example 4.1). Equality edges are
+// populated by linking equal values.
+func FromDatabase(g *Graph, db *relational.Database) (*Instance, error) {
+	in := NewInstance(g)
+	for _, t := range db.Schema.Tables() {
+		tn := g.Node(t.Name)
+		if tn == nil {
+			return nil, fmt.Errorf("csg: graph lacks table node %s", t.Name)
+		}
+		rows := db.Rows(t.Name)
+		for i := range rows {
+			in.AddElement(tn, tupleID(t.Name, i))
+		}
+		for ci, c := range t.Columns {
+			an := g.Node(AttributeNodeID(t.Name, c.Name))
+			edge := g.EdgeBetween(t.Name, an.ID)
+			if edge == nil {
+				return nil, fmt.Errorf("csg: graph lacks edge %s -> %s", t.Name, an.ID)
+			}
+			seen := make(map[string]struct{})
+			for i, row := range rows {
+				v := row[ci]
+				if v == nil {
+					continue
+				}
+				val := relational.FormatValue(v)
+				if _, dup := seen[val]; !dup {
+					seen[val] = struct{}{}
+					in.AddElement(an, val)
+				}
+				in.AddLink(edge, tupleID(t.Name, i), val)
+			}
+		}
+	}
+	// Equality edges: link equal elements of the two attribute nodes.
+	for _, e := range g.Edges() {
+		if e.Kind != EqualityEdge || e.Inverse.Kind != EqualityEdge {
+			continue
+		}
+		// Process each undirected equality relationship once: pick the
+		// direction stored first (both are in Edges(); dedupe via
+		// pointer order on the links map).
+		if _, done := in.links[e]; done {
+			continue
+		}
+		if _, done := in.links[e.Inverse]; done {
+			continue
+		}
+		toSet := make(map[string]struct{}, len(in.elements[e.To]))
+		for _, v := range in.elements[e.To] {
+			toSet[v] = struct{}{}
+		}
+		for _, v := range in.elements[e.From] {
+			if _, eq := toSet[v]; eq {
+				in.AddLink(e, v, v)
+			}
+		}
+	}
+	return in, nil
+}
+
+func tupleID(table string, row int) string {
+	return fmt.Sprintf("%s#%d", table, row)
+}
+
+// LinkCounts computes, for every element of the start node of path p, the
+// number of distinct end-node elements reachable along p (the actual
+// cardinality distribution). Elements with zero reachable ends are
+// included with count 0.
+func (in *Instance) LinkCounts(p Path) map[string]int {
+	counts := make(map[string]int)
+	if !p.Valid() {
+		return counts
+	}
+	for _, start := range in.elements[p.Start()] {
+		frontier := map[string]struct{}{start: {}}
+		for _, e := range p {
+			next := make(map[string]struct{})
+			for elem := range frontier {
+				for _, to := range in.Links(e, elem) {
+					next[to] = struct{}{}
+				}
+			}
+			frontier = next
+		}
+		counts[start] = len(frontier)
+	}
+	return counts
+}
+
+// ActualCard summarizes the link counts of a path into the tightest
+// interval covering all observed counts. An instance without start
+// elements yields the empty cardinality.
+func (in *Instance) ActualCard(p Path) Card {
+	counts := in.LinkCounts(p)
+	if len(counts) == 0 {
+		return CardEmpty
+	}
+	first := true
+	var lo, hi int64
+	for _, n := range counts {
+		v := int64(n)
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return Interval(lo, hi)
+}
+
+// CountViolations counts the elements of the start node of p whose number
+// of reachable end elements is not admitted by the prescribed cardinality.
+func (in *Instance) CountViolations(p Path, prescribed Card) int {
+	violations := 0
+	for _, n := range in.LinkCounts(p) {
+		if !prescribed.Contains(int64(n)) {
+			violations++
+		}
+	}
+	return violations
+}

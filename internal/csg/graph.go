@@ -1,0 +1,259 @@
+package csg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind distinguishes the two node classes of a CSG.
+type NodeKind int
+
+// Node kinds.
+const (
+	// TableNode represents the existence of tuples of a relation
+	// (rectangles in the paper's Figure 4).
+	TableNode NodeKind = iota
+	// AttributeNode holds the set of distinct values of an attribute
+	// (round shapes in Figure 4).
+	AttributeNode
+)
+
+// Node is a CSG node: either a table node or an attribute node.
+type Node struct {
+	// ID uniquely identifies the node within its graph, e.g. "tracks"
+	// or "tracks.duration".
+	ID string
+	// Kind is the node class.
+	Kind NodeKind
+	// Table is the relation the node belongs to.
+	Table string
+	// Attribute is the attribute name for attribute nodes, "" for
+	// table nodes.
+	Attribute string
+}
+
+// String returns the node ID.
+func (n *Node) String() string { return n.ID }
+
+// EdgeKind distinguishes tuple-attribute relationships from the equality
+// relationships induced by foreign keys (dashed lines in Figure 4).
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// AttributeEdge links tuples to their attribute values (and back).
+	AttributeEdge EdgeKind = iota
+	// EqualityEdge links equal elements of two attribute nodes, as
+	// induced by a foreign key.
+	EqualityEdge
+)
+
+// Edge is an atomic, directed CSG relationship ρ with its prescribed
+// cardinality κ(ρ). Every edge has an Inverse covering the opposite
+// direction.
+type Edge struct {
+	// From and To are the connected nodes.
+	From, To *Node
+	// Card is the prescribed cardinality κ: for each element of From,
+	// the admissible number of linked elements of To.
+	Card Card
+	// Kind is the edge class.
+	Kind EdgeKind
+	// Inverse is the same relationship read in the opposite direction.
+	Inverse *Edge
+}
+
+// String renders the edge as "from -> to [κ]".
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s -> %s [%s]", e.From.ID, e.To.ID, e.Card)
+}
+
+// Graph is a cardinality-constrained schema graph Γ = (N, P, κ).
+type Graph struct {
+	// Name identifies the graph (usually the schema name).
+	Name string
+
+	nodes     map[string]*Node
+	nodeOrder []string
+	edges     []*Edge
+	out       map[*Node][]*Edge
+}
+
+// NewGraph creates an empty CSG.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		nodes: make(map[string]*Node),
+		out:   make(map[*Node][]*Edge),
+	}
+}
+
+// AddNode registers a node; the ID must be unique.
+func (g *Graph) AddNode(n *Node) error {
+	if _, dup := g.nodes[n.ID]; dup {
+		return fmt.Errorf("csg: duplicate node %s", n.ID)
+	}
+	g.nodes[n.ID] = n
+	g.nodeOrder = append(g.nodeOrder, n.ID)
+	return nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// Nodes returns all nodes in registration order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodeOrder))
+	for _, id := range g.nodeOrder {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// Connect adds a relationship between two registered nodes together with
+// its inverse, and returns the forward edge.
+func (g *Graph) Connect(from, to *Node, fwd, back Card, kind EdgeKind) (*Edge, error) {
+	if g.nodes[from.ID] != from || g.nodes[to.ID] != to {
+		return nil, fmt.Errorf("csg: connect with unregistered node (%s -> %s)", from.ID, to.ID)
+	}
+	e := &Edge{From: from, To: to, Card: fwd, Kind: kind}
+	inv := &Edge{From: to, To: from, Card: back, Kind: kind, Inverse: e}
+	e.Inverse = inv
+	g.edges = append(g.edges, e, inv)
+	g.out[from] = append(g.out[from], e)
+	g.out[to] = append(g.out[to], inv)
+	return e, nil
+}
+
+// Edges returns all directed edges (each undirected relationship appears
+// twice, once per direction).
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+// OutEdges returns the edges leaving the given node.
+func (g *Graph) OutEdges(n *Node) []*Edge { return g.out[n] }
+
+// EdgeBetween returns the first edge from one node ID to another, or nil.
+func (g *Graph) EdgeBetween(fromID, toID string) *Edge {
+	from := g.nodes[fromID]
+	for _, e := range g.out[from] {
+		if e.To.ID == toID {
+			return e
+		}
+	}
+	return nil
+}
+
+// AtomicTargetRelationships enumerates the atomic relationships whose
+// prescribed cardinalities constitute the schema's constraints: both
+// directions of every attribute edge. Equality (foreign key) edges are
+// included as well, as FK constraints are expressed through them.
+func (g *Graph) AtomicTargetRelationships() []*Edge {
+	return g.edges
+}
+
+// String renders the graph deterministically for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "csg %s\n", g.Name)
+	lines := make([]string, 0, len(g.edges))
+	for _, e := range g.edges {
+		lines = append(lines, "  "+e.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz DOT syntax (Figure 4 reproduction).
+// Attribute edges are solid, equality edges dashed; each edge is labeled
+// with its forward and backward cardinality.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.Name)
+	for _, id := range g.nodeOrder {
+		n := g.nodes[id]
+		shape := "ellipse"
+		if n.Kind == TableNode {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n.ID, shape)
+	}
+	seen := make(map[*Edge]bool)
+	for _, e := range g.edges {
+		if seen[e] || seen[e.Inverse] {
+			continue
+		}
+		seen[e] = true
+		style := "solid"
+		if e.Kind == EqualityEdge {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s,label=\"%s / %s\",dir=both];\n",
+			e.From.ID, e.To.ID, style, e.Card, e.Inverse.Card)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Path is a composition of adjacent edges: a complex relationship built
+// with the '∘' operator.
+type Path []*Edge
+
+// Valid reports whether the path is non-empty and properly chained.
+func (p Path) Valid() bool {
+	if len(p) == 0 {
+		return false
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].From != p[i-1].To {
+			return false
+		}
+	}
+	return true
+}
+
+// Start returns the first node of the path.
+func (p Path) Start() *Node { return p[0].From }
+
+// End returns the last node of the path.
+func (p Path) End() *Node { return p[len(p)-1].To }
+
+// InferredCard composes the edge cardinalities per Lemma 1.
+func (p Path) InferredCard() Card {
+	if len(p) == 0 {
+		return CardEmpty
+	}
+	c := p[0].Card
+	for _, e := range p[1:] {
+		c = Compose(c, e.Card)
+	}
+	return c
+}
+
+// Inverse returns the reversed path (each edge replaced by its inverse).
+func (p Path) Inverse() Path {
+	out := make(Path, len(p))
+	for i, e := range p {
+		out[len(p)-1-i] = e.Inverse
+	}
+	return out
+}
+
+// String renders the path as a node chain with the inferred cardinality.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	b.WriteString(p[0].From.ID)
+	for _, e := range p {
+		b.WriteString(" -> ")
+		b.WriteString(e.To.ID)
+	}
+	fmt.Fprintf(&b, " [%s]", p.InferredCard())
+	return b.String()
+}

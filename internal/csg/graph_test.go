@@ -1,0 +1,375 @@
+package csg
+
+import (
+	"strings"
+	"testing"
+
+	"efes/internal/relational"
+)
+
+// figure2Target builds the target schema of the paper's Figure 2:
+// records(id PK, title NN, artist NN, genre) and
+// tracks(record FK NN, title NN, duration).
+func figure2Target() *relational.Schema {
+	s := relational.NewSchema("target")
+	s.MustAddTable(relational.MustTable("records",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "title", Type: relational.String},
+		relational.Column{Name: "artist", Type: relational.String},
+		relational.Column{Name: "genre", Type: relational.String},
+	))
+	s.MustAddTable(relational.MustTable("tracks",
+		relational.Column{Name: "record", Type: relational.Integer},
+		relational.Column{Name: "title", Type: relational.String},
+		relational.Column{Name: "duration", Type: relational.String},
+	))
+	s.MustAddConstraint(relational.PrimaryKey{Table: "records", Columns: []string{"id"}})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "records", Column: "title"})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "records", Column: "artist"})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "tracks", Column: "record"})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "tracks", Column: "title"})
+	s.MustAddConstraint(relational.ForeignKey{Table: "tracks", Columns: []string{"record"}, RefTable: "records", RefColumns: []string{"id"}})
+	return s
+}
+
+// figure2Source builds the source schema of Figure 2: albums(id PK, name
+// NN, artist_list FK NN), songs(album FK, name NN, artist_list FK,
+// length), artist_lists(id PK), artist_credits(artist_list PK FK,
+// position PK, artist NN).
+func figure2Source() *relational.Schema {
+	s := relational.NewSchema("source")
+	s.MustAddTable(relational.MustTable("albums",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+		relational.Column{Name: "artist_list", Type: relational.String},
+	))
+	s.MustAddTable(relational.MustTable("songs",
+		relational.Column{Name: "album", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+		relational.Column{Name: "artist_list", Type: relational.String},
+		relational.Column{Name: "length", Type: relational.Integer},
+	))
+	s.MustAddTable(relational.MustTable("artist_lists",
+		relational.Column{Name: "id", Type: relational.String},
+	))
+	s.MustAddTable(relational.MustTable("artist_credits",
+		relational.Column{Name: "artist_list", Type: relational.String},
+		relational.Column{Name: "position", Type: relational.Integer},
+		relational.Column{Name: "artist", Type: relational.String},
+	))
+	s.MustAddConstraint(relational.PrimaryKey{Table: "albums", Columns: []string{"id"}})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "albums", Column: "name"})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "albums", Column: "artist_list"})
+	s.MustAddConstraint(relational.ForeignKey{Table: "albums", Columns: []string{"artist_list"}, RefTable: "artist_lists", RefColumns: []string{"id"}})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "songs", Column: "name"})
+	s.MustAddConstraint(relational.ForeignKey{Table: "songs", Columns: []string{"album"}, RefTable: "albums", RefColumns: []string{"id"}})
+	s.MustAddConstraint(relational.ForeignKey{Table: "songs", Columns: []string{"artist_list"}, RefTable: "artist_lists", RefColumns: []string{"id"}})
+	s.MustAddConstraint(relational.PrimaryKey{Table: "artist_lists", Columns: []string{"id"}})
+	s.MustAddConstraint(relational.PrimaryKey{Table: "artist_credits", Columns: []string{"artist_list", "position"}})
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "artist_credits", Column: "artist"})
+	s.MustAddConstraint(relational.ForeignKey{Table: "artist_credits", Columns: []string{"artist_list"}, RefTable: "artist_lists", RefColumns: []string{"id"}})
+	return s
+}
+
+// figure2Match maps target CSG node IDs to source node IDs per the solid
+// correspondence arrows of Figure 2a.
+func figure2Match() NodeMatch {
+	return NodeMatch{
+		"records":         "albums",
+		"records.title":   "albums.name",
+		"records.artist":  "artist_credits.artist",
+		"tracks":          "songs",
+		"tracks.title":    "songs.name",
+		"tracks.duration": "songs.length",
+		"tracks.record":   "songs.album",
+		"records.id":      "albums.id",
+	}
+}
+
+func TestFromSchemaCardinalities(t *testing.T) {
+	g := MustFromSchema(figure2Target())
+
+	cases := []struct {
+		from, to string
+		want     Card
+	}{
+		// tracks.record is NOT NULL: exactly one record value per tuple.
+		{"tracks", "tracks.record", CardOne},
+		// tracks.record is not unique: a value may occur in many tuples.
+		{"tracks.record", "tracks", CardMany},
+		// duration is nullable.
+		{"tracks", "tracks.duration", CardOpt},
+		// records.id is PK: unique and not-null.
+		{"records", "records.id", CardOne},
+		{"records.id", "records", CardOne},
+		// records.artist is NOT NULL but not unique.
+		{"records", "records.artist", CardOne},
+		{"records.artist", "records", CardMany},
+		// FK equality edge tracks.record -> records.id.
+		{"tracks.record", "records.id", CardOne},
+		{"records.id", "tracks.record", CardOpt},
+	}
+	for _, c := range cases {
+		e := g.EdgeBetween(c.from, c.to)
+		if e == nil {
+			t.Fatalf("missing edge %s -> %s", c.from, c.to)
+		}
+		if !e.Card.Equal(c.want) {
+			t.Errorf("κ(%s -> %s) = %s, want %s", c.from, c.to, e.Card, c.want)
+		}
+	}
+}
+
+func TestFromSchemaNodeKinds(t *testing.T) {
+	g := MustFromSchema(figure2Target())
+	if n := g.Node("records"); n == nil || n.Kind != TableNode {
+		t.Error("records should be a table node")
+	}
+	if n := g.Node("records.artist"); n == nil || n.Kind != AttributeNode || n.Attribute != "artist" {
+		t.Error("records.artist should be an attribute node")
+	}
+	// 2 table nodes + 7 attribute nodes.
+	if got := len(g.Nodes()); got != 9 {
+		t.Errorf("node count = %d, want 9", got)
+	}
+}
+
+func TestEdgesHaveInverses(t *testing.T) {
+	g := MustFromSchema(figure2Source())
+	for _, e := range g.Edges() {
+		if e.Inverse == nil || e.Inverse.Inverse != e {
+			t.Fatalf("edge %v lacks proper inverse", e)
+		}
+		if e.Inverse.From != e.To || e.Inverse.To != e.From {
+			t.Fatalf("inverse of %v misdirected", e)
+		}
+	}
+}
+
+func TestConnectRejectsUnregisteredNodes(t *testing.T) {
+	g := NewGraph("x")
+	a := &Node{ID: "a", Kind: TableNode}
+	b := &Node{ID: "b", Kind: TableNode}
+	if err := g.AddNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(a, b, CardOne, CardOne, AttributeEdge); err == nil {
+		t.Error("connect with unregistered node must fail")
+	}
+	if err := g.AddNode(a); err == nil {
+		t.Error("duplicate node must be rejected")
+	}
+}
+
+func TestPathInference(t *testing.T) {
+	g := MustFromSchema(figure2Source())
+	// albums -> artist_list -> artist_lists.id -> artist_credits.artist_list
+	// -> artist_credits -> artist: the concise path of §4.1.
+	ids := []string{"albums", "albums.artist_list", "artist_lists.id", "artist_credits.artist_list", "artist_credits", "artist_credits.artist"}
+	var p Path
+	for i := 0; i+1 < len(ids); i++ {
+		e := g.EdgeBetween(ids[i], ids[i+1])
+		if e == nil {
+			t.Fatalf("missing edge %s -> %s", ids[i], ids[i+1])
+		}
+		p = append(p, e)
+	}
+	if !p.Valid() {
+		t.Fatal("path should be valid")
+	}
+	// Per the paper, the inferred cardinality of this path is 0..*.
+	if got := p.InferredCard(); !got.Equal(CardAny) {
+		t.Errorf("inferred κ(albums -> artist) = %s, want 0..*", got)
+	}
+	// The inverse path exists and ends where we started.
+	inv := p.Inverse()
+	if !inv.Valid() || inv.Start().ID != "artist_credits.artist" || inv.End().ID != "albums" {
+		t.Errorf("inverse path wrong: %s", inv)
+	}
+}
+
+func TestFindPathsAndBestPath(t *testing.T) {
+	g := MustFromSchema(figure2Source())
+	from, to := g.Node("albums"), g.Node("artist_credits.artist")
+	paths := FindPaths(g, from, to, MaxPathLength)
+	if len(paths) < 2 {
+		t.Fatalf("expected at least the two §4.1 candidate paths, got %d", len(paths))
+	}
+	best := BestPath(paths)
+	// The short path via albums.artist_list (5 edges) must win over the
+	// long one via songs (8 edges): equal inferred cardinality 0..*, so
+	// Occam's razor prefers the shorter.
+	if len(best) != 5 {
+		t.Errorf("best path has %d edges, want 5: %s", len(best), best)
+	}
+	if !best.InferredCard().Equal(CardAny) {
+		t.Errorf("best path κ = %s, want 0..*", best.InferredCard())
+	}
+	for _, p := range paths {
+		if !p.Valid() || p.Start() != from || p.End() != to {
+			t.Errorf("malformed enumerated path %s", p)
+		}
+	}
+}
+
+func TestMatchRelationship(t *testing.T) {
+	target := MustFromSchema(figure2Target())
+	source := MustFromSchema(figure2Source())
+	match := figure2Match()
+
+	rel := target.EdgeBetween("records", "records.artist")
+	p := MatchRelationship(rel, source, match)
+	if p == nil {
+		t.Fatal("records -> artist should match a source path")
+	}
+	if p.Start().ID != "albums" || p.End().ID != "artist_credits.artist" {
+		t.Errorf("matched path endpoints wrong: %s", p)
+	}
+	// §4.1: prescribed 1, matched source relationship infers 0..* — the
+	// structural conflict of Example 3.2.
+	if !p.InferredCard().Equal(CardAny) {
+		t.Errorf("matched κ = %s, want 0..*", p.InferredCard())
+	}
+
+	// A relationship without correspondences yields no match.
+	rel2 := target.EdgeBetween("records", "records.genre")
+	if got := MatchRelationship(rel2, source, match); got != nil {
+		t.Errorf("genre has no correspondence; match = %s", got)
+	}
+}
+
+func TestMatchRelationshipMissingNodes(t *testing.T) {
+	target := MustFromSchema(figure2Target())
+	source := MustFromSchema(figure2Source())
+	rel := target.EdgeBetween("records", "records.artist")
+	if p := MatchRelationship(rel, source, NodeMatch{"records": "nonexistent", "records.artist": "also.missing"}); p != nil {
+		t.Errorf("match against missing source nodes = %v", p)
+	}
+}
+
+func TestGraphStringAndDOT(t *testing.T) {
+	g := MustFromSchema(figure2Target())
+	s := g.String()
+	if !strings.Contains(s, "tracks -> tracks.record [1]") {
+		t.Errorf("String() missing expected edge:\n%s", s)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "shape=box", "shape=ellipse", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT() missing %q", want)
+		}
+	}
+}
+
+func buildFigure2Instance(t *testing.T) (*Graph, *Instance) {
+	t.Helper()
+	s := figure2Source()
+	db := relational.NewDatabase(s)
+	db.MustInsert("artist_lists", "a1")
+	db.MustInsert("artist_lists", "a2")
+	db.MustInsert("artist_lists", "a3")
+	// a1 has two credited artists, a2 one, a3 none.
+	db.MustInsert("artist_credits", "a1", 1, "Miri Ben-Ari")
+	db.MustInsert("artist_credits", "a1", 2, "2Face Idibia")
+	db.MustInsert("artist_credits", "a2", 1, "Macy Gray")
+	db.MustInsert("albums", 1, "Hands Up", "a1")
+	db.MustInsert("albums", 2, "The Id", "a2")
+	db.MustInsert("albums", 3, "Empty", "a3")
+	db.MustInsert("songs", 1, "Hands Up", "a1", 215900)
+	db.MustInsert("songs", 1, "Labor Day", "a1", 238100)
+	db.MustInsert("songs", 2, "Anxiety", "a2", 218200)
+	if v := db.Validate(); len(v) != 0 {
+		t.Fatalf("fixture instance invalid: %v", v)
+	}
+	g := MustFromSchema(s)
+	in, err := FromDatabase(g, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, in
+}
+
+func TestInstanceElements(t *testing.T) {
+	g, in := buildFigure2Instance(t)
+	if got := in.NumElements(g.Node("albums")); got != 3 {
+		t.Errorf("albums elements = %d, want 3", got)
+	}
+	// Attribute nodes hold distinct values: songs share album ids.
+	if got := in.NumElements(g.Node("songs.album")); got != 2 {
+		t.Errorf("songs.album distinct values = %d, want 2", got)
+	}
+	if got := in.NumElements(g.Node("artist_credits.artist")); got != 3 {
+		t.Errorf("artists = %d, want 3", got)
+	}
+}
+
+func TestInstanceLinkCountsAndViolations(t *testing.T) {
+	g, in := buildFigure2Instance(t)
+	// Path albums -> ... -> artist (Example 3.2): album 1 reaches 2
+	// artists, album 2 reaches 1, album 3 reaches 0.
+	from, to := g.Node("albums"), g.Node("artist_credits.artist")
+	p := BestPath(FindPaths(g, from, to, MaxPathLength))
+	if p == nil {
+		t.Fatal("no path albums -> artist")
+	}
+	counts := in.LinkCounts(p)
+	want := map[string]int{"albums#0": 2, "albums#1": 1, "albums#2": 0}
+	for elem, n := range want {
+		if counts[elem] != n {
+			t.Errorf("count[%s] = %d, want %d (path %s)", elem, counts[elem], n, p)
+		}
+	}
+	if got := in.ActualCard(p); !got.Equal(Interval(0, 2)) {
+		t.Errorf("actual κ = %s, want 0..2", got)
+	}
+	// Prescribed target cardinality is 1 (records.artist NOT NULL):
+	// albums 1 (two artists) and 3 (none) violate.
+	if got := in.CountViolations(p, CardOne); got != 2 {
+		t.Errorf("violations = %d, want 2", got)
+	}
+	// The inverse direction: artists without albums. All three artists
+	// reach an album here, so prescribing 1..* yields no violations.
+	if got := in.CountViolations(p.Inverse(), CardMany); got != 0 {
+		t.Errorf("inverse violations = %d, want 0", got)
+	}
+}
+
+func TestActualCardEmptyInstance(t *testing.T) {
+	g := MustFromSchema(figure2Source())
+	in := NewInstance(g)
+	e := g.EdgeBetween("albums", "albums.name")
+	if got := in.ActualCard(Path{e}); !got.IsEmpty() {
+		t.Errorf("actual κ on empty instance = %s, want ∅", got)
+	}
+	if got := in.CountViolations(Path{e}, CardOne); got != 0 {
+		t.Errorf("violations on empty instance = %d", got)
+	}
+}
+
+func TestLinkCountsInvalidPath(t *testing.T) {
+	g, in := buildFigure2Instance(t)
+	e1 := g.EdgeBetween("albums", "albums.name")
+	e2 := g.EdgeBetween("songs", "songs.name")
+	broken := Path{e1, e2} // not chained
+	if broken.Valid() {
+		t.Fatal("path should be invalid")
+	}
+	if got := in.LinkCounts(broken); len(got) != 0 {
+		t.Errorf("LinkCounts on invalid path = %v", got)
+	}
+}
+
+func TestFromDatabaseEqualityLinks(t *testing.T) {
+	g, in := buildFigure2Instance(t)
+	// Equality edge songs.album -> albums.id links equal values.
+	e := g.EdgeBetween("songs.album", "albums.id")
+	if e == nil || e.Kind != EqualityEdge {
+		t.Fatal("missing equality edge songs.album -> albums.id")
+	}
+	if got := in.Links(e, "1"); len(got) != 1 || got[0] != "1" {
+		t.Errorf("links of songs.album=1: %v", got)
+	}
+	if got := in.Links(e.Inverse, "3"); len(got) != 0 {
+		t.Errorf("album id 3 has no song; links = %v", got)
+	}
+}

@@ -1,0 +1,132 @@
+package csg
+
+import "sort"
+
+// MaxPathLength bounds the path enumeration of the matcher. Real target
+// relationships correspond to short join chains; eight hops covers every
+// scenario in the paper's evaluation while keeping the search cheap.
+const MaxPathLength = 8
+
+// MaxPaths caps the number of candidate paths enumerated per relationship
+// match. Densely connected graphs (e.g. after aggressive foreign key
+// discovery) can hold exponentially many simple paths; the shortest — and
+// thus most Occam-preferred — candidates are found first, so truncating
+// the enumeration preserves the practically best match.
+const MaxPaths = 4096
+
+// FindPaths enumerates simple paths (no repeated nodes) from one node to
+// another, up to maxLen edges and at most MaxPaths candidates (an
+// iterative-deepening search, so shorter paths are enumerated first). The
+// result is deterministic: paths are ordered by length, then by their
+// string rendering.
+func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
+	if from == nil || to == nil {
+		return nil
+	}
+	// maxSteps bounds the total edges traversed across all deepening
+	// rounds, so dense graphs where few branches reach the target still
+	// terminate quickly. Shallow rounds run to completion first, so the
+	// budget is always spent on the most concise candidates.
+	const maxSteps = 2_000_000
+	steps := 0
+	var out []Path
+	visited := map[*Node]bool{from: true}
+	var current Path
+	var dfs func(n *Node, limit int)
+	dfs = func(n *Node, limit int) {
+		steps++
+		if len(out) >= MaxPaths || steps > maxSteps {
+			return
+		}
+		if len(current) > 0 && n == to {
+			if len(current) == limit {
+				cp := make(Path, len(current))
+				copy(cp, current)
+				out = append(out, cp)
+			}
+			return // extending past the target only yields less concise paths
+		}
+		if len(current) == limit {
+			return
+		}
+		for _, e := range g.OutEdges(n) {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			current = append(current, e)
+			dfs(e.To, limit)
+			current = current[:len(current)-1]
+			visited[e.To] = false
+		}
+	}
+	for limit := 1; limit <= maxLen && len(out) < MaxPaths && steps <= maxSteps; limit++ {
+		dfs(from, limit)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// MoreConcise reports whether path a is a strictly better match than path
+// b under the paper's §4.1 ordering: a relationship is more concise than
+// another if its inferred cardinality is more specific (κa ⊂ κb); in the
+// case of equal (or incomparable) cardinalities the shorter relationship
+// is preferred, following Occam's razor.
+func MoreConcise(a, b Path) bool {
+	ca, cb := a.InferredCard(), b.InferredCard()
+	switch {
+	case ca.StrictSubsetOf(cb):
+		return true
+	case cb.StrictSubsetOf(ca):
+		return false
+	}
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a.String() < b.String() // deterministic tie break
+}
+
+// BestPath selects the most concise path among candidates, or nil.
+func BestPath(paths []Path) Path {
+	if len(paths) == 0 {
+		return nil
+	}
+	best := paths[0]
+	for _, p := range paths[1:] {
+		if MoreConcise(p, best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// NodeMatch maps target node IDs to source node IDs, derived from the
+// scenario's correspondences.
+type NodeMatch map[string]string
+
+// MatchRelationship matches an atomic target relationship to its most
+// concise corresponding source relationship (§4.1): the target edge's
+// start and end nodes are mapped into the source graph via the
+// correspondences, all simple paths between the mapped nodes are
+// enumerated, and the most concise one is returned. It returns nil when
+// either endpoint has no correspondence or no path exists.
+func MatchRelationship(target *Edge, source *Graph, match NodeMatch) Path {
+	fromID, ok := match[target.From.ID]
+	if !ok {
+		return nil
+	}
+	toID, ok := match[target.To.ID]
+	if !ok {
+		return nil
+	}
+	from, to := source.Node(fromID), source.Node(toID)
+	if from == nil || to == nil {
+		return nil
+	}
+	return BestPath(FindPaths(source, from, to, MaxPathLength))
+}

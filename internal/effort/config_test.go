@@ -1,0 +1,134 @@
+package effort
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigMatchesTable9(t *testing.T) {
+	// The declarative config and the calculator built from it must
+	// price every known task like the original Table-9 functions.
+	calc := DefaultConfig().Calculator()
+	reference := NewCalculator(DefaultSettings())
+	tasks := []Task{
+		{Type: TaskMergeValues, Repetitions: 503},
+		{Type: TaskConvertValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 100}},
+		{Type: TaskConvertValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 260923}},
+		{Type: TaskGeneralizeValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 40}},
+		{Type: TaskRefineValues, Repetitions: 1, Params: map[string]float64{"values": 10}},
+		{Type: TaskDropValues, Repetitions: 1},
+		{Type: TaskAddMissingValues, Repetitions: 102, Params: map[string]float64{"values": 102}},
+		{Type: TaskCreateTuples, Repetitions: 1},
+		{Type: TaskDeleteDetachedVals, Repetitions: 7},
+		{Type: TaskRejectTuples, Repetitions: 3},
+		{Type: TaskAddTuples, Repetitions: 102},
+		{Type: TaskWriteMapping, Repetitions: 1, Params: map[string]float64{"tables": 3, "attributes": 2, "PKs": 1, "FKs": 1}},
+	}
+	for _, task := range tasks {
+		a, err := calc.Price(HighQuality, []Task{task})
+		if err != nil {
+			t.Fatalf("config calc: %v", err)
+		}
+		b, err := reference.Price(HighQuality, []Task{task})
+		if err != nil {
+			t.Fatalf("reference calc: %v", err)
+		}
+		if a.Total() != b.Total() {
+			t.Errorf("%s: config %v != reference %v", task.Type, a.Total(), b.Total())
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	c := DefaultConfig()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(&buf)
+	if err != nil {
+		t.Fatalf("LoadConfig: %v", err)
+	}
+	if len(loaded.Functions) != len(c.Functions) {
+		t.Fatalf("functions = %d, want %d", len(loaded.Functions), len(c.Functions))
+	}
+	// The reloaded config prices like the original.
+	task := Task{Type: TaskConvertValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 260923}}
+	a, _ := c.Calculator().Price(HighQuality, []Task{task})
+	b, _ := loaded.Calculator().Price(HighQuality, []Task{task})
+	if a.Total() != b.Total() {
+		t.Errorf("round-tripped config prices %v, want %v", b.Total(), a.Total())
+	}
+	if loaded.Settings.SkillFactor != 1 {
+		t.Errorf("settings lost: %+v", loaded.Settings)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`{"settings":{},"functions":{"X":{"switchParam":"n"}}}`, // switch without below
+		`{"settings":{},"bogusField":1,"functions":{"X":{}}}`,   // unknown field
+		`{"settings":{}}`, // no functions
+	}
+	for _, text := range bad {
+		if _, err := LoadConfig(strings.NewReader(text)); err == nil {
+			t.Errorf("LoadConfig(%q) should fail", text)
+		}
+	}
+}
+
+func TestCustomConfig(t *testing.T) {
+	text := `{
+	  "settings": {"SkillFactor": 2, "Criticality": 1},
+	  "functions": {
+	    "Reject tuples": {"constant": 8},
+	    "Custom audit": {"perRepetition": 1.5, "perParam": {"columns": 0.5}}
+	  }
+	}`
+	c, err := LoadConfig(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc := c.Calculator()
+	est, err := calc.Price(LowEffort, []Task{
+		{Type: TaskRejectTuples, Repetitions: 1},
+		{Type: "Custom audit", Repetitions: 4, Params: map[string]float64{"columns": 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (8 + 1.5·4 + 0.5·6) · skill 2 = (8 + 6 + 3)·2 = 34.
+	if got := est.Total(); got != 34 {
+		t.Errorf("custom config total = %v, want 34", got)
+	}
+}
+
+func TestConfigTaskTypesSorted(t *testing.T) {
+	types := DefaultConfig().TaskTypes()
+	if len(types) != 18 {
+		t.Fatalf("task types = %d, want 18 (Table 9 rows)", len(types))
+	}
+	for i := 1; i < len(types); i++ {
+		if types[i-1] >= types[i] {
+			t.Fatalf("task types not sorted: %v", types)
+		}
+	}
+}
+
+func TestConfigMappingToolOverride(t *testing.T) {
+	c := DefaultConfig()
+	c.Settings.MappingTool = true
+	calc := c.Calculator()
+	est, err := calc.Price(HighQuality, []Task{
+		{Type: TaskWriteMapping, Repetitions: 1, Params: map[string]float64{"tables": 9, "PKs": 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 2 {
+		t.Errorf("mapping-tool override lost in config path: %v", got)
+	}
+}

@@ -1,0 +1,299 @@
+// Package effort implements the effort-estimation half of the framework
+// (§3.4): the task model produced by the modules' task planners, the
+// user-configurable effort-calculation functions (Table 9), execution
+// settings, and the aggregation of per-task efforts into an overall
+// estimate with a per-category breakdown.
+package effort
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quality is the expected quality of the integration result (§3.4(i)).
+// Each integration problem can be solved cheaply (e.g. rejecting violating
+// tuples) or expensively but well (e.g. adding missing values).
+type Quality int
+
+// The two instances of expected quality defined by the paper.
+const (
+	// LowEffort favors cheap repairs such as removing tuples.
+	LowEffort Quality = iota
+	// HighQuality favors value-preserving repairs such as updates.
+	HighQuality
+)
+
+// String renders the quality level as in the paper's figures.
+func (q Quality) String() string {
+	if q == HighQuality {
+		return "high qual."
+	}
+	return "low eff."
+}
+
+// TaskType identifies a cleaning or mapping task. The catalog follows the
+// paper's Tables 4, 7, and 9.
+type TaskType string
+
+// The task catalog (Table 9 rows).
+const (
+	// TaskWriteMapping creates an executable mapping for one target
+	// table and source (the mapping module's task, Example 3.8).
+	TaskWriteMapping TaskType = "Write mapping"
+
+	// Structural repair tasks (Table 4).
+	TaskRejectTuples        TaskType = "Reject tuples"
+	TaskAddMissingValues    TaskType = "Add values"
+	TaskSetValuesToNull     TaskType = "Set values to null"
+	TaskAggregateTuples     TaskType = "Aggregate tuples"
+	TaskKeepAnyValue        TaskType = "Keep any value"
+	TaskMergeValues         TaskType = "Aggregate values"
+	TaskDropValues          TaskType = "Drop values"
+	TaskCreateTuples        TaskType = "Create enclosing tuples"
+	TaskDeleteDanglingVals  TaskType = "Delete dangling values"
+	TaskAddReferencedValues TaskType = "Add referenced values"
+	TaskDeleteDetachedVals  TaskType = "Delete detached values"
+	TaskAddTuples           TaskType = "Add tuples"
+	TaskDeleteDanglingTup   TaskType = "Delete dangling tuples"
+	TaskUnlinkTuples        TaskType = "Unlink all but one tuple"
+
+	// Value transformation tasks (Table 7).
+	TaskConvertValues    TaskType = "Convert values"
+	TaskGeneralizeValues TaskType = "Generalize values"
+	TaskRefineValues     TaskType = "Refine values"
+)
+
+// Category groups tasks for the stacked breakdown of Figures 6 and 7.
+type Category string
+
+// The effort categories reported in the paper's figures.
+const (
+	CategoryMapping           Category = "Mapping"
+	CategoryCleaningStructure Category = "Cleaning (Structure)"
+	CategoryCleaningValues    Category = "Cleaning (Values)"
+)
+
+// Task is one unit of work proposed by a task planner (§3.4): it has a
+// type, an expected result quality, a repetition count, and arbitrary
+// numeric parameters consumed by the effort-calculation function.
+type Task struct {
+	// Type is the task type.
+	Type TaskType
+	// Category is the breakdown bucket for reporting.
+	Category Category
+	// Quality is the expected result quality the task delivers.
+	Quality Quality
+	// Subject describes what the task operates on (e.g.
+	// "records.title" or "length -> duration").
+	Subject string
+	// Repetitions is how often the task must be performed (e.g. number
+	// of violating tuples). At least 1 for a proposed task.
+	Repetitions int
+	// Params carries additional effort-relevant parameters, such as
+	// "values", "dist-vals", "tables", "attributes", "PKs", "FKs".
+	Params map[string]float64
+}
+
+// Param returns the named parameter, or 0.
+func (t Task) Param(name string) float64 { return t.Params[name] }
+
+// String renders the task for reports.
+func (t Task) String() string {
+	if t.Subject != "" {
+		return fmt.Sprintf("%s (%s)", t.Type, t.Subject)
+	}
+	return string(t.Type)
+}
+
+// Function computes the effort of one task in minutes (§3.4: "the user
+// specifies in advance for each task type an effort-calculation function
+// that can incorporate task parameters").
+type Function func(Task) float64
+
+// Calculator prices tasks using a per-type function table and global
+// execution settings.
+type Calculator struct {
+	functions map[TaskType]Function
+	settings  Settings
+}
+
+// Settings models the execution settings of §3.4(ii): circumstances such
+// as practitioner expertise, tool automation, and error criticality that
+// scale the context-free effort functions.
+type Settings struct {
+	// SkillFactor scales effort by practitioner expertise: 1 is the
+	// reference practitioner, >1 is slower, <1 faster.
+	SkillFactor float64
+	// Criticality scales effort by how critical errors are ("integrating
+	// medical prescriptions requires more attention than music tracks").
+	Criticality float64
+	// MappingTool, when true, models a schema-mapping tool that
+	// generates executable mappings from correspondences (Example 3.6 /
+	// 3.8, e.g. ++Spicy [18]): Write mapping collapses to a constant.
+	MappingTool bool
+	// MappingToolMinutes is the constant mapping effort when
+	// MappingTool is set. Defaults to 2 (Example 3.8).
+	MappingToolMinutes float64
+}
+
+// DefaultSettings is the configuration used in the paper's experiments:
+// manual SQL plus a basic admin tool, a practitioner familiar with SQL but
+// not with the data.
+func DefaultSettings() Settings {
+	return Settings{SkillFactor: 1, Criticality: 1, MappingTool: false, MappingToolMinutes: 2}
+}
+
+// NewCalculator creates a calculator with the paper's Table 9 function
+// table and the given settings.
+func NewCalculator(settings Settings) *Calculator {
+	if settings.SkillFactor == 0 {
+		settings.SkillFactor = 1
+	}
+	if settings.Criticality == 0 {
+		settings.Criticality = 1
+	}
+	if settings.MappingToolMinutes == 0 {
+		settings.MappingToolMinutes = 2
+	}
+	c := &Calculator{functions: make(map[TaskType]Function), settings: settings}
+	for tt, fn := range table9() {
+		c.functions[tt] = fn
+	}
+	if settings.MappingTool {
+		c.functions[TaskWriteMapping] = func(Task) float64 { return settings.MappingToolMinutes }
+	}
+	return c
+}
+
+// SetFunction overrides the effort function of one task type
+// (configurability: "users must be able to extend the range of problems").
+func (c *Calculator) SetFunction(tt TaskType, fn Function) { c.functions[tt] = fn }
+
+// Function returns the effort function for a task type, if registered.
+func (c *Calculator) Function(tt TaskType) (Function, bool) {
+	fn, ok := c.functions[tt]
+	return fn, ok
+}
+
+// Settings returns the calculator's execution settings.
+func (c *Calculator) Settings() Settings { return c.settings }
+
+// table9 is the paper's Table 9: effort calculation functions in minutes
+// used for the experiments, materialized from the declarative
+// DefaultConfig (which is also what cmd/efes serializes to JSON).
+func table9() map[TaskType]Function {
+	out := make(map[TaskType]Function)
+	for tt, spec := range DefaultConfig().Functions {
+		out[tt] = spec.Function()
+	}
+	return out
+}
+
+// TaskEffort is one priced task within an estimate.
+type TaskEffort struct {
+	// Task is the planned task.
+	Task Task
+	// Minutes is the estimated effort for the task under the
+	// calculator's settings.
+	Minutes float64
+}
+
+// Estimate aggregates the priced tasks of one scenario run.
+type Estimate struct {
+	// Quality is the expected result quality the estimate was made for.
+	Quality Quality
+	// Tasks are the priced tasks, in planner order.
+	Tasks []TaskEffort
+}
+
+// Total returns the overall estimated effort in minutes.
+func (e *Estimate) Total() float64 {
+	sum := 0.0
+	for _, te := range e.Tasks {
+		sum += te.Minutes
+	}
+	return sum
+}
+
+// Cost converts the estimate into a monetary figure given an hourly rate
+// (§1: estimates support "budgeting in terms of cost or manpower" and help
+// vendors "generate better price quotes for integration customers").
+func (e *Estimate) Cost(hourlyRate float64) float64 {
+	return e.Total() / 60 * hourlyRate
+}
+
+// Workdays converts the estimate into eight-hour workdays.
+func (e *Estimate) Workdays() float64 {
+	return e.Total() / 60 / 8
+}
+
+// ByCategory returns the effort per breakdown category.
+func (e *Estimate) ByCategory() map[Category]float64 {
+	out := make(map[Category]float64)
+	for _, te := range e.Tasks {
+		out[te.Task.Category] += te.Minutes
+	}
+	return out
+}
+
+// Category returns the effort of one breakdown category.
+func (e *Estimate) Category(c Category) float64 { return e.ByCategory()[c] }
+
+// String renders the estimate as a task table (the granular breakdown the
+// paper's Table 5/8 show).
+func (e *Estimate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Estimate (%s)\n", e.Quality)
+	fmt.Fprintf(&b, "%-45s %12s %10s\n", "Task", "Repetitions", "Effort")
+	for _, te := range e.Tasks {
+		fmt.Fprintf(&b, "%-45s %12d %7.0f min\n", te.Task.String(), te.Task.Repetitions, te.Minutes)
+	}
+	fmt.Fprintf(&b, "%-45s %12s %7.0f min\n", "Total", "", e.Total())
+	return b.String()
+}
+
+// Price computes the effort of a task list under the calculator's function
+// table and settings. Unknown task types are an error: every planner task
+// must have a priced function (configuration completeness).
+func (c *Calculator) Price(quality Quality, tasks []Task) (*Estimate, error) {
+	est := &Estimate{Quality: quality}
+	for _, t := range tasks {
+		fn, ok := c.functions[t.Type]
+		if !ok {
+			return nil, fmt.Errorf("effort: no effort function for task type %q", t.Type)
+		}
+		mins := fn(t) * c.settings.SkillFactor * c.settings.Criticality
+		if mins < 0 {
+			return nil, fmt.Errorf("effort: negative effort for task %v", t)
+		}
+		est.Tasks = append(est.Tasks, TaskEffort{Task: t, Minutes: mins})
+	}
+	return est, nil
+}
+
+// Scale multiplies every priced effort by a calibration factor and returns
+// a new estimate. Used by the experiments' cross-validation, which fits a
+// domain-level scale on the training domain.
+func (e *Estimate) Scale(factor float64) *Estimate {
+	out := &Estimate{Quality: e.Quality, Tasks: make([]TaskEffort, len(e.Tasks))}
+	for i, te := range e.Tasks {
+		out.Tasks[i] = TaskEffort{Task: te.Task, Minutes: te.Minutes * factor}
+	}
+	return out
+}
+
+// SortTasks orders tasks deterministically by category, type, and subject;
+// used by reports.
+func SortTasks(tasks []TaskEffort) {
+	sort.SliceStable(tasks, func(i, j int) bool {
+		a, b := tasks[i].Task, tasks[j].Task
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Subject < b.Subject
+	})
+}

@@ -1,0 +1,218 @@
+package effort
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable9Functions(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	cases := []struct {
+		task Task
+		want float64
+	}{
+		// Example 3.8, per connection: records needs 3 tables, 2
+		// attributes, 1 generated PK -> 3·3 + 2 + 3·1 = 14 minutes (the
+		// paper's 25-minute total covers both connections).
+		{Task{Type: TaskWriteMapping, Repetitions: 1, Params: map[string]float64{"tables": 3, "attributes": 2, "PKs": 1}}, 14},
+		{Task{Type: TaskWriteMapping, Repetitions: 1, Params: map[string]float64{"tables": 3, "attributes": 2}}, 11},
+		// Aggregate values: 3 minutes per repetition (Table 9).
+		{Task{Type: TaskMergeValues, Repetitions: 5}, 15},
+		// Convert values: piecewise (Table 9).
+		{Task{Type: TaskConvertValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 100}}, 30},
+		{Task{Type: TaskConvertValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 1000}}, 250},
+		{Task{Type: TaskGeneralizeValues, Repetitions: 1, Params: map[string]float64{"dist-vals": 40}}, 20},
+		{Task{Type: TaskRefineValues, Repetitions: 1, Params: map[string]float64{"values": 8}}, 4},
+		{Task{Type: TaskDropValues, Repetitions: 1}, 10},
+		{Task{Type: TaskAddMissingValues, Repetitions: 102, Params: map[string]float64{"values": 102}}, 204},
+		{Task{Type: TaskCreateTuples, Repetitions: 1}, 10},
+		{Task{Type: TaskDeleteDetachedVals, Repetitions: 1}, 0},
+		{Task{Type: TaskRejectTuples, Repetitions: 1}, 5},
+		{Task{Type: TaskAddTuples, Repetitions: 102}, 5},
+	}
+	for _, tc := range cases {
+		est, err := c.Price(HighQuality, []Task{tc.task})
+		if err != nil {
+			t.Fatalf("Price(%v): %v", tc.task, err)
+		}
+		if got := est.Total(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("effort(%v) = %v, want %v", tc.task, got, tc.want)
+		}
+	}
+}
+
+func TestTable5Reproduction(t *testing.T) {
+	// Table 5: Add tuples (5) + Add missing values (204) + Merge values
+	// on 5 batches (15) = 224 minutes.
+	c := NewCalculator(DefaultSettings())
+	tasks := []Task{
+		{Type: TaskAddTuples, Category: CategoryCleaningStructure, Subject: "records", Repetitions: 102},
+		{Type: TaskAddMissingValues, Category: CategoryCleaningStructure, Subject: "title", Repetitions: 102, Params: map[string]float64{"values": 102}},
+		{Type: TaskMergeValues, Category: CategoryCleaningStructure, Subject: "title", Repetitions: 5},
+	}
+	est, err := c.Price(HighQuality, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 224 {
+		t.Errorf("Table 5 total = %v, want 224", got)
+	}
+}
+
+func TestMappingToolSetting(t *testing.T) {
+	// Example 3.8: with a mapping-generation tool, Write mapping
+	// becomes a constant 2 minutes.
+	s := DefaultSettings()
+	s.MappingTool = true
+	c := NewCalculator(s)
+	task := Task{Type: TaskWriteMapping, Repetitions: 1, Params: map[string]float64{"tables": 3, "attributes": 2, "PKs": 1}}
+	est, err := c.Price(HighQuality, []Task{task, task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 4 {
+		t.Errorf("tool-assisted mapping effort = %v, want 4", got)
+	}
+}
+
+func TestSettingsScaling(t *testing.T) {
+	s := DefaultSettings()
+	s.SkillFactor = 2
+	s.Criticality = 1.5
+	c := NewCalculator(s)
+	est, err := c.Price(LowEffort, []Task{{Type: TaskRejectTuples, Repetitions: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 15 { // 5 · 2 · 1.5
+		t.Errorf("scaled effort = %v, want 15", got)
+	}
+}
+
+func TestZeroSettingsDefaulted(t *testing.T) {
+	c := NewCalculator(Settings{})
+	est, err := c.Price(LowEffort, []Task{{Type: TaskRejectTuples, Repetitions: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 5 {
+		t.Errorf("zero-value settings must behave as neutral, got %v", got)
+	}
+}
+
+func TestUnknownTaskTypeFails(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	if _, err := c.Price(LowEffort, []Task{{Type: "Summon data fairy"}}); err == nil {
+		t.Error("unknown task type must be an error")
+	}
+}
+
+func TestSetFunctionExtensibility(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	c.SetFunction("Custom repair", func(t Task) float64 { return 7 * float64(t.Repetitions) })
+	est, err := c.Price(HighQuality, []Task{{Type: "Custom repair", Repetitions: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 21 {
+		t.Errorf("custom function effort = %v, want 21", got)
+	}
+	if _, ok := c.Function("Custom repair"); !ok {
+		t.Error("Function() should see the custom type")
+	}
+}
+
+func TestNegativeEffortRejected(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	c.SetFunction("Broken", func(Task) float64 { return -1 })
+	if _, err := c.Price(LowEffort, []Task{{Type: "Broken"}}); err == nil {
+		t.Error("negative effort must be rejected")
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	est, err := c.Price(HighQuality, []Task{
+		{Type: TaskWriteMapping, Category: CategoryMapping, Params: map[string]float64{"tables": 1}},
+		{Type: TaskRejectTuples, Category: CategoryCleaningStructure},
+		{Type: TaskDropValues, Category: CategoryCleaningValues},
+		{Type: TaskRejectTuples, Category: CategoryCleaningStructure},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := est.ByCategory()
+	if by[CategoryMapping] != 3 || by[CategoryCleaningStructure] != 10 || by[CategoryCleaningValues] != 10 {
+		t.Errorf("breakdown = %v", by)
+	}
+	if est.Category(CategoryMapping) != 3 {
+		t.Errorf("Category() = %v", est.Category(CategoryMapping))
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	est, _ := c.Price(LowEffort, []Task{{Type: TaskRejectTuples}})
+	scaled := est.Scale(1.6)
+	if got := scaled.Total(); got != 8 {
+		t.Errorf("scaled total = %v", got)
+	}
+	if est.Total() != 5 {
+		t.Error("Scale must not mutate the original")
+	}
+	f := func(factorTimes10 uint8) bool {
+		factor := float64(factorTimes10) / 10
+		return math.Abs(est.Scale(factor).Total()-est.Total()*factor) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	est, _ := c.Price(HighQuality, []Task{
+		{Type: TaskAddTuples, Subject: "records", Repetitions: 102},
+	})
+	s := est.String()
+	for _, want := range []string{"Add tuples (records)", "102", "Total", "high qual."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("estimate rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	if LowEffort.String() != "low eff." || HighQuality.String() != "high qual." {
+		t.Error("quality rendering wrong")
+	}
+}
+
+func TestSortTasks(t *testing.T) {
+	tasks := []TaskEffort{
+		{Task: Task{Category: CategoryCleaningValues, Type: TaskDropValues, Subject: "b"}},
+		{Task: Task{Category: CategoryMapping, Type: TaskWriteMapping, Subject: "a"}},
+		{Task: Task{Category: CategoryCleaningValues, Type: TaskDropValues, Subject: "a"}},
+	}
+	SortTasks(tasks)
+	if tasks[0].Task.Category != CategoryCleaningValues || tasks[0].Task.Subject != "a" {
+		t.Errorf("sort order wrong: %v", tasks)
+	}
+	if tasks[2].Task.Category != CategoryMapping {
+		t.Errorf("sort order wrong: %v", tasks)
+	}
+}
+
+func TestCostAndWorkdays(t *testing.T) {
+	c := NewCalculator(DefaultSettings())
+	est, _ := c.Price(LowEffort, []Task{{Type: TaskRejectTuples}, {Type: TaskDropValues}})
+	// 15 minutes at 120/h = 30; 15 minutes = 15/480 workdays.
+	if got := est.Cost(120); got != 30 {
+		t.Errorf("cost = %v, want 30", got)
+	}
+	if got := est.Workdays(); math.Abs(got-15.0/480) > 1e-12 {
+		t.Errorf("workdays = %v", got)
+	}
+}

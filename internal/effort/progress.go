@@ -1,0 +1,134 @@
+package effort
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Progress tracks the execution of an estimated integration project: the
+// paper's §1 lists "monitoring the progress of the project" among the
+// uses of effort estimates. As tasks complete, the tracker compares the
+// actually spent minutes against the estimate and recalibrates the
+// projection for the remaining work — the estimate improves while the
+// project runs.
+type Progress struct {
+	estimate *Estimate
+	done     map[int]bool
+	actual   map[int]float64
+}
+
+// NewProgress creates a tracker over an estimate's task list.
+func NewProgress(est *Estimate) *Progress {
+	return &Progress{
+		estimate: est,
+		done:     make(map[int]bool),
+		actual:   make(map[int]float64),
+	}
+}
+
+// Tasks returns the tracked tasks in estimate order.
+func (p *Progress) Tasks() []TaskEffort { return p.estimate.Tasks }
+
+// Complete marks the i-th task as done with the actually spent minutes.
+func (p *Progress) Complete(i int, actualMinutes float64) error {
+	if i < 0 || i >= len(p.estimate.Tasks) {
+		return fmt.Errorf("effort: task index %d out of range [0,%d)", i, len(p.estimate.Tasks))
+	}
+	if actualMinutes < 0 {
+		return fmt.Errorf("effort: negative actual minutes for task %d", i)
+	}
+	if p.done[i] {
+		return fmt.Errorf("effort: task %d already completed", i)
+	}
+	p.done[i] = true
+	p.actual[i] = actualMinutes
+	return nil
+}
+
+// Done reports whether the i-th task is completed.
+func (p *Progress) Done(i int) bool { return p.done[i] }
+
+// SpentMinutes sums the actual minutes of completed tasks.
+func (p *Progress) SpentMinutes() float64 {
+	sum := 0.0
+	for _, m := range p.actual {
+		sum += m
+	}
+	return sum
+}
+
+// RemainingEstimate sums the original estimates of the open tasks.
+func (p *Progress) RemainingEstimate() float64 {
+	sum := 0.0
+	for i, te := range p.estimate.Tasks {
+		if !p.done[i] {
+			sum += te.Minutes
+		}
+	}
+	return sum
+}
+
+// CompletedShare is the fraction of the originally estimated effort whose
+// tasks are done, in [0,1].
+func (p *Progress) CompletedShare() float64 {
+	total := p.estimate.Total()
+	if total == 0 {
+		if len(p.done) == len(p.estimate.Tasks) {
+			return 1
+		}
+		return 0
+	}
+	doneEst := 0.0
+	for i, te := range p.estimate.Tasks {
+		if p.done[i] {
+			doneEst += te.Minutes
+		}
+	}
+	return doneEst / total
+}
+
+// CalibrationFactor is the observed actual/estimated ratio over the
+// completed tasks (1 before anything completed or when the completed
+// tasks were estimated at zero).
+func (p *Progress) CalibrationFactor() float64 {
+	estDone, actDone := 0.0, 0.0
+	for i, te := range p.estimate.Tasks {
+		if p.done[i] {
+			estDone += te.Minutes
+			actDone += p.actual[i]
+		}
+	}
+	if estDone == 0 {
+		return 1
+	}
+	return actDone / estDone
+}
+
+// ProjectedRemaining scales the open tasks' estimates by the observed
+// calibration factor: the live re-estimate of the remaining work.
+func (p *Progress) ProjectedRemaining() float64 {
+	return p.RemainingEstimate() * p.CalibrationFactor()
+}
+
+// ProjectedTotal is spent plus projected remaining.
+func (p *Progress) ProjectedTotal() float64 {
+	return p.SpentMinutes() + p.ProjectedRemaining()
+}
+
+// Summary renders the tracker state.
+func (p *Progress) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Progress: %.0f%% of the estimated effort completed\n", p.CompletedShare()*100)
+	fmt.Fprintf(&b, "  spent: %.0f min, open (original estimate): %.0f min\n", p.SpentMinutes(), p.RemainingEstimate())
+	fmt.Fprintf(&b, "  calibration factor so far: %.2f\n", p.CalibrationFactor())
+	fmt.Fprintf(&b, "  projected remaining: %.0f min, projected total: %.0f min (originally %.0f)\n",
+		p.ProjectedRemaining(), p.ProjectedTotal(), p.estimate.Total())
+	open := 0
+	for i := range p.estimate.Tasks {
+		if !p.done[i] {
+			open++
+		}
+	}
+	fmt.Fprintf(&b, "  tasks: %d done, %d open\n", len(p.done), open)
+	return b.String()
+}

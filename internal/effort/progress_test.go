@@ -1,0 +1,121 @@
+package effort
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func progressFixture(t *testing.T) *Progress {
+	t.Helper()
+	calc := NewCalculator(DefaultSettings())
+	est, err := calc.Price(HighQuality, []Task{
+		{Type: TaskWriteMapping, Category: CategoryMapping, Subject: "a", Repetitions: 1,
+			Params: map[string]float64{"tables": 2, "attributes": 4}}, // 10 min
+		{Type: TaskAddMissingValues, Category: CategoryCleaningStructure, Subject: "b", Repetitions: 10,
+			Params: map[string]float64{"values": 10}}, // 20 min
+		{Type: TaskDropValues, Category: CategoryCleaningValues, Subject: "c", Repetitions: 1}, // 10 min
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total() != 40 {
+		t.Fatalf("fixture total = %v, want 40", est.Total())
+	}
+	return NewProgress(est)
+}
+
+func TestProgressLifecycle(t *testing.T) {
+	p := progressFixture(t)
+	if p.CompletedShare() != 0 || p.SpentMinutes() != 0 {
+		t.Error("fresh tracker must be empty")
+	}
+	if p.RemainingEstimate() != 40 {
+		t.Errorf("remaining = %v", p.RemainingEstimate())
+	}
+	if p.CalibrationFactor() != 1 {
+		t.Errorf("initial calibration = %v, want 1", p.CalibrationFactor())
+	}
+	// Complete the mapping task: estimated 10, actually took 15.
+	if err := p.Complete(0, 15); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done(0) || p.Done(1) {
+		t.Error("done flags wrong")
+	}
+	if p.SpentMinutes() != 15 {
+		t.Errorf("spent = %v", p.SpentMinutes())
+	}
+	if got := p.CompletedShare(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("completed share = %v, want 0.25", got)
+	}
+	// Calibration: 15/10 = 1.5; projected remaining 30·1.5 = 45.
+	if got := p.CalibrationFactor(); got != 1.5 {
+		t.Errorf("calibration = %v, want 1.5", got)
+	}
+	if got := p.ProjectedRemaining(); got != 45 {
+		t.Errorf("projected remaining = %v, want 45", got)
+	}
+	if got := p.ProjectedTotal(); got != 60 {
+		t.Errorf("projected total = %v, want 60", got)
+	}
+	// Finish everything exactly on estimate: projection converges to
+	// the actual spend.
+	if err := p.Complete(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Complete(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if p.RemainingEstimate() != 0 || p.ProjectedRemaining() != 0 {
+		t.Error("nothing should remain")
+	}
+	if got := p.ProjectedTotal(); got != 45 {
+		t.Errorf("final projected total = %v, want the actual 45", got)
+	}
+	if got := p.CompletedShare(); got != 1 {
+		t.Errorf("completed share = %v", got)
+	}
+}
+
+func TestProgressErrors(t *testing.T) {
+	p := progressFixture(t)
+	if err := p.Complete(-1, 5); err == nil {
+		t.Error("negative index must fail")
+	}
+	if err := p.Complete(99, 5); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if err := p.Complete(0, -5); err == nil {
+		t.Error("negative minutes must fail")
+	}
+	if err := p.Complete(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Complete(0, 5); err == nil {
+		t.Error("double completion must fail")
+	}
+}
+
+func TestProgressSummary(t *testing.T) {
+	p := progressFixture(t)
+	if err := p.Complete(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Summary()
+	for _, want := range []string{"Progress", "25%", "calibration factor", "1 done, 2 open"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgressEmptyEstimate(t *testing.T) {
+	p := NewProgress(&Estimate{})
+	if p.CompletedShare() != 1 {
+		t.Errorf("empty estimate share = %v, want 1 (vacuously complete)", p.CompletedShare())
+	}
+	if p.ProjectedTotal() != 0 {
+		t.Errorf("empty projection = %v", p.ProjectedTotal())
+	}
+}

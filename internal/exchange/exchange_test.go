@@ -1,0 +1,474 @@
+package exchange
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/mapping"
+	"efes/internal/match"
+	"efes/internal/relational"
+	"efes/internal/scenario"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+// msToDuration is the length -> duration converter of Example 3.3.
+func msToDuration(v relational.Value) (relational.Value, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("want string, got %T", v)
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	secs := ms / 1000
+	return fmt.Sprintf("%d:%02d", secs/60, secs%60), nil
+}
+
+func TestNaiveIntegrationMaterializesPredictedConflicts(t *testing.T) {
+	// The core verification loop: the structure conflict detector
+	// reasons about the hypothetical integrated instance; the executor
+	// builds it. Every predicted conflict must materialize, with the
+	// predicted count.
+	cfg := scenario.SmallExampleConfig()
+	scn := scenario.MusicExample(cfg)
+
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every album and every song arrives as a tuple.
+	if got := out.InsertedRows["records"]; got != cfg.Albums {
+		t.Errorf("records inserted = %d, want %d", got, cfg.Albums)
+	}
+	if got := out.InsertedRows["tracks"]; got != cfg.Songs {
+		t.Errorf("tracks inserted = %d, want %d", got, cfg.Songs)
+	}
+	// NotNullViolated(records.artist): exactly the no-artist albums.
+	if got := out.NullsInserted["records.artist"]; got != cfg.AlbumsNoArtist {
+		t.Errorf("NULL artists = %d, want %d", got, cfg.AlbumsNoArtist)
+	}
+	// MultipleValues(records.artist): exactly the multi-artist albums.
+	if got := out.MultiValueEvents["records.artist"]; got != cfg.AlbumsMultiArtist {
+		t.Errorf("multi-value events = %d, want %d", got, cfg.AlbumsMultiArtist)
+	}
+	// DetachedValue(artist): at least the album-less artists get lost
+	// (naive pick-first additionally loses co-credited artists).
+	if got := out.LostEntities["records.artist"]; got < cfg.ArtistsWithoutAlbums {
+		t.Errorf("lost artists = %d, want at least %d", got, cfg.ArtistsWithoutAlbums)
+	}
+	// The relational validator sees the NULLs as NOT NULL violations.
+	nn := 0
+	for _, v := range out.Violations {
+		if _, ok := v.Constraint.(relational.NotNullConstraint); ok && v.Table == "records" {
+			nn++
+		}
+	}
+	if nn != cfg.AlbumsNoArtist {
+		t.Errorf("validator found %d NOT NULL violations, want %d", nn, cfg.AlbumsNoArtist)
+	}
+}
+
+func TestDetectorPredictionsMatchExecution(t *testing.T) {
+	// Cross-check against the detector's own numbers rather than the
+	// generator config.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m := structure.New()
+	rep, err := m.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := make(map[string]int) // kind|attr -> count
+	for _, c := range rep.(*structure.Report).Conflicts {
+		predicted[string(c.Kind)+"|"+c.TargetAttribute] += c.Count
+	}
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.NullsInserted["records.artist"]; got != predicted[string(structure.NotNullViolated)+"|artist"] {
+		t.Errorf("executed NULLs %d != predicted %d", got, predicted[string(structure.NotNullViolated)+"|artist"])
+	}
+	if got := out.MultiValueEvents["records.artist"]; got != predicted[string(structure.MultipleValues)+"|artist"] {
+		t.Errorf("executed multi-values %d != predicted %d", got, predicted[string(structure.MultipleValues)+"|artist"])
+	}
+	if got := out.LostEntities["records.artist"]; got < predicted[string(structure.DetachedValue)+"|artist"] {
+		t.Errorf("executed losses %d < predicted %d", got, predicted[string(structure.DetachedValue)+"|artist"])
+	}
+}
+
+func TestRepairedIntegrationIsViolationFree(t *testing.T) {
+	cfg := scenario.SmallExampleConfig()
+	scn := scenario.MusicExample(cfg)
+	out, err := Integrate(scn, Options{
+		Repair:     true,
+		Converters: map[string]Converter{"tracks.duration": msToDuration},
+		Defaults:   map[string]relational.Value{"records.artist": "(various artists)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != 0 {
+		t.Fatalf("repaired integration still violates constraints: %v", out.Violations[:min(3, len(out.Violations))])
+	}
+	// No entities lost: detached artists got enclosing tuples.
+	if got := out.LostEntities["records.artist"]; got != 0 {
+		t.Errorf("repaired run lost %d artists", got)
+	}
+	if got := out.CreatedTuples["records"]; got < cfg.ArtistsWithoutAlbums {
+		t.Errorf("created tuples = %d, want at least %d", got, cfg.ArtistsWithoutAlbums)
+	}
+	// The duration converter produced "m:ss" strings.
+	durIdx := scn.Target.Schema.Table("tracks").ColumnIndex("duration")
+	converted := 0
+	for _, row := range out.Result.Rows("tracks") {
+		if s, ok := row[durIdx].(string); ok && strings.Contains(s, ":") {
+			converted++
+		}
+	}
+	if converted < cfg.Songs {
+		t.Errorf("converted durations = %d, want at least %d", converted, cfg.Songs)
+	}
+	// Multi-artist albums got merged artist values.
+	artistIdx := scn.Target.Schema.Table("records").ColumnIndex("artist")
+	merged := 0
+	for _, row := range out.Result.Rows("records") {
+		if s, ok := row[artistIdx].(string); ok && strings.Contains(s, "; ") {
+			merged++
+		}
+	}
+	if merged != cfg.AlbumsMultiArtist {
+		t.Errorf("merged artists = %d, want %d", merged, cfg.AlbumsMultiArtist)
+	}
+}
+
+func TestGeneratedKeysAreUniqueAndRekeyed(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No duplicate-key violations: the generated record ids continue
+	// beyond the pre-existing target ids.
+	for _, v := range out.Violations {
+		if _, ok := v.Constraint.(relational.PrimaryKey); ok {
+			t.Errorf("primary key violation after key generation: %v", v.Message)
+		}
+	}
+	// Re-keying: every integrated track references an existing record.
+	for _, v := range out.Violations {
+		if _, ok := v.Constraint.(relational.ForeignKey); ok {
+			t.Errorf("dangling foreign key after re-keying: %v", v.Message)
+		}
+	}
+}
+
+func TestCorrespondedKeysCollide(t *testing.T) {
+	// When the correspondences map source keys onto target keys
+	// verbatim, overlapping id spaces collide — a real integration
+	// problem between source data and pre-existing target data that the
+	// paper's structure detector does not model (its §4 module checks
+	// source data against target *constraints*, not against target
+	// data). The executor makes the gap visible; the optional dedup
+	// module covers the entity-level part of it.
+	s := relational.NewSchema("items")
+	s.MustAddTable(relational.MustTable("items",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	s.MustAddConstraint(relational.PrimaryKey{Table: "items", Columns: []string{"id"}})
+	src := relational.NewDatabase(s)
+	src.MustInsert("items", 1, "from source")
+	src.MustInsert("items", 2, "also source")
+	tgt := relational.NewDatabase(s)
+	tgt.MustInsert("items", 1, "pre-existing")
+	cs := &match.Set{}
+	cs.Table("items", "items")
+	cs.Attr("items", "id", "items", "id")
+	cs.Attr("items", "name", "items", "name")
+	scn := &core.Scenario{Name: "collide", Target: tgt,
+		Sources: []*core.Source{{Name: "src", DB: src, Correspondences: cs}}}
+
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkViolations := 0
+	for _, v := range out.Violations {
+		if _, ok := v.Constraint.(relational.PrimaryKey); ok {
+			pkViolations++
+		}
+	}
+	if pkViolations == 0 {
+		t.Error("expected key collisions when integrating overlapping corresponded id spaces")
+	}
+
+	// The identical-schema evaluation pairs avoid this by leaving keys
+	// uncorresponded (the mapping generates fresh ones), like the
+	// paper's hand-made correspondences.
+	scn2 := scenario.MustMusicScenario("d1", "d2", 3)
+	out2, err := Integrate(scn2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out2.Violations {
+		if _, ok := v.Constraint.(relational.PrimaryKey); ok {
+			t.Errorf("d1-d2 with generated keys must not collide: %v", v.Message)
+		}
+	}
+}
+
+func TestIntegrateValidatesScenario(t *testing.T) {
+	if _, err := Integrate(&core.Scenario{Name: "broken"}, Options{}); err == nil {
+		t.Error("invalid scenario must be rejected")
+	}
+}
+
+func TestConverterErrorPropagates(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	bad := func(relational.Value) (relational.Value, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := Integrate(scn, Options{Converters: map[string]Converter{"tracks.duration": bad}}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("converter error not propagated: %v", err)
+	}
+}
+
+func TestIntegrationOrderRespectsForeignKeys(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	match := scn.Sources[0].Correspondences.NodeMatch()
+	order := integrationOrder(scn.Target.Schema, match)
+	idx := make(map[string]int)
+	for i, t := range order {
+		idx[t] = i
+	}
+	if idx["records"] > idx["tracks"] {
+		t.Errorf("records must integrate before tracks: %v", order)
+	}
+}
+
+func TestValueHeterogeneityVisibleInNaiveResult(t *testing.T) {
+	// Without the converter, the naive result carries the source's
+	// millisecond representation in the duration column — exactly the
+	// heterogeneity the value fit detector predicted.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	vf := valuefit.New()
+	rep, err := vf.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictedPairs := 0
+	for _, h := range rep.(*valuefit.Report).Heterogeneities {
+		if h.Pair() == "length -> duration" {
+			predictedPairs++
+		}
+	}
+	if predictedPairs != 1 {
+		t.Fatalf("expected the duration heterogeneity prediction")
+	}
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durIdx := scn.Target.Schema.Table("tracks").ColumnIndex("duration")
+	msStyle := 0
+	for _, row := range out.Result.Rows("tracks") {
+		if s, ok := row[durIdx].(string); ok && !strings.Contains(s, ":") {
+			msStyle++
+		}
+	}
+	if msStyle == 0 {
+		t.Error("naive result should carry the unconverted millisecond values")
+	}
+}
+
+func TestMappingModuleAgreesWithExecutor(t *testing.T) {
+	// The mapping module predicts which target tables receive data; the
+	// executor must populate exactly those.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	rep, err := mapping.New().AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := make(map[string]bool)
+	for _, c := range rep.(*mapping.Report).Connections {
+		predicted[c.TargetTable] = true
+	}
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for table, rows := range out.InsertedRows {
+		if rows > 0 && !predicted[table] {
+			t.Errorf("executor populated %s, mapping module missed it", table)
+		}
+	}
+	for table := range predicted {
+		if out.InsertedRows[table] == 0 {
+			t.Errorf("mapping module predicted data for %s, executor inserted none", table)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRepairedIntegrationAlwaysCleanProperty(t *testing.T) {
+	// Property over random scenario sizes: integrating with repairs and
+	// the right converter always yields a violation-free target and
+	// loses no entities.
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := scenario.ExampleConfig{
+			Albums:               10 + int(seed)*7,
+			AlbumsNoArtist:       int(seed) % 5,
+			AlbumsMultiArtist:    int(seed*3) % 7,
+			ArtistsWithoutAlbums: int(seed*2) % 6,
+			Songs:                30 + int(seed)*11,
+			DistinctLengths:      20 + int(seed)*9,
+			TargetRecords:        int(seed) % 4,
+			Seed:                 seed,
+		}
+		scn := scenario.MusicExample(cfg)
+		out, err := Integrate(scn, Options{
+			Repair:     true,
+			Converters: map[string]Converter{"tracks.duration": msToDuration},
+			Defaults:   map[string]relational.Value{"records.artist": "(unknown artist)"},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(out.Violations) != 0 {
+			t.Errorf("seed %d: %d violations after repair, e.g. %v",
+				seed, len(out.Violations), out.Violations[0].Message)
+		}
+		for ref, lost := range out.LostEntities {
+			if lost > 0 {
+				t.Errorf("seed %d: %d entities lost at %s despite repairs", seed, lost, ref)
+			}
+		}
+	}
+}
+
+func TestCrossFamilyFlatteningIntegration(t *testing.T) {
+	// m1 -> f2 flattens a 14-table normalized schema into two wide
+	// tables. The executor must walk the artist-credit join chain to
+	// fill discs.artist, and its multi-value counts must match the
+	// structure detector's MultipleValues prediction.
+	scn := scenario.MustMusicScenario("m1", "f2", 7)
+	rep, err := structure.New().AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictedMulti := 0
+	for _, c := range rep.(*structure.Report).Conflicts {
+		if c.Kind == structure.MultipleValues && c.TargetAttribute == "artist" {
+			predictedMulti += c.Count
+		}
+	}
+	if predictedMulti == 0 {
+		t.Fatal("fixture should contain multi-credit releases")
+	}
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.MultiValueEvents["discs.artist"]; got != predictedMulti {
+		t.Errorf("executed multi-artist discs = %d, predicted %d", got, predictedMulti)
+	}
+	// Every source release arrives as a disc with an artist resolved
+	// through the 8-edge credit chain.
+	src := scn.Sources[0].DB
+	if got := out.InsertedRows["discs"]; got != src.NumRows("release") {
+		t.Errorf("discs = %d, want %d", got, src.NumRows("release"))
+	}
+	artistIdx := scn.Target.Schema.Table("discs").ColumnIndex("artist")
+	withArtist := 0
+	for _, row := range out.Result.Rows("discs") {
+		if row[artistIdx] != nil {
+			withArtist++
+		}
+	}
+	if withArtist < out.InsertedRows["discs"]*9/10 {
+		t.Errorf("only %d of %d discs resolved an artist", withArtist, out.InsertedRows["discs"])
+	}
+	// Track lengths stay in the source's millisecond representation
+	// without a converter (the m1-f2 value heterogeneity).
+	secIdx := scn.Target.Schema.Table("disc_tracks").ColumnIndex("seconds")
+	big := 0
+	for _, row := range out.Result.Rows("disc_tracks") {
+		if n, ok := row[secIdx].(int64); ok && n > 10000 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("expected unconverted millisecond values in the seconds column")
+	}
+}
+
+func TestIncompatibleValuesDroppedDuringExecution(t *testing.T) {
+	// Source duration strings cannot be cast to a numeric target column
+	// (the critical heterogeneity of §5): the naive executor drops them,
+	// and required columns count the resulting NULLs.
+	s := relational.NewSchema("crit")
+	s.MustAddTable(relational.MustTable("tracks",
+		relational.Column{Name: "title", Type: relational.String},
+		relational.Column{Name: "seconds", Type: relational.Integer},
+	))
+	s.MustAddConstraint(relational.NotNullConstraint{Table: "tracks", Column: "seconds"})
+	srcSchema := relational.NewSchema("src")
+	srcSchema.MustAddTable(relational.MustTable("songs",
+		relational.Column{Name: "name", Type: relational.String},
+		relational.Column{Name: "duration", Type: relational.String},
+	))
+	src := relational.NewDatabase(srcSchema)
+	src.MustInsert("songs", "a", "4:43")
+	src.MustInsert("songs", "b", "6:55")
+	src.MustInsert("songs", "c", "180") // castable
+	tgt := relational.NewDatabase(s)
+	corrs := &match.Set{}
+	corrs.Table("songs", "tracks")
+	corrs.Attr("songs", "name", "tracks", "title")
+	corrs.Attr("songs", "duration", "tracks", "seconds")
+	scn := &core.Scenario{Name: "critical", Target: tgt,
+		Sources: []*core.Source{{Name: "src", DB: src, Correspondences: corrs}}}
+
+	out, err := Integrate(scn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.NullsInserted["tracks.seconds"]; got != 2 {
+		t.Errorf("dropped incompatible values = %d, want 2", got)
+	}
+	secIdx := s.Table("tracks").ColumnIndex("seconds")
+	if v := out.Result.Rows("tracks")[2][secIdx]; v.(int64) != 180 {
+		t.Errorf("castable value lost: %v", v)
+	}
+	// With a converter the values survive.
+	out, err = Integrate(scn, Options{Converters: map[string]Converter{
+		"tracks.seconds": func(v relational.Value) (relational.Value, error) {
+			s, _ := v.(string)
+			var m, sec int64
+			if _, err := fmt.Sscanf(s, "%d:%d", &m, &sec); err == nil {
+				return m*60 + sec, nil
+			}
+			return relational.Coerce(relational.Integer, v)
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.NullsInserted["tracks.seconds"]; got != 0 {
+		t.Errorf("converter run still dropped %d values", got)
+	}
+	if len(out.Violations) != 0 {
+		t.Errorf("violations = %v", out.Violations)
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"efes/internal/core"
+	"efes/internal/dedup"
+	"efes/internal/effort"
+	"efes/internal/mapping"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+// AblationRow is one framework configuration with its cross-validated
+// error over both domains.
+type AblationRow struct {
+	// Name describes the module configuration.
+	Name string
+	// Modules lists the active module names.
+	Modules []string
+	// OverallRMSE is the pooled relative RMSE over all 16 measurements.
+	OverallRMSE float64
+	// BibliographicRMSE and MusicRMSE are the per-domain errors.
+	BibliographicRMSE, MusicRMSE float64
+}
+
+// frameworkFactory builds a fresh framework per run (modules carry no
+// state, but fresh instances keep runs independent).
+type frameworkFactory func() *core.Framework
+
+func standardFactory() *core.Framework {
+	return core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), valuefit.New())
+}
+
+func ablationConfigs() []struct {
+	name    string
+	factory frameworkFactory
+} {
+	calcWithDedup := func() *effort.Calculator {
+		c := effort.NewCalculator(effort.DefaultSettings())
+		c.SetFunction(dedup.TaskResolveDuplicates, dedup.DefaultFunction)
+		return c
+	}
+	return []struct {
+		name    string
+		factory frameworkFactory
+	}{
+		{"mapping only", func() *core.Framework {
+			return core.New(effort.NewCalculator(effort.DefaultSettings()), mapping.New())
+		}},
+		{"mapping + structure", func() *core.Framework {
+			return core.New(effort.NewCalculator(effort.DefaultSettings()), mapping.New(), structure.New())
+		}},
+		{"mapping + values", func() *core.Framework {
+			return core.New(effort.NewCalculator(effort.DefaultSettings()), mapping.New(), valuefit.New())
+		}},
+		{"standard (paper)", standardFactory},
+		{"standard + duplicates", func() *core.Framework {
+			return core.New(calcWithDedup(), mapping.New(), structure.New(), valuefit.New(), dedup.New())
+		}},
+	}
+}
+
+// runDomainWith executes a domain with a specific framework configuration
+// (the practitioner ground truth is configuration-independent).
+func runDomainWith(d Domain, seed int64, factory frameworkFactory) (*rawRun, error) {
+	fw := factory()
+	pract := NewPractitioner(seed)
+	run := &rawRun{}
+	for _, spec := range d.Scenarios {
+		scn := spec.Build(seed)
+		for _, q := range []effort.Quality{effort.LowEffort, effort.HighQuality} {
+			res, err := fw.Estimate(scn, q)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s (%s): %w", spec.Name, q, err)
+			}
+			measured, measuredBy, err := pract.Measure(scn, q)
+			if err != nil {
+				return nil, err
+			}
+			run.rows = append(run.rows, Measurement{
+				Scenario: spec.Name, Quality: q,
+				Efes: res.Estimate.Total(), Measured: measured,
+				EfesBreakdown:     res.Estimate.ByCategory(),
+				MeasuredBreakdown: measuredBy,
+			})
+		}
+	}
+	return run, nil
+}
+
+// Ablation evaluates the contribution of each estimation module: it
+// re-runs the full cross-validated evaluation with modules removed (and
+// once with the optional duplicate-resolution module added) and reports
+// the resulting errors. The DESIGN.md ablation: which module pays for its
+// complexity?
+func Ablation(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, cfg := range ablationConfigs() {
+		bibRaw, err := runDomainWith(BibliographicDomain(), seed, cfg.factory)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", cfg.name, err)
+		}
+		musicRaw, err := runDomainWith(MusicDomain(), seed, cfg.factory)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", cfg.name, err)
+		}
+		bib := calibrate(musicRaw, bibRaw)
+		music := calibrate(bibRaw, musicRaw)
+		var measured, efes []float64
+		for _, d := range []DomainResult{bib, music} {
+			for _, r := range d.Rows {
+				measured = append(measured, r.Measured)
+				efes = append(efes, r.Efes)
+			}
+		}
+		names := moduleNames(cfg.factory())
+		rows = append(rows, AblationRow{
+			Name: cfg.name, Modules: names,
+			OverallRMSE:       RMSE(measured, efes),
+			BibliographicRMSE: bib.EfesRMSE,
+			MusicRMSE:         music.EfesRMSE,
+		})
+	}
+	return rows, nil
+}
+
+func moduleNames(fw *core.Framework) []string {
+	var out []string
+	for _, m := range fw.Modules() {
+		out = append(out, m.Name())
+	}
+	return out
+}
+
+// RenderAblation renders the ablation table.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %14s %14s %14s\n", "Configuration", "Overall rmse", "Biblio rmse", "Music rmse")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %14.2f %14.2f %14.2f\n", r.Name, r.OverallRMSE, r.BibliographicRMSE, r.MusicRMSE)
+	}
+	return b.String()
+}

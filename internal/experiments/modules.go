@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"efes/internal/core"
+	"efes/internal/mapping"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+// Module constructors, aliased so tests and the runner share one spot.
+func mappingModule() core.Module   { return mapping.New() }
+func structureModule() core.Module { return structure.New() }
+func valuefitModule() core.Module  { return valuefit.New() }

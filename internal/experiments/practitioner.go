@@ -1,0 +1,149 @@
+// Package experiments implements the paper's §6 evaluation: the two
+// case-study domains, the simulated integration practitioner that produces
+// ground-truth "measured" effort, cross-validated calibration of EFES and
+// the attribute-counting baseline, the root-mean-square error metric, and
+// the regeneration of Figures 6 and 7 and Tables 1-9.
+package experiments
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"efes/internal/core"
+	"efes/internal/dedup"
+	"efes/internal/effort"
+	"efes/internal/mapping"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+// Practitioner simulates the manual integration of §6.1 ("we gathered the
+// ground truth of necessary integration tasks manually and conducted them
+// with SQL scripts and pgAdmin, thereby measuring the execution time").
+//
+// The simulation performs the same discovery of integration problems as
+// the estimator (the problems are objective properties of the scenario),
+// but prices them with a hidden cost model the estimator does not know:
+// per-task-type speed factors, per-task noise, exploration overhead for
+// unfamiliar schemas, and work that EFES does not model at all
+// (deduplication between source and pre-existing target data, §3.1).
+// This preserves the paper's key property that measured effort correlates
+// with — but does not equal — the estimates. See DESIGN.md §4.
+type Practitioner struct {
+	// Seed drives the deterministic perturbations.
+	Seed int64
+	// Speed is the practitioner's global pace multiplier (1 = the
+	// reference practitioner of Table 9).
+	Speed float64
+	// ExplorationPerTable is the familiarization effort in minutes per
+	// source table ("we assume the user has not seen the datasets
+	// before", §6.1).
+	ExplorationPerTable float64
+	// DedupPerConflict is the minutes per duplicate entity discovered
+	// between source and pre-existing target data — cleaning work that
+	// EFES's three modules do not estimate.
+	DedupPerConflict float64
+}
+
+// NewPractitioner returns the reference practitioner used for the
+// experiments.
+func NewPractitioner(seed int64) *Practitioner {
+	return &Practitioner{Seed: seed, Speed: 1.05, ExplorationPerTable: 1.5, DedupPerConflict: 0.4}
+}
+
+// taskFactor derives a hidden, deterministic per-task-type speed factor:
+// how much faster or slower the real work is compared to the Table-9
+// functions. Mechanical per-value cleaning work is fairly predictable
+// (factors near 1), whereas the creative work of writing mappings and
+// structural repairs varies a lot between practitioners — which is why
+// the schema-dominated music domain is intrinsically harder to estimate
+// (§6.2, Figure 7).
+func (p *Practitioner) taskFactor(tt effort.TaskType, cat effort.Category) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(tt))
+	var seedBytes [8]byte
+	for i := range seedBytes {
+		seedBytes[i] = byte(p.Seed >> (8 * i))
+	}
+	h.Write(seedBytes[:])
+	u := float64(h.Sum64()%1000) / 999.0
+	switch cat {
+	case effort.CategoryCleaningValues:
+		return 0.85 + 0.3*u // [0.85, 1.15]
+	case effort.CategoryCleaningStructure:
+		return 0.75 + 0.5*u // [0.75, 1.25]
+	default: // mapping: wide practitioner variance
+		return 0.5 + 1.2*u // [0.5, 1.7]
+	}
+}
+
+// Measure performs the integration of the scenario at the given expected
+// quality and returns the measured effort in minutes, broken down by
+// category.
+func (p *Practitioner) Measure(scn *core.Scenario, q effort.Quality) (float64, map[effort.Category]float64, error) {
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), valuefit.New())
+	res, err := fw.Estimate(scn, q)
+	if err != nil {
+		return 0, nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed ^ int64(fnv64(scn.Name)) ^ int64(q)))
+	// Scenario-level mapping shock: how smoothly the mapping work goes
+	// depends on schema quirks discovered along the way and hits every
+	// mapping task of the scenario alike. Unlike the per-type factors,
+	// this shock is neither systematic across scenarios nor averaged
+	// away across tasks, so calibration cannot absorb it — making the
+	// mapping-dominated music domain intrinsically harder to estimate,
+	// as in the paper's Figure 7 discussion.
+	mappingShock := 0.45 + 1.15*r.Float64()
+	breakdown := make(map[effort.Category]float64)
+	for _, te := range res.Estimate.Tasks {
+		noise := 0.8 + 0.4*r.Float64() // ±20 % per task
+		if te.Task.Category == effort.CategoryMapping {
+			noise *= mappingShock
+		}
+		minutes := te.Minutes * p.taskFactor(te.Task.Type, te.Task.Category) * noise * p.Speed
+		breakdown[te.Task.Category] += minutes
+	}
+	// Exploration: reading unfamiliar schemas and sampling their data.
+	explore := 0.0
+	for _, src := range scn.Sources {
+		explore += p.ExplorationPerTable * float64(src.DB.Schema.NumTables())
+	}
+	explore += p.ExplorationPerTable * 0.5 * float64(scn.Target.Schema.NumTables())
+	breakdown[effort.CategoryMapping] += explore
+	// Deduplication against pre-existing target data: unmodeled by the
+	// estimator (its modules cover mapping, structure, and value
+	// heterogeneities, not entity resolution).
+	dups := p.duplicateEntities(scn)
+	if dups > 0 {
+		cost := p.DedupPerConflict * float64(dups)
+		if q == effort.LowEffort {
+			cost *= 0.3 // pick-any dedup instead of careful merging
+		}
+		breakdown[effort.CategoryCleaningStructure] += cost
+	}
+	total := 0.0
+	for _, m := range breakdown {
+		total += m
+	}
+	return total, breakdown, nil
+}
+
+// duplicateEntities counts the duplicate comparisons the practitioner has
+// to review: the candidates are an objective property of the scenario
+// (the dedup detector's phase-1 report), only their pricing is the
+// practitioner's own hidden cost model.
+func (p *Practitioner) duplicateEntities(scn *core.Scenario) int {
+	rep, err := dedup.New().AssessComplexity(scn)
+	if err != nil {
+		return 0
+	}
+	return rep.ProblemCount()
+}
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"efes/internal/baseline"
+	"efes/internal/effort"
+	"efes/internal/scenario"
+)
+
+// SensitivityRow is one point of the sensitivity sweep: the running
+// example with a controlled number of injected cardinality conflicts, and
+// the three estimates for it.
+type SensitivityRow struct {
+	// InjectedConflicts is the number of albums violating
+	// κ(records→artist) = 1.
+	InjectedConflicts int
+	// EfesLow and EfesHigh are the framework's estimates in minutes.
+	EfesLow, EfesHigh float64
+	// Counting is the attribute-counting baseline's estimate (identical
+	// for both qualities and independent of the data).
+	Counting float64
+}
+
+// Sensitivity sweeps the running example's conflict count and estimates
+// each variant: the defining behavioural difference between EFES and
+// attribute counting, beyond the two evaluated case studies. EFES's
+// high-quality estimate grows with the problems in the data; the
+// baseline, which only sees the schema, cannot react at all.
+func Sensitivity(seed int64, steps []int) ([]SensitivityRow, error) {
+	fw := standardFactory()
+	counting := baseline.New()
+	var rows []SensitivityRow
+	for _, conflicts := range steps {
+		cfg := scenario.SmallExampleConfig()
+		cfg.Seed = seed
+		cfg.AlbumsNoArtist = conflicts / 2
+		cfg.AlbumsMultiArtist = conflicts - conflicts/2
+		if cfg.Albums < conflicts+5 {
+			cfg.Albums = conflicts + 5
+		}
+		scn := scenario.MusicExample(cfg)
+		low, err := fw.Estimate(scn, effort.LowEffort)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sensitivity at %d: %w", conflicts, err)
+		}
+		high, err := fw.Estimate(scn, effort.HighQuality)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sensitivity at %d: %w", conflicts, err)
+		}
+		rows = append(rows, SensitivityRow{
+			InjectedConflicts: conflicts,
+			EfesLow:           low.Estimate.Total(),
+			EfesHigh:          high.Estimate.Total(),
+			Counting:          counting.Estimate(scn, effort.LowEffort).Total(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSensitivity renders the sweep as a table.
+func RenderSensitivity(rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s %12s\n", "Injected conflicts", "Efes (low)", "Efes (high)", "Counting")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20d %8.0f min %8.0f min %8.0f min\n",
+			r.InjectedConflicts, r.EfesLow, r.EfesHigh, r.Counting)
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+// Package mapping implements the mapping estimation module of §3.3-3.4:
+// its data complexity detector measures, for each target table and each
+// source database providing data for it, the work needed to establish the
+// connection — the number of source tables to be queried (including join
+// tables), the number of attributes to be copied, whether new primary key
+// values must be generated, and how many foreign keys the mapping must
+// populate (Table 2). Its task planner emits one "Write mapping" task per
+// connection (Example 3.8).
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+	"efes/internal/relational"
+)
+
+// Connection describes the mapping complexity of one (target table,
+// source database) pair: one row of the paper's Table 2.
+type Connection struct {
+	// TargetTable is the target table to be populated.
+	TargetTable string
+	// Source is the name of the source database providing the data.
+	Source string
+	// SourceTables are the source tables that must be queried/combined,
+	// including intermediate join tables.
+	SourceTables []string
+	// Attributes is the number of attributes to be copied.
+	Attributes int
+	// NeedsPK reports whether new primary key values must be generated
+	// for the integrated tuples.
+	NeedsPK bool
+	// ForeignKeys is the number of target foreign keys the mapping must
+	// populate for this table.
+	ForeignKeys int
+}
+
+// Report is the mapping module's data complexity report.
+type Report struct {
+	// Connections holds one entry per (target table, source) pair that
+	// receives data, in deterministic order.
+	Connections []Connection
+}
+
+// ModuleName implements core.Report.
+func (r *Report) ModuleName() string { return ModuleName }
+
+// ProblemCount implements core.Report: every connection is one mapping
+// problem to solve.
+func (r *Report) ProblemCount() int { return len(r.Connections) }
+
+// Summary renders the report in the shape of the paper's Table 2.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-10s %13s %11s %12s\n", "Target table", "Source", "Source tables", "Attributes", "Primary key")
+	for _, c := range r.Connections {
+		pk := "no"
+		if c.NeedsPK {
+			pk = "yes"
+		}
+		fmt.Fprintf(&b, "%-14s %-10s %13d %11d %12s\n", c.TargetTable, c.Source, len(c.SourceTables), c.Attributes, pk)
+	}
+	return b.String()
+}
+
+// ProblemSites implements core.ProblemLocator: one table-level site per
+// mapping connection.
+func (r *Report) ProblemSites() []core.ProblemSite {
+	var out []core.ProblemSite
+	for _, c := range r.Connections {
+		out = append(out, core.ProblemSite{Table: c.TargetTable, Count: 1})
+	}
+	return out
+}
+
+// ModuleName is the module's registered name.
+const ModuleName = "mapping"
+
+// Module is the mapping estimation module.
+type Module struct{}
+
+// New creates the mapping module.
+func New() *Module { return &Module{} }
+
+// Name implements core.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// AssessComplexity implements core.Module. For each target table and each
+// source database with correspondences into that table it derives a
+// Connection: the contributing source tables are closed under the join
+// paths (foreign keys) needed to combine them, attributes are counted from
+// the attribute correspondences, and primary key generation is required
+// when no corresponding source attribute covers the target key with unique
+// values.
+func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
+	report := &Report{}
+	for _, src := range s.Sources {
+		adj := fkAdjacency(src.DB.Schema)
+		for _, tt := range s.Target.Schema.Tables() {
+			attrCorrs := src.Correspondences.ForTarget(tt.Name)
+			tableCorr := tableLevelSource(src, tt.Name)
+			if len(attrCorrs) == 0 && tableCorr == "" {
+				continue // this source provides no data for the table
+			}
+			contributing := make(map[string]struct{})
+			if tableCorr != "" {
+				contributing[tableCorr] = struct{}{}
+			}
+			for _, c := range attrCorrs {
+				contributing[c.SourceTable] = struct{}{}
+			}
+			// Attributes to be *copied* exclude correspondences into
+			// target foreign key columns: those feed the re-keying
+			// logic below rather than plain value copies (Table 2
+			// counts 2 attributes for tracks although name, album,
+			// and length all correspond).
+			fkCols := targetFKColumns(s.Target.Schema, tt.Name)
+			copied := 0
+			for _, c := range attrCorrs {
+				if _, isFK := fkCols[c.TargetColumn]; !isFK {
+					copied++
+				}
+			}
+			// Foreign keys into target tables whose primary key is
+			// generated must be re-keyed: the mapping additionally
+			// queries the source table feeding the referenced table
+			// (to identify the referenced entity) and the referenced
+			// target table itself (to look up the generated keys).
+			var rekeyed []string
+			for _, fk := range s.Target.Schema.ForeignKeysOf(tt.Name) {
+				if !needsPKGeneration(s.Target.Schema, src, fk.RefTable) {
+					continue
+				}
+				if refSrc := tableLevelSource(src, fk.RefTable); refSrc != "" {
+					contributing[refSrc] = struct{}{}
+				}
+				rekeyed = append(rekeyed, "target:"+fk.RefTable)
+			}
+			tables := append(connectTables(adj, contributing), rekeyed...)
+			sort.Strings(tables)
+			conn := Connection{
+				TargetTable:  tt.Name,
+				Source:       src.Name,
+				SourceTables: tables,
+				Attributes:   copied,
+				NeedsPK:      needsPKGeneration(s.Target.Schema, src, tt.Name),
+				ForeignKeys:  len(s.Target.Schema.ForeignKeysOf(tt.Name)),
+			}
+			report.Connections = append(report.Connections, conn)
+		}
+	}
+	sort.Slice(report.Connections, func(i, j int) bool {
+		a, b := report.Connections[i], report.Connections[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.TargetTable < b.TargetTable
+	})
+	return report, nil
+}
+
+// PlanTasks implements core.Module: one Write mapping task per connection.
+// Mapping work is required regardless of the expected result quality.
+func (m *Module) PlanTasks(r core.Report, _ effort.Quality) ([]effort.Task, error) {
+	rep, ok := r.(*Report)
+	if !ok {
+		return nil, fmt.Errorf("mapping: foreign report type %T", r)
+	}
+	var tasks []effort.Task
+	for _, c := range rep.Connections {
+		pks := 0.0
+		if c.NeedsPK {
+			pks = 1
+		}
+		tasks = append(tasks, effort.Task{
+			Type:        effort.TaskWriteMapping,
+			Category:    effort.CategoryMapping,
+			Subject:     fmt.Sprintf("%s <- %s", c.TargetTable, c.Source),
+			Repetitions: 1,
+			Params: map[string]float64{
+				"tables":     float64(len(c.SourceTables)),
+				"attributes": float64(c.Attributes),
+				"PKs":        pks,
+				"FKs":        float64(c.ForeignKeys),
+			},
+		})
+	}
+	return tasks, nil
+}
+
+// targetFKColumns returns the set of columns of the target table that are
+// part of a foreign key.
+func targetFKColumns(s *relational.Schema, table string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, fk := range s.ForeignKeysOf(table) {
+		for _, col := range fk.Columns {
+			out[col] = struct{}{}
+		}
+	}
+	return out
+}
+
+// tableLevelSource returns the source table with a table-level
+// correspondence into the target table, or "".
+func tableLevelSource(src *core.Source, targetTable string) string {
+	for _, c := range src.Correspondences.All {
+		if c.IsTableLevel() && c.TargetTable == targetTable {
+			return c.SourceTable
+		}
+	}
+	return ""
+}
+
+// needsPKGeneration reports whether new primary key values must be
+// generated: the target table has a primary key and some key column lacks
+// a correspondence from a unique source attribute.
+func needsPKGeneration(target *relational.Schema, src *core.Source, targetTable string) bool {
+	pk, ok := target.PrimaryKeyOf(targetTable)
+	if !ok {
+		return false
+	}
+	for _, keyCol := range pk.Columns {
+		covered := false
+		for _, c := range src.Correspondences.ForTargetColumn(targetTable, keyCol) {
+			if src.DB.Schema.Unique(c.SourceTable, c.SourceColumn) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return true
+		}
+	}
+	return false
+}
+
+// fkAdjacency builds an undirected table adjacency from the schema's
+// foreign keys (the join graph).
+func fkAdjacency(s *relational.Schema) map[string][]string {
+	adj := make(map[string][]string)
+	add := func(a, b string) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, fk := range s.ForeignKeys() {
+		add(fk.Table, fk.RefTable)
+	}
+	for t := range adj {
+		sort.Strings(adj[t])
+	}
+	return adj
+}
+
+// connectTables closes the contributing table set under shortest join
+// paths: every pair of contributing tables is connected via the FK graph
+// and the tables on the connecting paths are included. Unreachable tables
+// stay as separate contributors (the mapping will need e.g. a union or an
+// unjoined lookup).
+func connectTables(adj map[string][]string, contributing map[string]struct{}) []string {
+	if len(contributing) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(contributing))
+	for t := range contributing {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	result := map[string]struct{}{names[0]: {}}
+	for _, t := range names[1:] {
+		if _, done := result[t]; done {
+			continue
+		}
+		path := shortestPathToSet(adj, t, result)
+		if path == nil {
+			result[t] = struct{}{} // unreachable: keep as island
+			continue
+		}
+		for _, n := range path {
+			result[n] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(result))
+	for t := range result {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shortestPathToSet BFS-searches from start to any table already in the
+// result set, returning the node path including start and the reached
+// table, or nil if unreachable.
+func shortestPathToSet(adj map[string][]string, start string, goal map[string]struct{}) []string {
+	if _, ok := goal[start]; ok {
+		return []string{start}
+	}
+	prev := map[string]string{start: ""}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if _, ok := goal[next]; ok {
+				var path []string
+				for n := next; n != ""; n = prev[n] {
+					path = append(path, n)
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

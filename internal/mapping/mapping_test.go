@@ -1,0 +1,226 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+	"efes/internal/match"
+	"efes/internal/relational"
+	"efes/internal/scenario"
+)
+
+func TestTable2Reproduction(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m := New()
+	rep, err := m.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.(*Report)
+	if len(r.Connections) != 2 {
+		t.Fatalf("connections = %v", r.Connections)
+	}
+	byTable := make(map[string]Connection)
+	for _, c := range r.Connections {
+		byTable[c.TargetTable] = c
+	}
+	// Table 2: records | 3 | 2 | yes.
+	rec := byTable["records"]
+	if len(rec.SourceTables) != 3 || rec.Attributes != 2 || !rec.NeedsPK {
+		t.Errorf("records connection = %+v, want 3 tables, 2 attributes, PK", rec)
+	}
+	want := []string{"albums", "artist_credits", "artist_lists"}
+	for i, tbl := range want {
+		if rec.SourceTables[i] != tbl {
+			t.Errorf("records tables = %v, want %v", rec.SourceTables, want)
+			break
+		}
+	}
+	// Table 2: tracks | 3 | 2 | no.
+	trk := byTable["tracks"]
+	if len(trk.SourceTables) != 3 || trk.Attributes != 2 || trk.NeedsPK {
+		t.Errorf("tracks connection = %+v, want 3 tables, 2 attributes, no PK", trk)
+	}
+	if trk.ForeignKeys != 1 {
+		t.Errorf("tracks FKs = %d, want 1", trk.ForeignKeys)
+	}
+	if r.ProblemCount() != 2 {
+		t.Errorf("problem count = %d", r.ProblemCount())
+	}
+	if r.ModuleName() != ModuleName {
+		t.Error("module name mismatch")
+	}
+}
+
+func TestReportSummaryShape(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	rep, err := New().AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	for _, want := range []string{"Target table", "records", "tracks", "yes", "no"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPlanTasksExample38(t *testing.T) {
+	// Example 3.8: manual SQL mapping effort = 3·tables + attributes +
+	// 3·PKs = (9+2+3) + (9+2+0) = 25 minutes... with the paper's
+	// simpler function omitting FKs. Table 9 adds 3·FKs; tracks has one
+	// FK, so the Table 9 total is 25 + 3 = 28.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m := New()
+	rep, err := m.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := m.PlanTasks(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+	for _, task := range tasks {
+		if task.Type != effort.TaskWriteMapping || task.Category != effort.CategoryMapping {
+			t.Errorf("unexpected task %v", task)
+		}
+	}
+	calc := effort.NewCalculator(effort.DefaultSettings())
+	est, err := calc.Price(effort.HighQuality, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 28 {
+		t.Errorf("mapping effort = %v, want 28 (25 per Example 3.8 + 3 for the tracks FK)", got)
+	}
+	// With a mapping tool (Example 3.8 variant): 2 mins per connection.
+	s := effort.DefaultSettings()
+	s.MappingTool = true
+	est2, err := effort.NewCalculator(s).Price(effort.HighQuality, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est2.Total(); got != 4 {
+		t.Errorf("tool-assisted mapping effort = %v, want 4", got)
+	}
+}
+
+func TestPlanTasksQualityIndependent(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m := New()
+	rep, _ := m.AssessComplexity(scn)
+	low, _ := m.PlanTasks(rep, effort.LowEffort)
+	high, _ := m.PlanTasks(rep, effort.HighQuality)
+	if len(low) != len(high) {
+		t.Errorf("mapping work must not depend on quality: %d vs %d", len(low), len(high))
+	}
+}
+
+func TestPlanTasksRejectsForeignReport(t *testing.T) {
+	m := New()
+	if _, err := m.PlanTasks(fakeReport{}, effort.LowEffort); err == nil {
+		t.Error("foreign report type must be rejected")
+	}
+}
+
+type fakeReport struct{}
+
+func (fakeReport) ModuleName() string { return "fake" }
+func (fakeReport) Summary() string    { return "" }
+func (fakeReport) ProblemCount() int  { return 0 }
+
+func TestIdenticalSchemasNoPKGeneration(t *testing.T) {
+	// Integrating a source with the same schema and unique ids into the
+	// target requires no PK generation and single-table connections.
+	s := relational.NewSchema("t")
+	s.MustAddTable(relational.MustTable("items",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	s.MustAddConstraint(relational.PrimaryKey{Table: "items", Columns: []string{"id"}})
+	src := relational.NewDatabase(s)
+	src.MustInsert("items", 1, "x")
+	tgt := relational.NewDatabase(s)
+	corr := &match.Set{}
+	corr.Table("items", "items")
+	corr.Attr("items", "id", "items", "id")
+	corr.Attr("items", "name", "items", "name")
+	scn := &core.Scenario{
+		Name:    "ident",
+		Target:  tgt,
+		Sources: []*core.Source{{Name: "src", DB: src, Correspondences: corr}},
+	}
+	rep, err := New().AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := rep.(*Report).Connections
+	if len(conns) != 1 {
+		t.Fatalf("connections = %v", conns)
+	}
+	c := conns[0]
+	if c.NeedsPK {
+		t.Error("identical schema with unique id must not need PK generation")
+	}
+	if len(c.SourceTables) != 1 || c.Attributes != 2 {
+		t.Errorf("connection = %+v", c)
+	}
+}
+
+func TestMultipleSources(t *testing.T) {
+	small := scenario.SmallExampleConfig()
+	scn := scenario.MusicExample(small)
+	// Clone the source as a second one: every target table now has two
+	// connections.
+	scn.Sources = append(scn.Sources, &core.Source{
+		Name:            "source2",
+		DB:              scn.Sources[0].DB,
+		Correspondences: scn.Sources[0].Correspondences,
+	})
+	rep, err := New().AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.(*Report).Connections); got != 4 {
+		t.Errorf("connections = %d, want 4 (2 tables × 2 sources)", got)
+	}
+}
+
+func TestConnectTablesIslands(t *testing.T) {
+	adj := map[string][]string{
+		"a": {"b"},
+		"b": {"a"},
+	}
+	got := connectTables(adj, map[string]struct{}{"a": {}, "z": {}})
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Errorf("islands = %v", got)
+	}
+	if got := connectTables(adj, nil); got != nil {
+		t.Errorf("empty contributing = %v", got)
+	}
+}
+
+func TestShortestPathToSet(t *testing.T) {
+	adj := map[string][]string{
+		"a": {"b"},
+		"b": {"a", "c"},
+		"c": {"b", "d"},
+		"d": {"c"},
+	}
+	path := shortestPathToSet(adj, "d", map[string]struct{}{"a": {}})
+	if len(path) != 4 {
+		t.Errorf("path = %v", path)
+	}
+	if p := shortestPathToSet(adj, "d", map[string]struct{}{"d": {}}); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	if p := shortestPathToSet(adj, "a", map[string]struct{}{"zzz": {}}); p != nil {
+		t.Errorf("unreachable = %v", p)
+	}
+}

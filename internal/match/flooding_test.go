@@ -1,0 +1,148 @@
+package match_test
+
+import (
+	"testing"
+
+	"efes/internal/match"
+	"efes/internal/relational"
+	"efes/internal/scenario"
+)
+
+func TestFloodMatcherOnIdenticalSchemas(t *testing.T) {
+	spec := scenario.MusicD()
+	s := spec.Build()
+	src := relational.NewDatabase(s)
+	tgt := relational.NewDatabase(s)
+	set := match.NewFloodMatcher().Match(src, tgt)
+	// Every selected column pair on an identical schema must map an
+	// element onto itself (names are identical, structure reinforces).
+	for _, c := range set.AttributePairs() {
+		if c.SourceTable != c.TargetTable || c.SourceColumn != c.TargetColumn {
+			t.Errorf("identity flooding mapped %s", c)
+		}
+	}
+	if len(set.AttributePairs()) < 10 {
+		t.Errorf("identity flooding found only %d pairs", len(set.AttributePairs()))
+	}
+	for _, c := range set.TablePairs() {
+		if c.SourceTable != c.TargetTable {
+			t.Errorf("identity flooding mapped table %s", c)
+		}
+	}
+}
+
+func TestFloodMatcherCrossSchema(t *testing.T) {
+	src := relational.NewDatabase(scenario.MusicM().Build())
+	tgt := relational.NewDatabase(scenario.MusicD().Build())
+	set := match.NewFloodMatcher().Match(src, tgt)
+	got := make(map[string]string)
+	for _, c := range set.AttributePairs() {
+		got[c.TargetTable+"."+c.TargetColumn] = c.SourceTable + "." + c.SourceColumn
+	}
+	// Name + structure must link the artist names and release titles.
+	if got["artists.name"] != "artist.name" {
+		t.Errorf("artists.name matched to %q", got["artists.name"])
+	}
+	if got["releases.title"] != "release.title" {
+		t.Errorf("releases.title matched to %q", got["releases.title"])
+	}
+	// Structure propagation: the release_labels link table aligns with
+	// release_label despite the different naming.
+	tableMatch := make(map[string]string)
+	for _, c := range set.TablePairs() {
+		tableMatch[c.TargetTable] = c.SourceTable
+	}
+	if tableMatch["labels"] != "label" {
+		t.Errorf("labels matched to %q", tableMatch["labels"])
+	}
+}
+
+func TestFloodMatcherOneToOneAndDeterministic(t *testing.T) {
+	src := relational.NewDatabase(scenario.MusicM().Build())
+	tgt := relational.NewDatabase(scenario.MusicF().Build())
+	a := match.NewFloodMatcher().Match(src, tgt)
+	b := match.NewFloodMatcher().Match(src, tgt)
+	if len(a.All) != len(b.All) {
+		t.Fatalf("nondeterministic: %d vs %d", len(a.All), len(b.All))
+	}
+	for i := range a.All {
+		if a.All[i] != b.All[i] {
+			t.Errorf("nondeterministic at %d: %v vs %v", i, a.All[i], b.All[i])
+		}
+	}
+	seenS, seenT := map[string]bool{}, map[string]bool{}
+	for _, c := range a.AttributePairs() {
+		sk := c.SourceTable + "." + c.SourceColumn
+		tk := c.TargetTable + "." + c.TargetColumn
+		if seenS[sk] || seenT[tk] {
+			t.Errorf("non-1:1 pair %v", c)
+		}
+		seenS[sk], seenT[tk] = true, true
+	}
+}
+
+func TestFloodMatcherEmptySchemas(t *testing.T) {
+	s := relational.NewSchema("empty")
+	db := relational.NewDatabase(s)
+	set := match.NewFloodMatcher().Match(db, db)
+	if len(set.All) != 0 {
+		t.Errorf("empty schemas matched: %v", set.All)
+	}
+}
+
+func TestFloodMatcherBeatsNamesAlone(t *testing.T) {
+	// Two column names are equally similar to the target by name; the
+	// structural neighborhood (being the column of the matching table)
+	// must break the tie.
+	srcSchema := relational.NewSchema("src")
+	srcSchema.MustAddTable(relational.MustTable("album",
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	srcSchema.MustAddTable(relational.MustTable("label",
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	tgtSchema := relational.NewSchema("tgt")
+	tgtSchema.MustAddTable(relational.MustTable("albums",
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	set := match.NewFloodMatcher().Match(relational.NewDatabase(srcSchema), relational.NewDatabase(tgtSchema))
+	for _, c := range set.AttributePairs() {
+		if c.TargetTable == "albums" && c.TargetColumn == "name" && c.SourceTable != "album" {
+			t.Errorf("flooding picked %s.%s for albums.name", c.SourceTable, c.SourceColumn)
+		}
+	}
+}
+
+func TestFloodingOverlapsIntendedResult(t *testing.T) {
+	// The flooding proposal on the music m -> d pairing recovers a good
+	// share of the hand-made concept correspondences. (The Melnik
+	// accuracy measure itself can floor at 0 here because flooding also
+	// proposes key-column pairs that the hand-made set deliberately
+	// omits — over-proposal costs deletions.)
+	scn, err := scenario.MusicScenario("m1", "d2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intended := scn.Sources[0].Correspondences
+	proposed := match.NewFloodMatcher().Match(scn.Sources[0].DB, scn.Target)
+	want := make(map[string]bool)
+	for _, c := range intended.AttributePairs() {
+		want[c.String()] = true
+	}
+	correct := 0
+	for _, c := range proposed.AttributePairs() {
+		if want[c.String()] {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Errorf("flooding recovered only %d of %d intended pairs: %v",
+			correct, len(want), proposed.AttributePairs())
+	}
+	// The deletions+additions of the accuracy measure translate into
+	// correspondence-revision effort; it must stay finite and sane.
+	deletions, additions := match.Corrections(proposed, intended)
+	if deletions < 0 || additions < 0 || additions > len(want) {
+		t.Errorf("corrections = %d, %d", deletions, additions)
+	}
+}

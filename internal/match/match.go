@@ -1,0 +1,497 @@
+// Package match implements schema matching: the discovery of
+// correspondences between source and target schema elements. The paper's
+// experiments feed hand-made correspondences into EFES; this package both
+// defines the correspondence model and provides an automatic matcher
+// (name-, type-, and instance-based) to bootstrap scenarios, following the
+// paper's §2 pointer to schema-matching tools and its §7 future-work item
+// of dropping the given-correspondences assumption.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efes/internal/profile"
+	"efes/internal/relational"
+)
+
+// Correspondence connects a source schema element with the target schema
+// element into which its contents should be integrated (§3.1). A
+// correspondence either links two attributes (Column fields set) or two
+// relations (Column fields empty).
+type Correspondence struct {
+	// SourceTable and SourceColumn name the source element.
+	SourceTable, SourceColumn string
+	// TargetTable and TargetColumn name the target element.
+	TargetTable, TargetColumn string
+	// Confidence is the matcher's score in (0,1]; hand-made
+	// correspondences carry confidence 1.
+	Confidence float64
+}
+
+// IsTableLevel reports whether the correspondence links two relations
+// rather than two attributes.
+func (c Correspondence) IsTableLevel() bool {
+	return c.SourceColumn == "" && c.TargetColumn == ""
+}
+
+// String renders the correspondence as "src -> tgt".
+func (c Correspondence) String() string {
+	if c.IsTableLevel() {
+		return fmt.Sprintf("%s -> %s", c.SourceTable, c.TargetTable)
+	}
+	return fmt.Sprintf("%s.%s -> %s.%s", c.SourceTable, c.SourceColumn, c.TargetTable, c.TargetColumn)
+}
+
+// Set is a collection of correspondences between one source database and
+// the target.
+type Set struct {
+	// All holds every correspondence.
+	All []Correspondence
+}
+
+// Attr adds an attribute correspondence with confidence 1.
+func (s *Set) Attr(srcTable, srcCol, tgtTable, tgtCol string) *Set {
+	s.All = append(s.All, Correspondence{
+		SourceTable: srcTable, SourceColumn: srcCol,
+		TargetTable: tgtTable, TargetColumn: tgtCol,
+		Confidence: 1,
+	})
+	return s
+}
+
+// Table adds a table-level correspondence with confidence 1.
+func (s *Set) Table(srcTable, tgtTable string) *Set {
+	s.All = append(s.All, Correspondence{
+		SourceTable: srcTable, TargetTable: tgtTable, Confidence: 1,
+	})
+	return s
+}
+
+// AttributePairs returns only the attribute-level correspondences.
+func (s *Set) AttributePairs() []Correspondence {
+	var out []Correspondence
+	for _, c := range s.All {
+		if !c.IsTableLevel() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TablePairs returns the table-level correspondences, including those
+// implied by attribute correspondences (a source attribute feeding a
+// target attribute implies its tables correspond).
+func (s *Set) TablePairs() []Correspondence {
+	seen := make(map[string]bool)
+	var out []Correspondence
+	add := func(src, tgt string) {
+		key := src + "\x00" + tgt
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, Correspondence{SourceTable: src, TargetTable: tgt, Confidence: 1})
+		}
+	}
+	for _, c := range s.All {
+		if c.IsTableLevel() {
+			add(c.SourceTable, c.TargetTable)
+		}
+	}
+	for _, c := range s.All {
+		if !c.IsTableLevel() {
+			add(c.SourceTable, c.TargetTable)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TargetTable != out[j].TargetTable {
+			return out[i].TargetTable < out[j].TargetTable
+		}
+		return out[i].SourceTable < out[j].SourceTable
+	})
+	return out
+}
+
+// ForTarget returns the attribute correspondences into the given target
+// table.
+func (s *Set) ForTarget(targetTable string) []Correspondence {
+	var out []Correspondence
+	for _, c := range s.All {
+		if !c.IsTableLevel() && c.TargetTable == targetTable {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ForTargetColumn returns the attribute correspondences into one target
+// column.
+func (s *Set) ForTargetColumn(targetTable, targetColumn string) []Correspondence {
+	var out []Correspondence
+	for _, c := range s.All {
+		if !c.IsTableLevel() && c.TargetTable == targetTable && c.TargetColumn == targetColumn {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NodeMatch derives the CSG node match (target node ID -> source node ID)
+// from the correspondences: table-level pairs map table nodes and
+// attribute pairs map attribute nodes. When multiple source tables
+// correspond to one target table, the pair supported by the most (and
+// strongest) attribute correspondences wins, with explicit table-level
+// correspondences dominating; attribute ties go to the higher confidence.
+// All remaining ties break lexicographically for determinism.
+func (s *Set) NodeMatch() map[string]string {
+	type cand struct {
+		source string
+		score  float64
+	}
+	best := make(map[string]cand)
+	consider := func(targetID, sourceID string, score float64) {
+		cur, ok := best[targetID]
+		if !ok || score > cur.score || (score == cur.score && sourceID < cur.source) {
+			best[targetID] = cand{source: sourceID, score: score}
+		}
+	}
+	// Table nodes: score = Σ attribute-correspondence confidences
+	// between the pair, plus a dominating bonus for explicit
+	// table-level correspondences.
+	tableScore := make(map[string]map[string]float64)
+	bump := func(src, tgt string, w float64) {
+		if tableScore[tgt] == nil {
+			tableScore[tgt] = make(map[string]float64)
+		}
+		tableScore[tgt][src] += w
+	}
+	for _, c := range s.All {
+		if c.IsTableLevel() {
+			bump(c.SourceTable, c.TargetTable, 1000*c.Confidence)
+		} else {
+			bump(c.SourceTable, c.TargetTable, c.Confidence)
+		}
+	}
+	for tgt, sources := range tableScore {
+		for src, score := range sources {
+			consider(tgt, src, score)
+		}
+	}
+	for _, c := range s.AttributePairs() {
+		consider(c.TargetTable+"."+c.TargetColumn, c.SourceTable+"."+c.SourceColumn, c.Confidence)
+	}
+	out := make(map[string]string, len(best))
+	for tgt, c := range best {
+		out[tgt] = c.source
+	}
+	return out
+}
+
+// Matcher discovers correspondences automatically. The composite score of
+// an attribute pair combines name similarity, datatype compatibility, and
+// instance similarity (value overlap and profile distance), echoing
+// standard schema-matching practice [10, 19].
+type Matcher struct {
+	// Threshold is the minimum composite score for a correspondence to
+	// be emitted. Defaults to 0.5.
+	Threshold float64
+	// NameWeight, TypeWeight, and InstanceWeight control the composite
+	// score; they are normalized internally.
+	NameWeight, TypeWeight, InstanceWeight float64
+	// SampleSize caps the number of distinct values used for instance
+	// similarity. Defaults to 1000.
+	SampleSize int
+}
+
+// NewMatcher returns a Matcher with the default configuration.
+func NewMatcher() *Matcher {
+	return &Matcher{Threshold: 0.5, NameWeight: 0.5, TypeWeight: 0.15, InstanceWeight: 0.35, SampleSize: 1000}
+}
+
+// Match discovers attribute correspondences from a source database into a
+// target database. Each target attribute receives at most one source
+// attribute (greedy best-first, stable and deterministic), and each source
+// attribute maps to at most one target attribute.
+func (m *Matcher) Match(source, target *relational.Database) *Set {
+	type scored struct {
+		c     Correspondence
+		score float64
+	}
+	var candidates []scored
+	for _, st := range source.Schema.Tables() {
+		for _, sc := range st.Columns {
+			for _, tt := range target.Schema.Tables() {
+				for _, tc := range tt.Columns {
+					score := m.score(source, st, sc, target, tt, tc)
+					if score >= m.Threshold {
+						candidates = append(candidates, scored{
+							c: Correspondence{
+								SourceTable: st.Name, SourceColumn: sc.Name,
+								TargetTable: tt.Name, TargetColumn: tc.Name,
+								Confidence: score,
+							},
+							score: score,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].score != candidates[j].score {
+			return candidates[i].score > candidates[j].score
+		}
+		return candidates[i].c.String() < candidates[j].c.String()
+	})
+	usedSource := make(map[string]bool)
+	usedTarget := make(map[string]bool)
+	out := &Set{}
+	for _, cand := range candidates {
+		srcKey := cand.c.SourceTable + "." + cand.c.SourceColumn
+		tgtKey := cand.c.TargetTable + "." + cand.c.TargetColumn
+		if usedSource[srcKey] || usedTarget[tgtKey] {
+			continue
+		}
+		usedSource[srcKey] = true
+		usedTarget[tgtKey] = true
+		out.All = append(out.All, cand.c)
+	}
+	return out
+}
+
+func (m *Matcher) score(source *relational.Database, st *relational.Table, sc relational.Column,
+	target *relational.Database, tt *relational.Table, tc relational.Column) float64 {
+	name := nameSimilarity(sc.Name, tc.Name)
+	// Table-name agreement nudges attribute matches between
+	// corresponding relations.
+	name = 0.8*name + 0.2*nameSimilarity(st.Name, tt.Name)
+	typ := typeCompatibility(sc.Type, tc.Type)
+	inst := m.instanceSimilarity(source, st.Name, sc.Name, target, tt.Name, tc.Name)
+	wsum := m.NameWeight + m.TypeWeight + m.InstanceWeight
+	return (m.NameWeight*name + m.TypeWeight*typ + m.InstanceWeight*inst) / wsum
+}
+
+// nameSimilarity combines normalized Levenshtein similarity with token
+// overlap of snake/camel-case tokens.
+func nameSimilarity(a, b string) float64 {
+	na, nb := normalizeName(a), normalizeName(b)
+	if na == nb {
+		return 1
+	}
+	lev := 1 - float64(levenshtein(na, nb))/float64(maxInt(len(na), len(nb)))
+	ta, tb := tokens(a), tokens(b)
+	jac := jaccard(ta, tb)
+	if jac > lev {
+		return jac
+	}
+	return lev
+}
+
+func normalizeName(s string) string {
+	return strings.ToLower(strings.NewReplacer("_", "", "-", "", " ", "").Replace(s))
+}
+
+func tokens(s string) map[string]struct{} {
+	out := make(map[string]struct{})
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			out[strings.ToLower(string(cur))] = struct{}{}
+			cur = nil
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '_' || r == '-' || r == ' ':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			flush()
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return out
+}
+
+func jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+func levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func typeCompatibility(a, b relational.Type) float64 {
+	if a == b {
+		return 1
+	}
+	numeric := func(t relational.Type) bool { return t == relational.Integer || t == relational.Float }
+	switch {
+	case numeric(a) && numeric(b):
+		return 0.8
+	case a == relational.String || b == relational.String:
+		return 0.4 // everything casts to string
+	default:
+		return 0.1
+	}
+}
+
+// instanceSimilarity blends distinct-value overlap with pattern-profile
+// similarity of the two columns.
+func (m *Matcher) instanceSimilarity(source *relational.Database, st, sc string,
+	target *relational.Database, tt, tc string) float64 {
+	sv, _, err1 := source.DistinctValues(st, sc)
+	tv, _, err2 := target.DistinctValues(tt, tc)
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	if len(sv) == 0 || len(tv) == 0 {
+		return 0
+	}
+	if m.SampleSize > 0 {
+		if len(sv) > m.SampleSize {
+			sv = sv[:m.SampleSize]
+		}
+		if len(tv) > m.SampleSize {
+			tv = tv[:m.SampleSize]
+		}
+	}
+	ss := make(map[string]struct{}, len(sv))
+	for _, v := range sv {
+		ss[relational.FormatValue(v)] = struct{}{}
+	}
+	ts := make(map[string]struct{}, len(tv))
+	for _, v := range tv {
+		ts[relational.FormatValue(v)] = struct{}{}
+	}
+	overlap := jaccard(ss, ts)
+
+	// Pattern-profile similarity: share of values following the same
+	// dominant text pattern.
+	spat := dominantPattern(sv)
+	tpat := dominantPattern(tv)
+	patternScore := 0.0
+	if spat != "" && spat == tpat {
+		patternScore = 1
+	}
+	return 0.6*overlap + 0.4*patternScore
+}
+
+func dominantPattern(vs []relational.Value) string {
+	counts := make(map[string]int)
+	for _, v := range vs {
+		counts[profile.Pattern(relational.FormatValue(v))]++
+	}
+	best, bestN := "", 0
+	for p, n := range counts {
+		if n > bestN || (n == bestN && p < best) {
+			best, bestN = p, n
+		}
+	}
+	if bestN*2 < len(vs) {
+		return "" // no dominant pattern
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Corrections counts how the user must modify a proposed match result to
+// reach the intended result: wrong proposals to delete and missing
+// matches to add (the terms of the Melnik et al. [19] accuracy measure).
+func Corrections(proposed, intended *Set) (deletions, additions int) {
+	key := func(c Correspondence) string { return c.String() }
+	prop := make(map[string]struct{})
+	for _, c := range proposed.AttributePairs() {
+		prop[key(c)] = struct{}{}
+	}
+	want := make(map[string]struct{})
+	for _, c := range intended.AttributePairs() {
+		want[key(c)] = struct{}{}
+	}
+	correct := 0
+	for k := range prop {
+		if _, ok := want[k]; ok {
+			correct++
+		}
+	}
+	return len(prop) - correct, len(want) - correct
+}
+
+// CorrespondenceEffort estimates the minutes needed to revise a matcher's
+// proposal into the intended correspondences, the §7 future-work item of
+// the paper ("the effort for creating quality correspondences cannot be
+// completely neglected … the accuracy measure as proposed by Melnik et
+// al. [19] seems to be a good starting point"): reviewing the proposal
+// costs reviewMinutes per proposed pair, and every deletion or addition
+// costs correctionMinutes.
+func CorrespondenceEffort(proposed, intended *Set, reviewMinutes, correctionMinutes float64) float64 {
+	deletions, additions := Corrections(proposed, intended)
+	return reviewMinutes*float64(len(proposed.AttributePairs())) +
+		correctionMinutes*float64(deletions+additions)
+}
+
+// Accuracy computes the match-quality measure proposed by Melnik et al.
+// [19] that the paper's §7 suggests for estimating correspondence-creation
+// effort: 1 - (deletions + additions) / |intended|, i.e. how much of the
+// proposed match result the user must modify to reach the intended result.
+// It returns 0 when the intended set is empty.
+func Accuracy(proposed, intended *Set) float64 {
+	intendedCount := len(intended.AttributePairs())
+	if intendedCount == 0 {
+		return 0
+	}
+	deletions, additions := Corrections(proposed, intended)
+	acc := 1 - float64(deletions+additions)/float64(intendedCount)
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}

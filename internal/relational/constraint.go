@@ -1,0 +1,244 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Constraint is a declarative schema constraint. Implementations cover the
+// constraint classes the paper's CSG formalism expresses: primary keys,
+// uniqueness, NOT NULL, and foreign keys.
+type Constraint interface {
+	// TableName returns the table the constraint primarily applies to.
+	TableName() string
+	// String renders the constraint for reports and debugging.
+	String() string
+	// Violations checks the constraint against an instance and returns
+	// one Violation per offending tuple (or dangling value).
+	Violations(db *Database) []Violation
+
+	check(s *Schema) error
+}
+
+// Violation records one concrete violation of a constraint in an instance.
+type Violation struct {
+	// Constraint is the violated constraint.
+	Constraint Constraint
+	// Table is the table containing the offending row.
+	Table string
+	// RowIndex is the position of the offending row within its table.
+	RowIndex int
+	// Message describes the violation.
+	Message string
+}
+
+func checkColumns(s *Schema, table string, columns []string) error {
+	t := s.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: constraint references unknown table %s", table)
+	}
+	if len(columns) == 0 {
+		return fmt.Errorf("relational: constraint on table %s has no columns", table)
+	}
+	for _, c := range columns {
+		if t.ColumnIndex(c) < 0 {
+			return fmt.Errorf("relational: constraint references unknown column %s.%s", table, c)
+		}
+	}
+	return nil
+}
+
+// NotNullConstraint requires a column to hold a non-NULL value in every
+// tuple.
+type NotNullConstraint struct {
+	Table  string
+	Column string
+}
+
+// TableName implements Constraint.
+func (c NotNullConstraint) TableName() string { return c.Table }
+
+// String implements Constraint.
+func (c NotNullConstraint) String() string {
+	return fmt.Sprintf("NOT NULL (%s.%s)", c.Table, c.Column)
+}
+
+func (c NotNullConstraint) check(s *Schema) error {
+	return checkColumns(s, c.Table, []string{c.Column})
+}
+
+// Violations implements Constraint.
+func (c NotNullConstraint) Violations(db *Database) []Violation {
+	var out []Violation
+	idx := db.Schema.Table(c.Table).ColumnIndex(c.Column)
+	for i, row := range db.Rows(c.Table) {
+		if row[idx] == nil {
+			out = append(out, Violation{
+				Constraint: c, Table: c.Table, RowIndex: i,
+				Message: fmt.Sprintf("%s.%s is NULL", c.Table, c.Column),
+			})
+		}
+	}
+	return out
+}
+
+// UniqueConstraint requires a (possibly composite) set of columns to hold
+// distinct value combinations over all tuples. NULLs are treated as
+// distinct from each other, matching SQL semantics.
+type UniqueConstraint struct {
+	Table   string
+	Columns []string
+}
+
+// TableName implements Constraint.
+func (c UniqueConstraint) TableName() string { return c.Table }
+
+// String implements Constraint.
+func (c UniqueConstraint) String() string {
+	return fmt.Sprintf("UNIQUE (%s.%s)", c.Table, strings.Join(c.Columns, ","))
+}
+
+func (c UniqueConstraint) check(s *Schema) error { return checkColumns(s, c.Table, c.Columns) }
+
+// Violations implements Constraint.
+func (c UniqueConstraint) Violations(db *Database) []Violation {
+	return uniqueViolations(c, db, c.Table, c.Columns)
+}
+
+func uniqueViolations(c Constraint, db *Database, table string, columns []string) []Violation {
+	t := db.Schema.Table(table)
+	idxs := make([]int, len(columns))
+	for i, col := range columns {
+		idxs[i] = t.ColumnIndex(col)
+	}
+	seen := make(map[string]int)
+	var out []Violation
+	for i, row := range db.Rows(table) {
+		key, hasNull := compositeKey(row, idxs)
+		if hasNull {
+			continue // SQL: NULLs never collide
+		}
+		if first, dup := seen[key]; dup {
+			out = append(out, Violation{
+				Constraint: c, Table: table, RowIndex: i,
+				Message: fmt.Sprintf("%s(%s)=%s duplicates row %d", table, strings.Join(columns, ","), key, first),
+			})
+			continue
+		}
+		seen[key] = i
+	}
+	return out
+}
+
+// compositeKey builds a collision-safe string key for the given column
+// positions of a row, and reports whether any component is NULL.
+func compositeKey(row Row, idxs []int) (string, bool) {
+	var b strings.Builder
+	for _, idx := range idxs {
+		v := row[idx]
+		if v == nil {
+			return "", true
+		}
+		s := FormatValue(v)
+		fmt.Fprintf(&b, "%d:%s|", len(s), s)
+	}
+	return b.String(), false
+}
+
+// PrimaryKey requires the key columns to be unique and non-NULL.
+type PrimaryKey struct {
+	Table   string
+	Columns []string
+}
+
+// TableName implements Constraint.
+func (c PrimaryKey) TableName() string { return c.Table }
+
+// String implements Constraint.
+func (c PrimaryKey) String() string {
+	return fmt.Sprintf("PRIMARY KEY (%s.%s)", c.Table, strings.Join(c.Columns, ","))
+}
+
+func (c PrimaryKey) check(s *Schema) error { return checkColumns(s, c.Table, c.Columns) }
+
+// Violations implements Constraint.
+func (c PrimaryKey) Violations(db *Database) []Violation {
+	t := db.Schema.Table(c.Table)
+	var out []Violation
+	for _, col := range c.Columns {
+		idx := t.ColumnIndex(col)
+		for i, row := range db.Rows(c.Table) {
+			if row[idx] == nil {
+				out = append(out, Violation{
+					Constraint: c, Table: c.Table, RowIndex: i,
+					Message: fmt.Sprintf("primary key component %s.%s is NULL", c.Table, col),
+				})
+			}
+		}
+	}
+	out = append(out, uniqueViolations(c, db, c.Table, c.Columns)...)
+	return out
+}
+
+// ForeignKey requires every (non-NULL) combination of the referencing
+// columns to appear among the referenced columns of the referenced table.
+type ForeignKey struct {
+	Table      string
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// TableName implements Constraint.
+func (c ForeignKey) TableName() string { return c.Table }
+
+// String implements Constraint.
+func (c ForeignKey) String() string {
+	return fmt.Sprintf("FOREIGN KEY (%s.%s) REFERENCES %s.%s",
+		c.Table, strings.Join(c.Columns, ","), c.RefTable, strings.Join(c.RefColumns, ","))
+}
+
+func (c ForeignKey) check(s *Schema) error {
+	if len(c.Columns) != len(c.RefColumns) {
+		return fmt.Errorf("relational: foreign key on %s: column count mismatch", c.Table)
+	}
+	if err := checkColumns(s, c.Table, c.Columns); err != nil {
+		return err
+	}
+	return checkColumns(s, c.RefTable, c.RefColumns)
+}
+
+// Violations implements Constraint.
+func (c ForeignKey) Violations(db *Database) []Violation {
+	child := db.Schema.Table(c.Table)
+	parent := db.Schema.Table(c.RefTable)
+	childIdx := make([]int, len(c.Columns))
+	for i, col := range c.Columns {
+		childIdx[i] = child.ColumnIndex(col)
+	}
+	parentIdx := make([]int, len(c.RefColumns))
+	for i, col := range c.RefColumns {
+		parentIdx[i] = parent.ColumnIndex(col)
+	}
+	referenced := make(map[string]struct{})
+	for _, row := range db.Rows(c.RefTable) {
+		key, hasNull := compositeKey(row, parentIdx)
+		if !hasNull {
+			referenced[key] = struct{}{}
+		}
+	}
+	var out []Violation
+	for i, row := range db.Rows(c.Table) {
+		key, hasNull := compositeKey(row, childIdx)
+		if hasNull {
+			continue
+		}
+		if _, ok := referenced[key]; !ok {
+			out = append(out, Violation{
+				Constraint: c, Table: c.Table, RowIndex: i,
+				Message: fmt.Sprintf("dangling reference %s(%s)=%s", c.Table, strings.Join(c.Columns, ","), key),
+			})
+		}
+	}
+	return out
+}

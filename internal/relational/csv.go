@@ -1,0 +1,278 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV encodes one table as CSV: a header line with the column names
+// followed by one line per row. NULL is encoded as the empty field.
+func (db *Database) WriteCSV(table string, w io.Writer) error {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: unknown table %s", table)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	record := make([]string, len(t.Columns))
+	for _, row := range db.rows[table] {
+		for i, v := range row {
+			record[i] = FormatValue(v)
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes rows for an existing table from CSV produced by
+// WriteCSV. The header must match the table's columns; empty fields become
+// NULL and the remaining fields are parsed according to the column types.
+func (db *Database) ReadCSV(table string, r io.Reader) error {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: unknown table %s", table)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(t.Columns)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("relational: read csv for %s: %w", table, err)
+	}
+	for i, name := range header {
+		if name != t.Columns[i].Name {
+			return fmt.Errorf("relational: csv header mismatch for %s: got %q, want %q", table, name, t.Columns[i].Name)
+		}
+	}
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("relational: read csv for %s: %w", table, err)
+		}
+		row := make([]Value, len(record))
+		for i, field := range record {
+			if field == "" {
+				continue // NULL
+			}
+			row[i] = field // Insert coerces strings to the column type
+		}
+		if err := db.Insert(table, row...); err != nil {
+			return err
+		}
+	}
+}
+
+// SaveDir writes the whole database to a directory: schema.txt describing
+// the schema (informational) and one <table>.csv per table.
+func (db *Database) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schema.txt"), []byte(db.Schema.String()), 0o644); err != nil {
+		return err
+	}
+	for _, t := range db.Schema.Tables() {
+		f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := db.WriteCSV(t.Name, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads rows for every table of the schema from <table>.csv files
+// in dir. Missing files leave the table empty.
+func (db *Database) LoadDir(dir string) error {
+	for _, t := range db.Schema.Tables() {
+		path := filepath.Join(dir, t.Name+".csv")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := db.ReadCSV(t.Name, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseSchemaText parses the textual schema format emitted by
+// Schema.String, so that databases saved with SaveDir can be reloaded
+// without Go code. The format is line-oriented:
+//
+//	schema NAME
+//	  table NAME(col type, col type, ...)
+//	  PRIMARY KEY (table.col,col)
+//	  UNIQUE (table.col)
+//	  NOT NULL (table.col)
+//	  FOREIGN KEY (table.col) REFERENCES table.col
+func ParseSchemaText(text string) (*Schema, error) {
+	var s *Schema
+	var deferred []string // constraint lines, applied after all tables
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "schema "):
+			s = NewSchema(strings.TrimSpace(strings.TrimPrefix(line, "schema ")))
+		case strings.HasPrefix(line, "table "):
+			if s == nil {
+				return nil, fmt.Errorf("relational: line %d: table before schema", lineno+1)
+			}
+			if err := parseTableLine(s, line); err != nil {
+				return nil, fmt.Errorf("relational: line %d: %w", lineno+1, err)
+			}
+		default:
+			deferred = append(deferred, line)
+		}
+	}
+	if s == nil {
+		return nil, fmt.Errorf("relational: no schema declaration found")
+	}
+	for _, line := range deferred {
+		c, err := parseConstraintLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddConstraint(c); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func parseTableLine(s *Schema, line string) error {
+	rest := strings.TrimPrefix(line, "table ")
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return fmt.Errorf("malformed table line %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	body := rest[open+1 : len(rest)-1]
+	var cols []Column
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed column %q in table %s", part, name)
+		}
+		typ, err := ParseType(fields[1])
+		if err != nil {
+			return err
+		}
+		cols = append(cols, Column{Name: fields[0], Type: typ})
+	}
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		return err
+	}
+	return s.AddTable(t)
+}
+
+func parseConstraintLine(line string) (Constraint, error) {
+	parseRefs := func(body string) (string, []string, error) {
+		dot := strings.Index(body, ".")
+		if dot < 0 {
+			return "", nil, fmt.Errorf("relational: malformed column list %q", body)
+		}
+		table := body[:dot]
+		cols := strings.Split(body[dot+1:], ",")
+		for i := range cols {
+			cols[i] = strings.TrimSpace(cols[i])
+		}
+		return table, cols, nil
+	}
+	inner := func(s, prefix string) (string, bool) {
+		if !strings.HasPrefix(s, prefix+" (") {
+			return "", false
+		}
+		rest := strings.TrimPrefix(s, prefix+" (")
+		end := strings.Index(rest, ")")
+		if end < 0 {
+			return "", false
+		}
+		return rest[:end], true
+	}
+	switch {
+	case strings.HasPrefix(line, "PRIMARY KEY"):
+		body, ok := inner(line, "PRIMARY KEY")
+		if !ok {
+			return nil, fmt.Errorf("relational: malformed constraint %q", line)
+		}
+		table, cols, err := parseRefs(body)
+		if err != nil {
+			return nil, err
+		}
+		return PrimaryKey{Table: table, Columns: cols}, nil
+	case strings.HasPrefix(line, "UNIQUE"):
+		body, ok := inner(line, "UNIQUE")
+		if !ok {
+			return nil, fmt.Errorf("relational: malformed constraint %q", line)
+		}
+		table, cols, err := parseRefs(body)
+		if err != nil {
+			return nil, err
+		}
+		return UniqueConstraint{Table: table, Columns: cols}, nil
+	case strings.HasPrefix(line, "NOT NULL"):
+		body, ok := inner(line, "NOT NULL")
+		if !ok {
+			return nil, fmt.Errorf("relational: malformed constraint %q", line)
+		}
+		table, cols, err := parseRefs(body)
+		if err != nil {
+			return nil, err
+		}
+		return NotNullConstraint{Table: table, Column: cols[0]}, nil
+	case strings.HasPrefix(line, "FOREIGN KEY"):
+		body, ok := inner(line, "FOREIGN KEY")
+		if !ok {
+			return nil, fmt.Errorf("relational: malformed constraint %q", line)
+		}
+		table, cols, err := parseRefs(body)
+		if err != nil {
+			return nil, err
+		}
+		refIdx := strings.Index(line, "REFERENCES ")
+		if refIdx < 0 {
+			return nil, fmt.Errorf("relational: malformed foreign key %q", line)
+		}
+		refTable, refCols, err := parseRefs(strings.TrimSpace(line[refIdx+len("REFERENCES "):]))
+		if err != nil {
+			return nil, err
+		}
+		return ForeignKey{Table: table, Columns: cols, RefTable: refTable, RefColumns: refCols}, nil
+	default:
+		return nil, fmt.Errorf("relational: unrecognized constraint line %q", line)
+	}
+}

@@ -1,0 +1,253 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Row is a single tuple; its length always equals the number of columns of
+// its table, in declaration order. A nil element is SQL NULL.
+type Row []Value
+
+// clone returns a copy of the row.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Database is an instance of a Schema: a set of rows per table.
+type Database struct {
+	// Schema is the schema this instance conforms to (modulo any
+	// violations reported by Validate).
+	Schema *Schema
+
+	rows map[string][]Row
+}
+
+// NewDatabase creates an empty instance of the given schema.
+func NewDatabase(s *Schema) *Database {
+	return &Database{Schema: s, rows: make(map[string][]Row)}
+}
+
+// Insert appends a tuple to the named table after type-checking every
+// value against the column types. Values are coerced to their canonical
+// representation (e.g. int -> int64).
+func (db *Database) Insert(table string, values ...Value) error {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: insert into unknown table %s", table)
+	}
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("relational: insert into %s: got %d values, want %d", table, len(values), len(t.Columns))
+	}
+	row := make(Row, len(values))
+	for i, v := range values {
+		cv, err := Coerce(t.Columns[i].Type, v)
+		if err != nil {
+			return fmt.Errorf("relational: insert into %s.%s: %w", table, t.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	db.rows[table] = append(db.rows[table], row)
+	return nil
+}
+
+// MustInsert is Insert but panics on error; for generators and tests.
+func (db *Database) MustInsert(table string, values ...Value) {
+	if err := db.Insert(table, values...); err != nil {
+		panic(err)
+	}
+}
+
+// InsertMap inserts a tuple given as a column-name-to-value map; missing
+// columns become NULL, unknown columns are an error.
+func (db *Database) InsertMap(table string, values map[string]Value) error {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: insert into unknown table %s", table)
+	}
+	row := make([]Value, len(t.Columns))
+	for name, v := range values {
+		idx := t.ColumnIndex(name)
+		if idx < 0 {
+			return fmt.Errorf("relational: insert into %s: unknown column %s", table, name)
+		}
+		row[idx] = v
+	}
+	return db.Insert(table, row...)
+}
+
+// Rows returns the tuples of the named table. The returned slice is owned
+// by the database and must not be mutated.
+func (db *Database) Rows(table string) []Row { return db.rows[table] }
+
+// NumRows returns the number of tuples in the named table.
+func (db *Database) NumRows(table string) int { return len(db.rows[table]) }
+
+// TotalRows returns the number of tuples over all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, rs := range db.rows {
+		n += len(rs)
+	}
+	return n
+}
+
+// Column returns all values of one column, in row order (including NULLs
+// and duplicates).
+func (db *Database) Column(table, column string) ([]Value, error) {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("relational: unknown table %s", table)
+	}
+	idx := t.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("relational: unknown column %s.%s", table, column)
+	}
+	out := make([]Value, 0, len(db.rows[table]))
+	for _, row := range db.rows[table] {
+		out = append(out, row[idx])
+	}
+	return out, nil
+}
+
+// MustColumn is Column but panics on error.
+func (db *Database) MustColumn(table, column string) []Value {
+	vs, err := db.Column(table, column)
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+// DistinctValues returns the distinct non-NULL values of a column, in
+// deterministic (sorted) order, and the number of NULLs.
+func (db *Database) DistinctValues(table, column string) (distinct []Value, nulls int, err error) {
+	vs, err := db.Column(table, column)
+	if err != nil {
+		return nil, 0, err
+	}
+	seen := make(map[string]Value)
+	for _, v := range vs {
+		if v == nil {
+			nulls++
+			continue
+		}
+		seen[FormatValue(v)] = v
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	distinct = make([]Value, 0, len(keys))
+	for _, k := range keys {
+		distinct = append(distinct, seen[k])
+	}
+	return distinct, nulls, nil
+}
+
+// Validate checks every declared constraint against the instance and
+// returns all violations.
+func (db *Database) Validate() []Violation {
+	var out []Violation
+	for _, c := range db.Schema.Constraints {
+		out = append(out, c.Violations(db)...)
+	}
+	return out
+}
+
+// Clone deep-copies the instance (sharing the immutable schema).
+func (db *Database) Clone() *Database {
+	out := NewDatabase(db.Schema)
+	for table, rs := range db.rows {
+		cp := make([]Row, len(rs))
+		for i, r := range rs {
+			cp[i] = r.clone()
+		}
+		out.rows[table] = cp
+	}
+	return out
+}
+
+// Delete removes the rows at the given indexes from the named table.
+// Indexes outside the table are ignored.
+func (db *Database) Delete(table string, rowIndexes ...int) {
+	if len(rowIndexes) == 0 {
+		return
+	}
+	drop := make(map[int]struct{}, len(rowIndexes))
+	for _, i := range rowIndexes {
+		drop[i] = struct{}{}
+	}
+	src := db.rows[table]
+	dst := src[:0]
+	for i, r := range src {
+		if _, gone := drop[i]; !gone {
+			dst = append(dst, r)
+		}
+	}
+	db.rows[table] = dst
+}
+
+// Update sets column of the row at rowIndex to v (after coercion).
+func (db *Database) Update(table string, rowIndex int, column string, v Value) error {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: update unknown table %s", table)
+	}
+	idx := t.ColumnIndex(column)
+	if idx < 0 {
+		return fmt.Errorf("relational: update unknown column %s.%s", table, column)
+	}
+	if rowIndex < 0 || rowIndex >= len(db.rows[table]) {
+		return fmt.Errorf("relational: update %s: row %d out of range", table, rowIndex)
+	}
+	cv, err := Coerce(t.Columns[idx].Type, v)
+	if err != nil {
+		return err
+	}
+	db.rows[table][rowIndex][idx] = cv
+	return nil
+}
+
+// JoinPair is one matched pair of row indexes produced by EquiJoin.
+type JoinPair struct {
+	Left, Right int
+}
+
+// EquiJoin matches rows of two tables on equality of the given columns and
+// returns the matching index pairs. NULLs never join.
+func (db *Database) EquiJoin(leftTable, leftColumn, rightTable, rightColumn string) ([]JoinPair, error) {
+	lt := db.Schema.Table(leftTable)
+	rt := db.Schema.Table(rightTable)
+	if lt == nil || rt == nil {
+		return nil, fmt.Errorf("relational: join of unknown tables %s, %s", leftTable, rightTable)
+	}
+	li := lt.ColumnIndex(leftColumn)
+	ri := rt.ColumnIndex(rightColumn)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("relational: join on unknown columns %s.%s, %s.%s", leftTable, leftColumn, rightTable, rightColumn)
+	}
+	index := make(map[string][]int)
+	for j, row := range db.rows[rightTable] {
+		v := row[ri]
+		if v == nil {
+			continue
+		}
+		k := FormatValue(v)
+		index[k] = append(index[k], j)
+	}
+	var out []JoinPair
+	for i, row := range db.rows[leftTable] {
+		v := row[li]
+		if v == nil {
+			continue
+		}
+		for _, j := range index[FormatValue(v)] {
+			out = append(out, JoinPair{Left: i, Right: j})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes a single attribute of a table.
+type Column struct {
+	// Name is the attribute name, unique within its table.
+	Name string
+	// Type is the column datatype.
+	Type Type
+}
+
+// Table describes a relation: a named, ordered list of columns.
+type Table struct {
+	// Name is the relation name, unique within its schema.
+	Name string
+	// Columns is the ordered attribute list.
+	Columns []Column
+
+	colIndex map[string]int
+}
+
+// NewTable creates a table with the given columns. Column names must be
+// unique within the table.
+func NewTable(name string, cols ...Column) (*Table, error) {
+	t := &Table{Name: name, Columns: cols, colIndex: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relational: table %s: empty column name at position %d", name, i)
+		}
+		if _, dup := t.colIndex[c.Name]; dup {
+			return nil, fmt.Errorf("relational: table %s: duplicate column %s", name, c.Name)
+		}
+		t.colIndex[c.Name] = i
+	}
+	return t, nil
+}
+
+// MustTable is NewTable but panics on error. It is intended for statically
+// known schemas (generators, tests, examples).
+func MustTable(name string, cols ...Column) *Table {
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column and whether it exists.
+func (t *Table) Column(name string) (Column, bool) {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// ColumnNames returns the attribute names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ColumnRef identifies a column by table and attribute name.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference as "table.column".
+func (r ColumnRef) String() string { return r.Table + "." + r.Column }
+
+// Schema is a named collection of tables and constraints.
+type Schema struct {
+	// Name identifies the schema (e.g. "s1", "musicbrainz").
+	Name string
+
+	tables     map[string]*Table
+	tableOrder []string
+	// Constraints holds all declared schema constraints.
+	Constraints []Constraint
+}
+
+// NewSchema creates an empty schema.
+func NewSchema(name string) *Schema {
+	return &Schema{Name: name, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table with the schema. Table names must be unique.
+func (s *Schema) AddTable(t *Table) error {
+	if _, dup := s.tables[t.Name]; dup {
+		return fmt.Errorf("relational: schema %s: duplicate table %s", s.Name, t.Name)
+	}
+	s.tables[t.Name] = t
+	s.tableOrder = append(s.tableOrder, t.Name)
+	return nil
+}
+
+// MustAddTable is AddTable but panics on error.
+func (s *Schema) MustAddTable(t *Table) {
+	if err := s.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table { return s.tables[name] }
+
+// Tables returns all tables in registration order.
+func (s *Schema) Tables() []*Table {
+	out := make([]*Table, 0, len(s.tableOrder))
+	for _, name := range s.tableOrder {
+		out = append(out, s.tables[name])
+	}
+	return out
+}
+
+// TableNames returns the table names in registration order.
+func (s *Schema) TableNames() []string {
+	return append([]string(nil), s.tableOrder...)
+}
+
+// NumTables returns the number of tables in the schema.
+func (s *Schema) NumTables() int { return len(s.tableOrder) }
+
+// NumAttributes returns the total number of attributes over all tables.
+func (s *Schema) NumAttributes() int {
+	n := 0
+	for _, t := range s.tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// AddConstraint registers a constraint after validating that it refers to
+// existing tables and columns of this schema.
+func (s *Schema) AddConstraint(c Constraint) error {
+	if err := c.check(s); err != nil {
+		return err
+	}
+	s.Constraints = append(s.Constraints, c)
+	return nil
+}
+
+// MustAddConstraint is AddConstraint but panics on error.
+func (s *Schema) MustAddConstraint(c Constraint) {
+	if err := s.AddConstraint(c); err != nil {
+		panic(err)
+	}
+}
+
+// ConstraintsFor returns all constraints whose primary table is the named
+// table.
+func (s *Schema) ConstraintsFor(table string) []Constraint {
+	var out []Constraint
+	for _, c := range s.Constraints {
+		if c.TableName() == table {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NotNull reports whether the given column carries a NOT NULL constraint,
+// either directly or by being part of a primary key.
+func (s *Schema) NotNull(table, column string) bool {
+	for _, c := range s.Constraints {
+		switch k := c.(type) {
+		case NotNullConstraint:
+			if k.Table == table && k.Column == column {
+				return true
+			}
+		case PrimaryKey:
+			if k.Table == table {
+				for _, col := range k.Columns {
+					if col == column {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Unique reports whether the given single column is declared unique,
+// either by a single-column UNIQUE constraint or a single-column primary
+// key.
+func (s *Schema) Unique(table, column string) bool {
+	for _, c := range s.Constraints {
+		switch k := c.(type) {
+		case UniqueConstraint:
+			if k.Table == table && len(k.Columns) == 1 && k.Columns[0] == column {
+				return true
+			}
+		case PrimaryKey:
+			if k.Table == table && len(k.Columns) == 1 && k.Columns[0] == column {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PrimaryKeyOf returns the primary key of the named table, if declared.
+func (s *Schema) PrimaryKeyOf(table string) (PrimaryKey, bool) {
+	for _, c := range s.Constraints {
+		if pk, ok := c.(PrimaryKey); ok && pk.Table == table {
+			return pk, true
+		}
+	}
+	return PrimaryKey{}, false
+}
+
+// ForeignKeysOf returns all foreign keys declared on the named table.
+func (s *Schema) ForeignKeysOf(table string) []ForeignKey {
+	var out []ForeignKey
+	for _, c := range s.Constraints {
+		if fk, ok := c.(ForeignKey); ok && fk.Table == table {
+			out = append(out, fk)
+		}
+	}
+	return out
+}
+
+// ForeignKeys returns all foreign keys of the schema.
+func (s *Schema) ForeignKeys() []ForeignKey {
+	var out []ForeignKey
+	for _, c := range s.Constraints {
+		if fk, ok := c.(ForeignKey); ok {
+			out = append(out, fk)
+		}
+	}
+	return out
+}
+
+// String renders a compact, deterministic description of the schema for
+// debugging and golden tests.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s\n", s.Name)
+	for _, t := range s.Tables() {
+		fmt.Fprintf(&b, "  table %s(", t.Name)
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		}
+		b.WriteString(")\n")
+	}
+	descs := make([]string, 0, len(s.Constraints))
+	for _, c := range s.Constraints {
+		descs = append(descs, c.String())
+	}
+	sort.Strings(descs)
+	for _, d := range descs {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+	"efes/internal/mapping"
+	"efes/internal/scenario"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+func renderExample(t *testing.T, withCurve bool) string {
+	t.Helper()
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), valuefit.New())
+	res, err := fw.Estimate(scn, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curve *core.CostBenefitCurve
+	if withCurve {
+		curve, err = fw.CostBenefit(scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, res, curve); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderContainsAllSections(t *testing.T) {
+	html := renderExample(t, true)
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"EFES effort estimate — music-example",
+		"Effort breakdown",
+		"Problem heatmap",
+		"Cost-benefit curve",
+		"<svg",
+		"Planned tasks",
+		"Module report: mapping",
+		"Module report: structural conflicts",
+		"Module report: value heterogeneities",
+		"records.artist",
+		"high qual.",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRenderWithoutCurve(t *testing.T) {
+	html := renderExample(t, false)
+	if strings.Contains(html, "Cost-benefit curve") {
+		t.Error("curve section should be omitted without a curve")
+	}
+	if !strings.Contains(html, "Planned tasks") {
+		t.Error("task section missing")
+	}
+}
+
+func TestRenderEscapesContent(t *testing.T) {
+	// Scenario names flow into the HTML; markup must be escaped.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	scn.Name = `<script>alert("x")</script>`
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()), mapping.New())
+	res, err := fw.Estimate(scn, effort.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Error("unescaped scenario name in the report")
+	}
+	if !strings.Contains(buf.String(), "&lt;script&gt;") {
+		t.Error("expected escaped scenario name")
+	}
+}
+
+func TestRenderBalancedTags(t *testing.T) {
+	html := renderExample(t, true)
+	for _, tag := range []string{"table", "html", "body", "svg", "h2"} {
+		open := strings.Count(html, "<"+tag)
+		closed := strings.Count(html, "</"+tag+">")
+		if open != closed {
+			t.Errorf("unbalanced <%s>: %d open, %d closed", tag, open, closed)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"efes/internal/core"
+	"efes/internal/relational"
+)
+
+// The bibliographic case study reconstructs the published shape of the
+// Amalgam dataset: four schema variants (s1-s4) of the same bibliographic
+// domain with 5-13 relations each, different normalization levels, naming
+// conventions, and value formats. The evaluation pairs are s1-s2, s1-s3,
+// s3-s4, and the identical-schema pair s4-s4 (§6.1).
+
+// Shared value pools for the bibliographic generators.
+var (
+	firstNames = []string{"Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Henry", "Ines", "Jorge", "Karin", "Liam", "Mona", "Nils", "Olga", "Peter"}
+	lastNames  = []string{"Smith", "Jones", "Garcia", "Mueller", "Tanaka", "Rossi", "Dubois", "Novak", "Silva", "Kim", "Olsen", "Kovacs", "Popov", "Costa", "Haddad", "Weber"}
+	titleWords = []string{"Adaptive", "Query", "Processing", "Distributed", "Databases", "Indexing", "Streams", "Integration", "Cleaning", "Schema", "Matching", "Optimization", "Transactions", "Recovery", "Mining", "Graphs", "Semantic", "Storage", "Parallel", "Learning"}
+	venueNames = []string{"VLDB Journal", "SIGMOD Record", "TODS", "Information Systems", "DKE", "TKDE", "PVLDB", "EDBT Proceedings", "ICDE Proceedings", "CIDR Notes", "Data Engineering Bulletin", "JDM"}
+	monthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	placeNames = []string{"Brussels", "Berlin", "Tokyo", "Boston", "Sydney", "Lisbon", "Oslo", "Prague", "Toronto", "Seoul"}
+)
+
+func bibTitle(r *rand.Rand) string {
+	n := 3 + r.Intn(4)
+	t := titleWords[r.Intn(len(titleWords))]
+	for i := 1; i < n; i++ {
+		t += " " + titleWords[r.Intn(len(titleWords))]
+	}
+	return t
+}
+
+// personName renders a person in one of the domain's competing formats.
+func personName(r *rand.Rand, style string, i int) string {
+	f := firstNames[i%len(firstNames)]
+	l := lastNames[(i/len(firstNames))%len(lastNames)]
+	suffix := ""
+	if i >= len(firstNames)*len(lastNames) {
+		suffix = fmt.Sprintf(" %d", i)
+	}
+	switch style {
+	case "last-first":
+		return l + suffix + ", " + f
+	default: // "first-last"
+		return f + " " + l + suffix
+	}
+}
+
+func pages(r *rand.Rand, style string) string {
+	lo := 1 + r.Intn(400)
+	hi := lo + 5 + r.Intn(30)
+	switch style {
+	case "double-dash":
+		return fmt.Sprintf("%d--%d", lo, hi)
+	case "pp":
+		return fmt.Sprintf("pp. %d-%d", lo, hi)
+	default:
+		return fmt.Sprintf("%d-%d", lo, hi)
+	}
+}
+
+// BibliographicS1 is the fine-grained, fully normalized variant: 13
+// relations, integer years, "First Last" author names, "12-34" pages, and
+// month names from a small domain.
+func BibliographicS1() SchemaSpec {
+	return SchemaSpec{Name: "s1", Tables: []TableSpec{
+		{Name: "authors", Concept: "author", PK: []string{"aid"},
+			Columns: []ColumnSpec{
+				{Name: "aid", Type: relational.Integer, Concept: ""},
+				{Name: "name", Type: relational.String, Concept: "author.name", NotNull: true},
+			}},
+		{Name: "journals", Concept: "venue", PK: []string{"jid"},
+			Columns: []ColumnSpec{
+				{Name: "jid", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "venue.name", NotNull: true},
+				{Name: "issn", Type: relational.String, Concept: "venue.issn"},
+			}},
+		{Name: "articles", Concept: "publication", PK: []string{"key"},
+			FKs: []FKSpec{{Cols: []string{"journal_id"}, RefTable: "journals", RefCols: []string{"jid"}}},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "pub.key"},
+				{Name: "title", Type: relational.String, Concept: "pub.title", NotNull: true},
+				{Name: "journal_id", Type: relational.Integer, Concept: "pub.venueref"},
+				{Name: "year", Type: relational.Integer, Concept: "pub.year", NotNull: true},
+				{Name: "volume", Type: relational.Integer, Concept: "pub.volume"},
+				{Name: "number", Type: relational.Integer, Concept: "pub.number"},
+				{Name: "pages", Type: relational.String, Concept: "pub.pages"},
+				{Name: "month", Type: relational.String, Concept: "pub.month"},
+			}},
+		{Name: "authorship", Concept: "authorship", PK: []string{"pub_key", "aid"},
+			FKs: []FKSpec{
+				{Cols: []string{"pub_key"}, RefTable: "articles", RefCols: []string{"key"}},
+				{Cols: []string{"aid"}, RefTable: "authors", RefCols: []string{"aid"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "pub_key", Type: relational.String},
+				{Name: "aid", Type: relational.Integer},
+				{Name: "position", Type: relational.Integer, Concept: "authorship.position", NotNull: true},
+			}},
+		{Name: "publishers", Concept: "publisher", PK: []string{"pid"},
+			Columns: []ColumnSpec{
+				{Name: "pid", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "publisher.name", NotNull: true, Unique: true},
+				{Name: "address", Type: relational.String, Concept: "publisher.address"},
+			}},
+		{Name: "books", Concept: "book", PK: []string{"key"},
+			FKs: []FKSpec{{Cols: []string{"publisher_id"}, RefTable: "publishers", RefCols: []string{"pid"}}},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "book.key"},
+				{Name: "title", Type: relational.String, Concept: "book.title", NotNull: true},
+				{Name: "publisher_id", Type: relational.Integer},
+				{Name: "year", Type: relational.Integer, Concept: "book.year"},
+				{Name: "isbn", Type: relational.String, Concept: "book.isbn", Unique: true},
+			}},
+		{Name: "proceedings", Concept: "proceedings", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "proc.key"},
+				{Name: "title", Type: relational.String, Concept: "proc.title", NotNull: true},
+				{Name: "year", Type: relational.Integer, Concept: "proc.year"},
+				{Name: "location", Type: relational.String, Concept: "proc.location"},
+			}},
+		{Name: "inproceedings", Concept: "inproc", PK: []string{"key"},
+			FKs: []FKSpec{{Cols: []string{"proc_key"}, RefTable: "proceedings", RefCols: []string{"key"}}},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "inproc.key"},
+				{Name: "title", Type: relational.String, Concept: "inproc.title", NotNull: true},
+				{Name: "proc_key", Type: relational.String, NotNull: true},
+				{Name: "pages", Type: relational.String, Concept: "inproc.pages"},
+			}},
+		{Name: "techreports", Concept: "report", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "report.key"},
+				{Name: "title", Type: relational.String, Concept: "report.title", NotNull: true},
+				{Name: "institution", Type: relational.String, Concept: "report.institution", NotNull: true},
+				{Name: "number", Type: relational.Integer, Concept: "report.number"},
+			}},
+		{Name: "editors", Concept: "editorship", PK: []string{"proc_key", "aid"},
+			FKs: []FKSpec{
+				{Cols: []string{"proc_key"}, RefTable: "proceedings", RefCols: []string{"key"}},
+				{Cols: []string{"aid"}, RefTable: "authors", RefCols: []string{"aid"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "proc_key", Type: relational.String},
+				{Name: "aid", Type: relational.Integer},
+			}},
+		{Name: "webpages", Concept: "web", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "web.key"},
+				{Name: "title", Type: relational.String, Concept: "web.title"},
+				{Name: "url", Type: relational.String, Concept: "web.url", Unique: true},
+			}},
+		{Name: "notes", Concept: "note", PK: []string{"pub_key"},
+			FKs: []FKSpec{{Cols: []string{"pub_key"}, RefTable: "articles", RefCols: []string{"key"}}},
+			Columns: []ColumnSpec{
+				{Name: "pub_key", Type: relational.String},
+				{Name: "note", Type: relational.String, Concept: "note.text"},
+			}},
+		{Name: "keywords", Concept: "keyword", PK: []string{"pub_key", "word"},
+			FKs: []FKSpec{{Cols: []string{"pub_key"}, RefTable: "articles", RefCols: []string{"key"}}},
+			Columns: []ColumnSpec{
+				{Name: "pub_key", Type: relational.String},
+				{Name: "word", Type: relational.String, Concept: "keyword.word"},
+			}},
+	}}
+}
+
+// BibliographicS2 is a differently normalized variant: 8 relations,
+// "Last, First" names, "12--34" pages, numeric month strings, a mandatory
+// publication kind without counterpart in the other variants, and a
+// mandatory venue reference.
+func BibliographicS2() SchemaSpec {
+	return SchemaSpec{Name: "s2", Tables: []TableSpec{
+		{Name: "person", Concept: "author", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "full_name", Type: relational.String, Concept: "author.name", NotNull: true},
+			}},
+		{Name: "venue", Concept: "venue", PK: []string{"vid"},
+			Columns: []ColumnSpec{
+				{Name: "vid", Type: relational.Integer},
+				{Name: "venue_name", Type: relational.String, Concept: "venue.name", NotNull: true, Unique: true},
+				{Name: "issn_code", Type: relational.String, Concept: "venue.issn"},
+			}},
+		{Name: "publication", Concept: "publication", PK: []string{"pubid"},
+			FKs: []FKSpec{{Cols: []string{"venue_ref"}, RefTable: "venue", RefCols: []string{"vid"}}},
+			Columns: []ColumnSpec{
+				{Name: "pubid", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "pub.title", NotNull: true},
+				{Name: "kind", Type: relational.String, Concept: "pub.kind"},
+				{Name: "venue_ref", Type: relational.Integer, Concept: "pub.venueref", NotNull: true},
+				{Name: "pub_year", Type: relational.Integer, Concept: "pub.year", NotNull: true},
+				{Name: "page_range", Type: relational.String, Concept: "pub.pages"},
+				{Name: "pub_month", Type: relational.String, Concept: "pub.month"},
+			}},
+		{Name: "wrote", Concept: "authorship", PK: []string{"pubid", "person_id"},
+			FKs: []FKSpec{
+				{Cols: []string{"pubid"}, RefTable: "publication", RefCols: []string{"pubid"}},
+				{Cols: []string{"person_id"}, RefTable: "person", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "pubid", Type: relational.Integer},
+				{Name: "person_id", Type: relational.Integer},
+				{Name: "rank", Type: relational.Integer, Concept: "authorship.position"},
+			}},
+		{Name: "press", Concept: "publisher", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "publisher.name", NotNull: true},
+				{Name: "city", Type: relational.String, Concept: "publisher.address"},
+			}},
+		{Name: "monograph", Concept: "book", PK: []string{"id"},
+			FKs: []FKSpec{{Cols: []string{"press_id"}, RefTable: "press", RefCols: []string{"id"}}},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "book.title", NotNull: true},
+				{Name: "press_id", Type: relational.Integer},
+				{Name: "year", Type: relational.Integer, Concept: "book.year"},
+				{Name: "isbn13", Type: relational.String, Concept: "book.isbn"},
+			}},
+		{Name: "event", Concept: "proceedings", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "event_title", Type: relational.String, Concept: "proc.title", NotNull: true},
+				{Name: "event_year", Type: relational.Integer, Concept: "proc.year"},
+				{Name: "held_in", Type: relational.String, Concept: "proc.location"},
+			}},
+		{Name: "remark", Concept: "note", PK: []string{"pubid"},
+			FKs: []FKSpec{{Cols: []string{"pubid"}, RefTable: "publication", RefCols: []string{"pubid"}}},
+			Columns: []ColumnSpec{
+				{Name: "pubid", Type: relational.Integer},
+				{Name: "text", Type: relational.String, Concept: "note.text"},
+			}},
+	}}
+}
+
+// BibliographicS3 is the flat, denormalized variant: 5 wide relations,
+// single-valued author attribute, two-digit year strings, "pp. 12-34"
+// pages.
+func BibliographicS3() SchemaSpec {
+	return SchemaSpec{Name: "s3", Tables: []TableSpec{
+		{Name: "pubs", Concept: "publication", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "pub.key"},
+				{Name: "title", Type: relational.String, Concept: "pub.title", NotNull: true},
+				{Name: "author", Type: relational.String, Concept: "author.name", NotNull: true},
+				{Name: "journal", Type: relational.String, Concept: "venue.name"},
+				{Name: "yr", Type: relational.String, Concept: "pub.year", NotNull: true},
+				{Name: "pg", Type: relational.String, Concept: "pub.pages"},
+			}},
+		{Name: "bookshelf", Concept: "book", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "book.key"},
+				{Name: "title", Type: relational.String, Concept: "book.title", NotNull: true},
+				{Name: "publisher", Type: relational.String, Concept: "publisher.name"},
+				{Name: "yr", Type: relational.String, Concept: "book.year"},
+				{Name: "isbn", Type: relational.String, Concept: "book.isbn"},
+			}},
+		{Name: "confs", Concept: "proceedings", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "proc.key"},
+				{Name: "name", Type: relational.String, Concept: "proc.title", NotNull: true},
+				{Name: "yr", Type: relational.String, Concept: "proc.year"},
+				{Name: "place", Type: relational.String, Concept: "proc.location"},
+			}},
+		{Name: "reports", Concept: "report", PK: []string{"key"},
+			Columns: []ColumnSpec{
+				{Name: "key", Type: relational.String, Concept: "report.key"},
+				{Name: "title", Type: relational.String, Concept: "report.title", NotNull: true},
+				{Name: "inst", Type: relational.String, Concept: "report.institution"},
+			}},
+		{Name: "links", Concept: "web", PK: []string{"url"},
+			Columns: []ColumnSpec{
+				{Name: "url", Type: relational.String, Concept: "web.url"},
+				{Name: "caption", Type: relational.String, Concept: "web.title"},
+			}},
+	}}
+}
+
+// BibliographicS4 is a mid-normalized variant: 7 relations, integer
+// years, "First Last" names, "12-34" pages — the conventions of s1 with a
+// normalized author list like s2.
+func BibliographicS4() SchemaSpec {
+	return SchemaSpec{Name: "s4", Tables: []TableSpec{
+		{Name: "writers", Concept: "author", PK: []string{"wid"},
+			Columns: []ColumnSpec{
+				{Name: "wid", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "author.name", NotNull: true},
+			}},
+		{Name: "outlets", Concept: "venue", PK: []string{"oid"},
+			Columns: []ColumnSpec{
+				{Name: "oid", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "venue.name", NotNull: true},
+			}},
+		{Name: "papers", Concept: "publication", PK: []string{"pid"},
+			FKs: []FKSpec{{Cols: []string{"outlet_id"}, RefTable: "outlets", RefCols: []string{"oid"}}},
+			Columns: []ColumnSpec{
+				{Name: "pid", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "pub.title", NotNull: true},
+				{Name: "outlet_id", Type: relational.Integer, Concept: "pub.venueref"},
+				{Name: "year", Type: relational.Integer, Concept: "pub.year", NotNull: true},
+				{Name: "pages", Type: relational.String, Concept: "pub.pages"},
+			}},
+		{Name: "paper_writers", Concept: "authorship", PK: []string{"pid", "wid"},
+			FKs: []FKSpec{
+				{Cols: []string{"pid"}, RefTable: "papers", RefCols: []string{"pid"}},
+				{Cols: []string{"wid"}, RefTable: "writers", RefCols: []string{"wid"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "pid", Type: relational.Integer},
+				{Name: "wid", Type: relational.Integer},
+				{Name: "position", Type: relational.Integer, Concept: "authorship.position"},
+			}},
+		{Name: "volumes", Concept: "book", PK: []string{"vid"},
+			Columns: []ColumnSpec{
+				{Name: "vid", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "book.title", NotNull: true},
+				{Name: "year", Type: relational.Integer, Concept: "book.year"},
+				{Name: "isbn", Type: relational.String, Concept: "book.isbn"},
+			}},
+		{Name: "meetings", Concept: "proceedings", PK: []string{"mid"},
+			Columns: []ColumnSpec{
+				{Name: "mid", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "proc.title", NotNull: true},
+				{Name: "year", Type: relational.Integer, Concept: "proc.year"},
+				{Name: "venue_city", Type: relational.String, Concept: "proc.location"},
+			}},
+		{Name: "memos", Concept: "report", PK: []string{"mid"},
+			Columns: []ColumnSpec{
+				{Name: "mid", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "report.title", NotNull: true},
+				{Name: "org", Type: relational.String, Concept: "report.institution"},
+			}},
+	}}
+}
+
+// bibSizes controls the bibliographic instance sizes.
+type bibSizes struct {
+	pubs, authors, venues, books, procs, reports int
+}
+
+func defaultBibSizes() bibSizes {
+	return bibSizes{pubs: 240, authors: 90, venues: 12, books: 40, procs: 20, reports: 15}
+}
+
+// PopulateS1 fills an s1 instance. A share of articles has a NULL journal
+// reference, some journal names repeat across ids (distinct journals,
+// duplicate names would violate s2's unique venue_name), some articles
+// have zero or several authors, and some authors wrote nothing.
+func PopulateS1(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultBibSizes()
+	for i := 0; i < sz.authors; i++ {
+		db.MustInsert("authors", i+1, personName(r, "first-last", i))
+	}
+	for i := 0; i < sz.venues; i++ {
+		// Two ids share one name (name duplication, allowed in s1).
+		name := venueNames[i%(len(venueNames)-2)]
+		db.MustInsert("journals", i+1, name, fmt.Sprintf("%04d-%04d", 1000+i, 2000+i))
+	}
+	for i := 0; i < sz.pubs; i++ {
+		key := fmt.Sprintf("art%03d", i)
+		var journal relational.Value
+		if i%8 != 0 { // every 8th article lacks a journal
+			journal = int64(r.Intn(sz.venues) + 1)
+		}
+		db.MustInsert("articles", key, bibTitle(r), journal, 1985+r.Intn(30),
+			int64(1+r.Intn(40)), int64(1+r.Intn(12)), pages(r, "plain"), monthNames[r.Intn(12)])
+		// Author credits: mostly single-author, a quarter with 2-3
+		// authors, every 10th none.
+		credits := 1
+		if r.Intn(4) == 0 {
+			credits = 2 + r.Intn(2)
+		}
+		if i%10 == 0 {
+			credits = 0
+		}
+		seen := map[int]bool{}
+		for c := 0; c < credits; c++ {
+			aid := r.Intn(sz.authors-10) + 1 // the last 10 authors wrote nothing
+			if seen[aid] {
+				continue
+			}
+			seen[aid] = true
+			db.MustInsert("authorship", key, aid, c+1)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		db.MustInsert("publishers", i+1, fmt.Sprintf("%s Press", lastNames[i]), placeNames[i%len(placeNames)])
+	}
+	for i := 0; i < sz.books; i++ {
+		db.MustInsert("books", fmt.Sprintf("bk%03d", i), bibTitle(r), int64(r.Intn(8)+1),
+			1990+r.Intn(25), fmt.Sprintf("978-%d-%05d-%02d", r.Intn(10), r.Intn(100000), i))
+	}
+	for i := 0; i < sz.procs; i++ {
+		key := fmt.Sprintf("proc%02d", i)
+		db.MustInsert("proceedings", key, "Proceedings of "+bibTitle(r), 2000+r.Intn(15), placeNames[r.Intn(len(placeNames))])
+		db.MustInsert("inproceedings", fmt.Sprintf("inp%03d", i), bibTitle(r), key, pages(r, "plain"))
+		db.MustInsert("editors", key, r.Intn(sz.authors)+1)
+	}
+	for i := 0; i < sz.reports; i++ {
+		db.MustInsert("techreports", fmt.Sprintf("tr%02d", i), bibTitle(r), lastNames[i%len(lastNames)]+" University", int64(i+1))
+	}
+	for i := 0; i < 10; i++ {
+		db.MustInsert("webpages", fmt.Sprintf("web%02d", i), bibTitle(r), fmt.Sprintf("http://example.org/p/%d", i))
+	}
+	for i := 0; i < 30; i++ {
+		db.MustInsert("notes", fmt.Sprintf("art%03d", i*7%sz.pubs), "See also "+bibTitle(r))
+		db.MustInsert("keywords", fmt.Sprintf("art%03d", i*5%sz.pubs), titleWords[r.Intn(len(titleWords))])
+	}
+}
+
+// PopulateS2 fills an s2 instance with its conventions: "Last, First"
+// names, "12--34" pages, numeric month strings, mandatory kinds.
+func PopulateS2(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultBibSizes()
+	for i := 0; i < sz.authors; i++ {
+		db.MustInsert("person", i+1, personName(r, "last-first", i))
+	}
+	for i := 0; i < sz.venues; i++ {
+		db.MustInsert("venue", i+1, venueNames[i%len(venueNames)], fmt.Sprintf("%04d-%04d", 3000+i, 4000+i))
+	}
+	kinds := []string{"article", "inproceedings", "techreport"}
+	for i := 0; i < sz.pubs; i++ {
+		db.MustInsert("publication", i+1, bibTitle(r), kinds[i%len(kinds)],
+			int64(r.Intn(sz.venues)+1), 1985+r.Intn(30), pages(r, "double-dash"), fmt.Sprintf("%d", 1+r.Intn(12)))
+		for c := 0; c < 1+r.Intn(2); c++ {
+			pid := (i*3+c*7)%sz.authors + 1
+			if c == 1 && pid == (i*3)%sz.authors+1 {
+				continue
+			}
+			db.MustInsert("wrote", i+1, pid, c+1)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		db.MustInsert("press", i+1, fmt.Sprintf("%s Publishing", lastNames[i+3]), placeNames[i%len(placeNames)])
+	}
+	for i := 0; i < sz.books; i++ {
+		db.MustInsert("monograph", i+1, bibTitle(r), int64(r.Intn(8)+1), 1990+r.Intn(25),
+			fmt.Sprintf("979-%d-%05d-%02d", r.Intn(10), r.Intn(100000), i))
+	}
+	for i := 0; i < sz.procs; i++ {
+		db.MustInsert("event", i+1, "Intl. Conference on "+bibTitle(r), 2000+r.Intn(15), placeNames[r.Intn(len(placeNames))])
+	}
+	for i := 0; i < 20; i++ {
+		db.MustInsert("remark", i*11%sz.pubs+1, "Cf. "+bibTitle(r))
+	}
+}
+
+// PopulateS3 fills the flat s3 instance: one row per publication with a
+// single author field (multi-author works concatenated with " and "),
+// two-digit years, "pp." pages, and plain-text journal names.
+func PopulateS3(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultBibSizes()
+	for i := 0; i < sz.pubs; i++ {
+		author := personName(r, "first-last", r.Intn(sz.authors))
+		if i%6 == 0 { // multi-author row
+			author += " and " + personName(r, "first-last", r.Intn(sz.authors))
+		}
+		var journal relational.Value
+		if i%5 != 0 {
+			journal = venueNames[r.Intn(len(venueNames))]
+		}
+		db.MustInsert("pubs", fmt.Sprintf("p%03d", i), bibTitle(r), author, journal,
+			fmt.Sprintf("%02d", 85+r.Intn(15)), pages(r, "pp"))
+	}
+	for i := 0; i < sz.books; i++ {
+		db.MustInsert("bookshelf", fmt.Sprintf("b%03d", i), bibTitle(r),
+			fmt.Sprintf("%s Press", lastNames[r.Intn(8)]), fmt.Sprintf("%02d", 90+r.Intn(10)),
+			fmt.Sprintf("978-%d-%05d-%02d", r.Intn(10), r.Intn(100000), i))
+	}
+	for i := 0; i < sz.procs; i++ {
+		db.MustInsert("confs", fmt.Sprintf("c%02d", i), "Workshop on "+bibTitle(r),
+			fmt.Sprintf("%02d", r.Intn(15)), placeNames[r.Intn(len(placeNames))])
+	}
+	for i := 0; i < sz.reports; i++ {
+		db.MustInsert("reports", fmt.Sprintf("r%02d", i), bibTitle(r), lastNames[i%len(lastNames)]+" Institute")
+	}
+	for i := 0; i < 10; i++ {
+		db.MustInsert("links", fmt.Sprintf("http://example.org/l/%d", i), bibTitle(r))
+	}
+}
+
+// PopulateS4 fills an s4 instance with s1-like conventions.
+func PopulateS4(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultBibSizes()
+	for i := 0; i < sz.authors; i++ {
+		db.MustInsert("writers", i+1, personName(r, "first-last", i))
+	}
+	for i := 0; i < sz.venues; i++ {
+		db.MustInsert("outlets", i+1, venueNames[i%len(venueNames)])
+	}
+	for i := 0; i < sz.pubs; i++ {
+		var outlet relational.Value
+		if i%7 != 0 {
+			outlet = int64(r.Intn(sz.venues) + 1)
+		}
+		db.MustInsert("papers", i+1, bibTitle(r), outlet, 1985+r.Intn(30), pages(r, "plain"))
+		for c := 0; c < 1+r.Intn(2); c++ {
+			wid := (i*5+c*13)%sz.authors + 1
+			if c == 1 && wid == (i*5)%sz.authors+1 {
+				continue
+			}
+			db.MustInsert("paper_writers", i+1, wid, c+1)
+		}
+	}
+	for i := 0; i < sz.books; i++ {
+		db.MustInsert("volumes", i+1, bibTitle(r), 1990+r.Intn(25),
+			fmt.Sprintf("978-%d-%05d-%02d", r.Intn(10), r.Intn(100000), i))
+	}
+	for i := 0; i < sz.procs; i++ {
+		db.MustInsert("meetings", i+1, "Symposium on "+bibTitle(r), 2000+r.Intn(15), placeNames[r.Intn(len(placeNames))])
+	}
+	for i := 0; i < sz.reports; i++ {
+		db.MustInsert("memos", i+1, bibTitle(r), lastNames[i%len(lastNames)]+" Lab")
+	}
+}
+
+// bibVariant bundles a schema spec with its population function.
+type variant struct {
+	Spec     SchemaSpec
+	Populate func(*relational.Database, int64)
+}
+
+func bibVariants() map[string]variant {
+	return map[string]variant{
+		"s1": {BibliographicS1(), PopulateS1},
+		"s2": {BibliographicS2(), PopulateS2},
+		"s3": {BibliographicS3(), PopulateS3},
+		"s4": {BibliographicS4(), PopulateS4},
+	}
+}
+
+// BibliographicScenario builds one evaluation scenario of the
+// bibliographic domain, e.g. BibliographicScenario("s1", "s2", 1). The
+// seed offsets the instance generation so that e.g. s4-s4 pairs two
+// different instances of the same schema.
+func BibliographicScenario(src, tgt string, seed int64) (*core.Scenario, error) {
+	variants := bibVariants()
+	sv, ok := variants[src]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown bibliographic variant %q", src)
+	}
+	tv, ok := variants[tgt]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown bibliographic variant %q", tgt)
+	}
+	srcDB := relational.NewDatabase(sv.Spec.Build())
+	sv.Populate(srcDB, seed)
+	tgtDB := relational.NewDatabase(tv.Spec.Build())
+	tv.Populate(tgtDB, seed+1000)
+	return &core.Scenario{
+		Name:   src + "-" + tgt,
+		Target: tgtDB,
+		Sources: []*core.Source{{
+			Name:            src,
+			DB:              srcDB,
+			Correspondences: Correspond(sv.Spec, tv.Spec),
+		}},
+	}, nil
+}
+
+// MustBibliographicScenario is BibliographicScenario but panics on error.
+func MustBibliographicScenario(src, tgt string, seed int64) *core.Scenario {
+	s, err := BibliographicScenario(src, tgt, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

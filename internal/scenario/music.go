@@ -1,0 +1,424 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"efes/internal/core"
+	"efes/internal/relational"
+)
+
+// The music case study reconstructs the published shape of the paper's
+// discographic datasets: three schema families of very different
+// granularity — a FreeDB-like flat export (2 relations), a
+// MusicBrainz-like normalized schema (14 relations), and a Discogs-like
+// mid-sized schema (8 relations). The evaluation pairs are f1-m2, m1-d2,
+// m1-f2, and the identical-schema pair d1-d2 (§6.1). In this domain the
+// effort is dominated by the mapping, which strongly depends on the
+// schema (§6.2).
+
+var (
+	bandWords  = []string{"Velvet", "Iron", "Crimson", "Electric", "Silent", "Golden", "Midnight", "Neon", "Lunar", "Static", "Wild", "Broken", "Echo", "Royal", "Solar", "Ashen"}
+	bandNouns  = []string{"Foxes", "Harbor", "Circuit", "Monarchs", "Tide", "Parade", "Mirrors", "Union", "Owls", "Engine", "Sisters", "Cartel", "Garden", "Pilots", "Theory", "Saints"}
+	songWords  = []string{"Run", "Fall", "Glow", "Drift", "Burn", "Wait", "Shine", "Break", "Rise", "Fade", "Hold", "Turn", "Dance", "Dream", "Call", "Stay"}
+	musicGenre = []string{"Rock", "Pop", "Electronic", "Jazz", "Hip-Hop", "Folk", "Metal", "Soul"}
+	countries  = []string{"US", "GB", "DE", "FR", "JP", "SE", "BR", "CA"}
+	labelNames = []string{"Parlophone", "Subways", "Northstar", "Bluebird", "Kosmos", "Harbor Lane", "Crescendo", "Vermilion"}
+)
+
+func bandName(r *rand.Rand, i int) string {
+	name := bandWords[i%len(bandWords)] + " " + bandNouns[(i/len(bandWords))%len(bandNouns)]
+	if i >= len(bandWords)*len(bandNouns) {
+		name += fmt.Sprintf(" %d", i)
+	}
+	return name
+}
+
+func albumTitle(r *rand.Rand) string {
+	t := bandWords[r.Intn(len(bandWords))] + " " + songWords[r.Intn(len(songWords))]
+	if r.Intn(3) > 0 {
+		t += " " + bandNouns[r.Intn(len(bandNouns))]
+	}
+	return t
+}
+
+func songTitle(r *rand.Rand) string {
+	t := songWords[r.Intn(len(songWords))]
+	if r.Intn(2) == 0 {
+		t += " " + songWords[r.Intn(len(songWords))]
+	}
+	return t
+}
+
+// MusicF is the FreeDB-like flat export: two wide relations. Track
+// lengths are integer seconds, release dates are plain years.
+func MusicF() SchemaSpec {
+	return SchemaSpec{Name: "f", Tables: []TableSpec{
+		{Name: "discs", Concept: "release", PK: []string{"discid"},
+			Columns: []ColumnSpec{
+				{Name: "discid", Type: relational.String},
+				{Name: "artist", Type: relational.String, Concept: "artist.name", NotNull: true},
+				{Name: "title", Type: relational.String, Concept: "release.title", NotNull: true},
+				{Name: "genre", Type: relational.String, Concept: "release.genre"},
+				{Name: "year", Type: relational.Integer, Concept: "release.year"},
+			}},
+		{Name: "disc_tracks", Concept: "track", PK: []string{"discid", "num"},
+			FKs: []FKSpec{{Cols: []string{"discid"}, RefTable: "discs", RefCols: []string{"discid"}}},
+			Columns: []ColumnSpec{
+				{Name: "discid", Type: relational.String, Concept: "track.releaseref"},
+				{Name: "num", Type: relational.Integer, Concept: "track.position"},
+				{Name: "title", Type: relational.String, Concept: "track.title", NotNull: true},
+				{Name: "seconds", Type: relational.Integer, Concept: "track.length"},
+			}},
+	}}
+}
+
+// MusicM is the MusicBrainz-like normalized schema: 14 relations with
+// artist credits, mediums, recordings, labels, and genre links. Track
+// lengths are integer milliseconds.
+func MusicM() SchemaSpec {
+	return SchemaSpec{Name: "m", Tables: []TableSpec{
+		{Name: "artist", Concept: "artist", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "artist.name", NotNull: true},
+				{Name: "sort_name", Type: relational.String, Concept: "artist.sortname"},
+				{Name: "begin_year", Type: relational.Integer, Concept: "artist.beginyear"},
+			}},
+		{Name: "artist_credit", Concept: "credit", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "credit_count", Type: relational.Integer},
+			}},
+		{Name: "artist_credit_name", Concept: "creditname", PK: []string{"credit", "position"},
+			FKs: []FKSpec{
+				{Cols: []string{"credit"}, RefTable: "artist_credit", RefCols: []string{"id"}},
+				{Cols: []string{"artist"}, RefTable: "artist", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "credit", Type: relational.Integer},
+				{Name: "position", Type: relational.Integer},
+				{Name: "artist", Type: relational.Integer, NotNull: true},
+			}},
+		{Name: "release_group", Concept: "releasegroup", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, NotNull: true},
+				{Name: "type", Type: relational.String},
+			}},
+		{Name: "release", Concept: "release", PK: []string{"id"},
+			FKs: []FKSpec{
+				{Cols: []string{"artist_credit"}, RefTable: "artist_credit", RefCols: []string{"id"}},
+				{Cols: []string{"release_group"}, RefTable: "release_group", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "release.title", NotNull: true},
+				{Name: "artist_credit", Type: relational.Integer, NotNull: true},
+				{Name: "release_group", Type: relational.Integer},
+				{Name: "year", Type: relational.Integer, Concept: "release.year"},
+				{Name: "country", Type: relational.String, Concept: "release.country"},
+			}},
+		{Name: "medium", Concept: "medium", PK: []string{"id"},
+			FKs: []FKSpec{{Cols: []string{"release"}, RefTable: "release", RefCols: []string{"id"}}},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "release", Type: relational.Integer, Concept: "track.releaseref", NotNull: true},
+				{Name: "position", Type: relational.Integer},
+				{Name: "format", Type: relational.String},
+			}},
+		{Name: "recording", Concept: "recording", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, NotNull: true},
+				{Name: "length_ms", Type: relational.Integer},
+			}},
+		{Name: "track", Concept: "track", PK: []string{"id"},
+			FKs: []FKSpec{
+				{Cols: []string{"medium"}, RefTable: "medium", RefCols: []string{"id"}},
+				{Cols: []string{"recording"}, RefTable: "recording", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "medium", Type: relational.Integer, NotNull: true},
+				{Name: "position", Type: relational.Integer, Concept: "track.position", NotNull: true},
+				{Name: "title", Type: relational.String, Concept: "track.title", NotNull: true},
+				{Name: "length_ms", Type: relational.Integer, Concept: "track.length"},
+				{Name: "recording", Type: relational.Integer},
+			}},
+		{Name: "label", Concept: "label", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "label.name", NotNull: true},
+				{Name: "country", Type: relational.String},
+			}},
+		{Name: "release_label", Concept: "releaselabel", PK: []string{"release", "label"},
+			FKs: []FKSpec{
+				{Cols: []string{"release"}, RefTable: "release", RefCols: []string{"id"}},
+				{Cols: []string{"label"}, RefTable: "label", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "release", Type: relational.Integer},
+				{Name: "label", Type: relational.Integer},
+				{Name: "catalog_no", Type: relational.String},
+			}},
+		{Name: "genre", Concept: "genre", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "release.genre", NotNull: true, Unique: true},
+			}},
+		{Name: "release_genre", Concept: "releasegenre", PK: []string{"release", "genre"},
+			FKs: []FKSpec{
+				{Cols: []string{"release"}, RefTable: "release", RefCols: []string{"id"}},
+				{Cols: []string{"genre"}, RefTable: "genre", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "release", Type: relational.Integer},
+				{Name: "genre", Type: relational.Integer},
+			}},
+		{Name: "place", Concept: "place", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, NotNull: true},
+				{Name: "city", Type: relational.String},
+			}},
+		{Name: "url", Concept: "url", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "target", Type: relational.String, Concept: "url.target", NotNull: true, Unique: true},
+			}},
+	}}
+}
+
+// MusicD is the Discogs-like mid-sized schema: 8 relations, single
+// mandatory genre per release, "m:ss" track durations, and "YYYY-MM-DD"
+// release dates.
+func MusicD() SchemaSpec {
+	return SchemaSpec{Name: "d", Tables: []TableSpec{
+		{Name: "artists", Concept: "artist", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "artist.name", NotNull: true},
+				{Name: "real_name", Type: relational.String},
+			}},
+		{Name: "releases", Concept: "release", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "title", Type: relational.String, Concept: "release.title", NotNull: true},
+				{Name: "released", Type: relational.String, Concept: "release.year"},
+				{Name: "country", Type: relational.String, Concept: "release.country"},
+				{Name: "main_genre", Type: relational.String, Concept: "release.genre", NotNull: true},
+			}},
+		{Name: "release_artists", Concept: "creditname", PK: []string{"release_id", "artist_id"},
+			FKs: []FKSpec{
+				{Cols: []string{"release_id"}, RefTable: "releases", RefCols: []string{"id"}},
+				{Cols: []string{"artist_id"}, RefTable: "artists", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "release_id", Type: relational.Integer},
+				{Name: "artist_id", Type: relational.Integer},
+				{Name: "role", Type: relational.String},
+			}},
+		{Name: "tracklist", Concept: "track", PK: []string{"release_id", "position"},
+			FKs: []FKSpec{{Cols: []string{"release_id"}, RefTable: "releases", RefCols: []string{"id"}}},
+			Columns: []ColumnSpec{
+				{Name: "release_id", Type: relational.Integer, Concept: "track.releaseref"},
+				{Name: "position", Type: relational.Integer, Concept: "track.position"},
+				{Name: "title", Type: relational.String, Concept: "track.title", NotNull: true},
+				{Name: "duration", Type: relational.String, Concept: "track.length"},
+			}},
+		{Name: "labels", Concept: "label", PK: []string{"id"},
+			Columns: []ColumnSpec{
+				{Name: "id", Type: relational.Integer},
+				{Name: "name", Type: relational.String, Concept: "label.name", NotNull: true},
+			}},
+		{Name: "release_labels", Concept: "releaselabel", PK: []string{"release_id", "label_id"},
+			FKs: []FKSpec{
+				{Cols: []string{"release_id"}, RefTable: "releases", RefCols: []string{"id"}},
+				{Cols: []string{"label_id"}, RefTable: "labels", RefCols: []string{"id"}},
+			},
+			Columns: []ColumnSpec{
+				{Name: "release_id", Type: relational.Integer},
+				{Name: "label_id", Type: relational.Integer},
+				{Name: "catno", Type: relational.String},
+			}},
+		{Name: "styles", Concept: "style", PK: []string{"release_id", "style"},
+			FKs: []FKSpec{{Cols: []string{"release_id"}, RefTable: "releases", RefCols: []string{"id"}}},
+			Columns: []ColumnSpec{
+				{Name: "release_id", Type: relational.Integer},
+				{Name: "style", Type: relational.String, Concept: "style.name"},
+			}},
+		{Name: "videos", Concept: "url", PK: []string{"release_id", "uri"},
+			FKs: []FKSpec{{Cols: []string{"release_id"}, RefTable: "releases", RefCols: []string{"id"}}},
+			Columns: []ColumnSpec{
+				{Name: "release_id", Type: relational.Integer},
+				{Name: "uri", Type: relational.String, Concept: "url.target"},
+			}},
+	}}
+}
+
+// musicSizes controls the music instance sizes.
+type musicSizes struct {
+	artists, releases, tracksPer, labels int
+}
+
+func defaultMusicSizes() musicSizes {
+	return musicSizes{artists: 70, releases: 160, tracksPer: 5, labels: 8}
+}
+
+// PopulateF fills a FreeDB-like instance: integer seconds, plain years.
+func PopulateF(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultMusicSizes()
+	for i := 0; i < sz.releases; i++ {
+		discid := fmt.Sprintf("%08x", 0x1000+i*7)
+		var genre relational.Value
+		if i%4 != 0 {
+			genre = musicGenre[r.Intn(len(musicGenre))]
+		}
+		db.MustInsert("discs", discid, bandName(r, r.Intn(sz.artists)), albumTitle(r), genre, 1970+r.Intn(50))
+		tracks := sz.tracksPer + r.Intn(4)
+		for tr := 1; tr <= tracks; tr++ {
+			db.MustInsert("disc_tracks", discid, tr, songTitle(r), 90+r.Intn(300))
+		}
+	}
+}
+
+// PopulateM fills a MusicBrainz-like instance: millisecond lengths, rich
+// normalization, multi-artist credits, and artists without releases.
+func PopulateM(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultMusicSizes()
+	for i := 0; i < sz.artists; i++ {
+		name := bandName(r, i)
+		db.MustInsert("artist", i+1, name, name, 1950+r.Intn(60))
+	}
+	for i := 0; i < len(musicGenre); i++ {
+		db.MustInsert("genre", i+1, musicGenre[i])
+	}
+	for i := 0; i < sz.labels; i++ {
+		db.MustInsert("label", i+1, labelNames[i%len(labelNames)], countries[i%len(countries)])
+	}
+	recordingID := 0
+	trackID := 0
+	for i := 0; i < sz.releases; i++ {
+		creditID := i + 1
+		// Every 9th release credits two artists; every 15th credits an
+		// artist list that no release uses... handled below. The last 8
+		// artists never appear in a credit (detached artists).
+		credits := 1
+		if i%9 == 0 {
+			credits = 2
+		}
+		db.MustInsert("artist_credit", creditID, credits)
+		for c := 0; c < credits; c++ {
+			db.MustInsert("artist_credit_name", creditID, c+1, (i*(c+3))%(sz.artists-8)+1)
+		}
+		db.MustInsert("release_group", i+1, albumTitle(r), []string{"Album", "EP", "Single"}[i%3])
+		db.MustInsert("release", i+1, albumTitle(r), creditID, i+1, 1970+r.Intn(50), countries[r.Intn(len(countries))])
+		db.MustInsert("medium", i+1, i+1, 1, "CD")
+		// Genre links: most releases have one genre, some two, some none.
+		if i%5 != 0 {
+			db.MustInsert("release_genre", i+1, i%len(musicGenre)+1)
+			if i%6 == 0 {
+				db.MustInsert("release_genre", i+1, (i+3)%len(musicGenre)+1)
+			}
+		}
+		db.MustInsert("release_label", i+1, i%sz.labels+1, fmt.Sprintf("CAT-%04d", i))
+		tracks := sz.tracksPer + r.Intn(4)
+		for tr := 1; tr <= tracks; tr++ {
+			recordingID++
+			trackID++
+			name := songTitle(r)
+			length := int64(90000 + r.Intn(300000))
+			db.MustInsert("recording", recordingID, name, length)
+			db.MustInsert("track", trackID, i+1, tr, name, length, recordingID)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		db.MustInsert("place", i+1, placeNames[i%len(placeNames)]+" Arena", placeNames[i%len(placeNames)])
+		db.MustInsert("url", i+1, fmt.Sprintf("http://example.org/mb/%d", i))
+	}
+}
+
+// PopulateD fills a Discogs-like instance: "m:ss" durations, "YYYY-MM-DD"
+// release dates, one mandatory genre per release.
+func PopulateD(db *relational.Database, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	sz := defaultMusicSizes()
+	for i := 0; i < sz.artists; i++ {
+		db.MustInsert("artists", i+1, bandName(r, i), nil)
+	}
+	for i := 0; i < sz.labels; i++ {
+		db.MustInsert("labels", i+1, labelNames[i%len(labelNames)])
+	}
+	for i := 0; i < sz.releases; i++ {
+		db.MustInsert("releases", i+1, albumTitle(r),
+			fmt.Sprintf("%d-%02d-%02d", 1970+r.Intn(50), 1+r.Intn(12), 1+r.Intn(28)),
+			countries[r.Intn(len(countries))], musicGenre[r.Intn(len(musicGenre))])
+		db.MustInsert("release_artists", i+1, i%sz.artists+1, "Main")
+		if i%9 == 0 {
+			db.MustInsert("release_artists", i+1, (i+7)%sz.artists+1, "Featuring")
+		}
+		db.MustInsert("release_labels", i+1, i%sz.labels+1, fmt.Sprintf("DGS%04d", i))
+		tracks := sz.tracksPer + r.Intn(4)
+		for tr := 1; tr <= tracks; tr++ {
+			db.MustInsert("tracklist", i+1, tr, songTitle(r), fmt.Sprintf("%d:%02d", 1+r.Intn(6), r.Intn(60)))
+		}
+		if i%3 == 0 {
+			db.MustInsert("styles", i+1, musicGenre[(i+1)%len(musicGenre)]+" Revival")
+		}
+		if i%10 == 0 {
+			db.MustInsert("videos", i+1, fmt.Sprintf("http://example.org/v/%d", i))
+		}
+	}
+}
+
+func musicVariants() map[string]variant {
+	return map[string]variant{
+		"f": {MusicF(), PopulateF},
+		"m": {MusicM(), PopulateM},
+		"d": {MusicD(), PopulateD},
+	}
+}
+
+// MusicScenario builds one evaluation scenario of the music domain. The
+// variant names follow the paper's figure labels: a schema letter plus an
+// instance number, e.g. MusicScenario("f1", "m2") integrates a FreeDB-like
+// instance into a MusicBrainz-like target.
+func MusicScenario(src, tgt string, seed int64) (*core.Scenario, error) {
+	variants := musicVariants()
+	if len(src) < 2 || len(tgt) < 2 {
+		return nil, fmt.Errorf("scenario: music variants need a schema letter and instance number, got %q, %q", src, tgt)
+	}
+	sv, ok := variants[src[:1]]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown music variant %q", src)
+	}
+	tv, ok := variants[tgt[:1]]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown music variant %q", tgt)
+	}
+	srcDB := relational.NewDatabase(sv.Spec.Build())
+	sv.Populate(srcDB, seed+int64(src[1]))
+	tgtDB := relational.NewDatabase(tv.Spec.Build())
+	tv.Populate(tgtDB, seed+1000+int64(tgt[1]))
+	return &core.Scenario{
+		Name:   src + "-" + tgt,
+		Target: tgtDB,
+		Sources: []*core.Source{{
+			Name:            src,
+			DB:              srcDB,
+			Correspondences: Correspond(sv.Spec, tv.Spec),
+		}},
+	}, nil
+}
+
+// MustMusicScenario is MusicScenario but panics on error.
+func MustMusicScenario(src, tgt string, seed int64) *core.Scenario {
+	s, err := MusicScenario(src, tgt, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

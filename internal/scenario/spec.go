@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"efes/internal/match"
+	"efes/internal/relational"
+)
+
+// ColumnSpec declares a column together with the semantic concept it
+// stores. Concepts drive the automatic derivation of the hand-made
+// correspondences between schema variants: two columns correspond iff
+// they carry the same non-empty concept (the paper's authors hand-made
+// their correspondences; our generators encode the same knowledge once per
+// schema).
+type ColumnSpec struct {
+	// Name is the column name.
+	Name string
+	// Type is the column datatype.
+	Type relational.Type
+	// Concept is the semantic tag, e.g. "pub.title".
+	Concept string
+	// NotNull and Unique declare single-column constraints.
+	NotNull, Unique bool
+}
+
+// FKSpec declares a foreign key.
+type FKSpec struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// TableSpec declares a table with its concept tag and constraints.
+type TableSpec struct {
+	// Name is the table name.
+	Name string
+	// Concept is the semantic tag of the entity the table stores,
+	// e.g. "publication".
+	Concept string
+	// Columns are the column declarations.
+	Columns []ColumnSpec
+	// PK lists the primary key columns, if any.
+	PK []string
+	// FKs lists the foreign keys.
+	FKs []FKSpec
+}
+
+// SchemaSpec declares a whole schema variant.
+type SchemaSpec struct {
+	// Name is the schema name (e.g. "s1", "freedb").
+	Name string
+	// Tables are the table declarations.
+	Tables []TableSpec
+}
+
+// Build materializes the spec into a relational schema.
+func (ss SchemaSpec) Build() *relational.Schema {
+	s := relational.NewSchema(ss.Name)
+	for _, ts := range ss.Tables {
+		cols := make([]relational.Column, len(ts.Columns))
+		for i, c := range ts.Columns {
+			cols[i] = relational.Column{Name: c.Name, Type: c.Type}
+		}
+		s.MustAddTable(relational.MustTable(ts.Name, cols...))
+	}
+	for _, ts := range ss.Tables {
+		if len(ts.PK) > 0 {
+			s.MustAddConstraint(relational.PrimaryKey{Table: ts.Name, Columns: ts.PK})
+		}
+		for _, c := range ts.Columns {
+			if c.NotNull && !inList(ts.PK, c.Name) {
+				s.MustAddConstraint(relational.NotNullConstraint{Table: ts.Name, Column: c.Name})
+			}
+			if c.Unique && !(len(ts.PK) == 1 && ts.PK[0] == c.Name) {
+				s.MustAddConstraint(relational.UniqueConstraint{Table: ts.Name, Columns: []string{c.Name}})
+			}
+		}
+		for _, fk := range ts.FKs {
+			s.MustAddConstraint(relational.ForeignKey{
+				Table: ts.Name, Columns: fk.Cols,
+				RefTable: fk.RefTable, RefColumns: fk.RefCols,
+			})
+		}
+	}
+	return s
+}
+
+// Table returns the named table spec, or nil.
+func (ss SchemaSpec) Table(name string) *TableSpec {
+	for i := range ss.Tables {
+		if ss.Tables[i].Name == name {
+			return &ss.Tables[i]
+		}
+	}
+	return nil
+}
+
+func inList(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Correspond derives the correspondence set from a source spec into a
+// target spec by concept equality: table-level correspondences for equal
+// table concepts, attribute correspondences for equal column concepts.
+// Each target element receives at most one source element (first match in
+// declaration order wins — deterministic, like a careful human would map).
+func Correspond(src, tgt SchemaSpec) *match.Set {
+	set := &match.Set{}
+	usedTargetTables := make(map[string]bool)
+	for _, tt := range tgt.Tables {
+		if tt.Concept == "" || usedTargetTables[tt.Name] {
+			continue
+		}
+		for _, st := range src.Tables {
+			if st.Concept == tt.Concept {
+				set.Table(st.Name, tt.Name)
+				usedTargetTables[tt.Name] = true
+				break
+			}
+		}
+	}
+	usedTargetCols := make(map[string]bool)
+	usedSourceCols := make(map[string]bool)
+	for _, tt := range tgt.Tables {
+		for _, tc := range tt.Columns {
+			if tc.Concept == "" {
+				continue
+			}
+			tgtKey := tt.Name + "." + tc.Name
+			if usedTargetCols[tgtKey] {
+				continue
+			}
+			for _, st := range src.Tables {
+				done := false
+				for _, sc := range st.Columns {
+					srcKey := st.Name + "." + sc.Name
+					if sc.Concept == tc.Concept && !usedSourceCols[srcKey] {
+						set.Attr(st.Name, sc.Name, tt.Name, tc.Name)
+						usedTargetCols[tgtKey] = true
+						usedSourceCols[srcKey] = true
+						done = true
+						break
+					}
+				}
+				if done {
+					break
+				}
+			}
+		}
+	}
+	return set
+}

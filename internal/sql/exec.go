@@ -1,0 +1,503 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efes/internal/relational"
+)
+
+// Result is the outcome of a query: column labels plus value rows.
+type Result struct {
+	// Columns are the output column labels.
+	Columns []string
+	// Rows hold the result tuples.
+	Rows [][]relational.Value
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rendered[i] = make([]string, len(row))
+		for j, v := range row {
+			s := relational.FormatValue(v)
+			if v == nil {
+				s = "NULL"
+			}
+			rendered[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range r.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range rendered {
+		for j, s := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[j], s)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}
+
+// Query parses and executes a SELECT statement against the database.
+func Query(db *relational.Database, text string) (*Result, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return execute(db, q)
+}
+
+// binding describes one column of the joined working set.
+type binding struct {
+	source string // table name or alias
+	column string
+	typ    relational.Type
+}
+
+// workingSet is the joined relation the clauses operate on.
+type workingSet struct {
+	bindings []binding
+	rows     [][]relational.Value
+}
+
+// resolve finds the position of a column reference; unqualified references
+// must be unambiguous.
+func (w *workingSet) resolve(c columnRef) (int, error) {
+	found := -1
+	for i, b := range w.bindings {
+		if b.column != c.column {
+			continue
+		}
+		if c.qualifier != "" && b.source != c.qualifier {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", c)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %q", c)
+	}
+	return found, nil
+}
+
+func execute(db *relational.Database, q *query) (*Result, error) {
+	ws, err := load(db, q.from)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range q.joins {
+		right, err := load(db, j.table)
+		if err != nil {
+			return nil, err
+		}
+		ws, err = hashJoin(ws, right, j)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, pred := range q.where {
+		if err := filter(ws, pred); err != nil {
+			return nil, err
+		}
+	}
+	var res *Result
+	if len(q.groupBy) > 0 || hasAggregates(q) {
+		res, err = aggregate(ws, q)
+	} else {
+		res, err = project(ws, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.orderBy != "" {
+		idx := -1
+		for i, c := range res.Columns {
+			// Match the full output label or its unqualified suffix
+			// ("title" orders by "albums.title").
+			if strings.EqualFold(c, q.orderBy) ||
+				strings.EqualFold(c[strings.LastIndex(c, ".")+1:], q.orderBy) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY column %q is not in the select list", q.orderBy)
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			cmp := relational.CompareValues(res.Rows[a][idx], res.Rows[b][idx])
+			if q.desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if q.limit >= 0 && len(res.Rows) > q.limit {
+		res.Rows = res.Rows[:q.limit]
+	}
+	return res, nil
+}
+
+// load materializes one table as a working set.
+func load(db *relational.Database, ref tableRef) (*workingSet, error) {
+	t := db.Schema.Table(ref.table)
+	if t == nil {
+		return nil, fmt.Errorf("sql: unknown table %q", ref.table)
+	}
+	ws := &workingSet{}
+	for _, c := range t.Columns {
+		ws.bindings = append(ws.bindings, binding{source: ref.name(), column: c.Name, typ: c.Type})
+	}
+	for _, row := range db.Rows(ref.table) {
+		cp := make([]relational.Value, len(row))
+		copy(cp, row)
+		ws.rows = append(ws.rows, cp)
+	}
+	return ws, nil
+}
+
+// hashJoin performs the equi-join of the working set with a freshly loaded
+// table.
+func hashJoin(left, right *workingSet, j joinClause) (*workingSet, error) {
+	li, err := left.resolve(j.left)
+	lOnLeft := err == nil
+	if !lOnLeft {
+		li, err = left.resolve(j.right)
+		if err != nil {
+			return nil, fmt.Errorf("sql: JOIN ON: neither side found on the left: %v", err)
+		}
+	}
+	var rRef columnRef
+	if lOnLeft {
+		rRef = j.right
+	} else {
+		rRef = j.left
+	}
+	ri, err := right.resolve(rRef)
+	if err != nil {
+		return nil, fmt.Errorf("sql: JOIN ON: %v", err)
+	}
+	index := make(map[string][]int)
+	for rowIdx, row := range right.rows {
+		v := row[ri]
+		if v == nil {
+			continue
+		}
+		k := relational.FormatValue(v)
+		index[k] = append(index[k], rowIdx)
+	}
+	out := &workingSet{bindings: append(append([]binding{}, left.bindings...), right.bindings...)}
+	for _, lrow := range left.rows {
+		v := lrow[li]
+		if v == nil {
+			continue
+		}
+		for _, rowIdx := range index[relational.FormatValue(v)] {
+			combined := make([]relational.Value, 0, len(lrow)+len(right.rows[rowIdx]))
+			combined = append(combined, lrow...)
+			combined = append(combined, right.rows[rowIdx]...)
+			out.rows = append(out.rows, combined)
+		}
+	}
+	return out, nil
+}
+
+// filter drops rows not satisfying the predicate.
+func filter(ws *workingSet, pred predicate) error {
+	idx, err := ws.resolve(pred.col)
+	if err != nil {
+		return err
+	}
+	keep := ws.rows[:0]
+	for _, row := range ws.rows {
+		ok, err := evalPredicate(row[idx], ws.bindings[idx].typ, pred)
+		if err != nil {
+			return err
+		}
+		if ok {
+			keep = append(keep, row)
+		}
+	}
+	ws.rows = keep
+	return nil
+}
+
+func evalPredicate(v relational.Value, typ relational.Type, pred predicate) (bool, error) {
+	switch pred.op {
+	case "isnull":
+		return v == nil, nil
+	case "notnull":
+		return v != nil, nil
+	case "like":
+		s, ok := v.(string)
+		if !ok {
+			return false, nil
+		}
+		return likeMatch(pred.literal.(string), s), nil
+	}
+	if v == nil {
+		return false, nil // SQL three-valued logic: NULL comparisons are not true
+	}
+	lit, err := relational.Coerce(typ, pred.literal)
+	if err != nil {
+		return false, fmt.Errorf("sql: literal %v does not fit column type %s", pred.literal, typ)
+	}
+	cmp := relational.CompareValues(v, lit)
+	switch pred.op {
+	case "=":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("sql: unknown operator %q", pred.op)
+	}
+}
+
+// likeMatch implements SQL LIKE with % wildcards (no _ support).
+func likeMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// project evaluates a select list without aggregates.
+func project(ws *workingSet, q *query) (*Result, error) {
+	var cols []string
+	var idxs []int
+	for _, e := range q.selects {
+		if e.star {
+			for i, b := range ws.bindings {
+				cols = append(cols, b.source+"."+b.column)
+				idxs = append(idxs, i)
+			}
+			continue
+		}
+		idx, err := ws.resolve(e.col)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, e.label())
+		idxs = append(idxs, idx)
+	}
+	res := &Result{Columns: cols}
+	for _, row := range ws.rows {
+		out := make([]relational.Value, len(idxs))
+		for i, idx := range idxs {
+			out[i] = row[idx]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func hasAggregates(q *query) bool {
+	for _, e := range q.selects {
+		if e.agg != aggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// aggregate evaluates GROUP BY queries (or a single implicit group).
+func aggregate(ws *workingSet, q *query) (*Result, error) {
+	groupIdxs := make([]int, len(q.groupBy))
+	for i, c := range q.groupBy {
+		idx, err := ws.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		groupIdxs[i] = idx
+	}
+	// Validate the select list: plain columns must be group columns.
+	type outCol struct {
+		e   selectExpr
+		idx int // operand index; group-column index for plain columns
+	}
+	var outCols []outCol
+	for _, e := range q.selects {
+		if e.star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		}
+		if e.agg == aggNone {
+			pos := -1
+			for gi, g := range q.groupBy {
+				if g.String() == e.col.String() || g.column == e.col.column {
+					pos = gi
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("sql: column %q must appear in GROUP BY", e.col)
+			}
+			outCols = append(outCols, outCol{e: e, idx: pos})
+			continue
+		}
+		idx := -1
+		if e.agg != aggCount || e.col.column != "" {
+			var err error
+			idx, err = ws.resolve(e.col)
+			if err != nil {
+				return nil, err
+			}
+		}
+		outCols = append(outCols, outCol{e: e, idx: idx})
+	}
+
+	type group struct {
+		key    []relational.Value
+		rows   [][]relational.Value
+		serial int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range ws.rows {
+		var kb strings.Builder
+		key := make([]relational.Value, len(groupIdxs))
+		for i, gi := range groupIdxs {
+			key[i] = row[gi]
+			s := relational.FormatValue(row[gi])
+			fmt.Fprintf(&kb, "%d:%s|", len(s), s)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key, serial: len(order)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	if len(groupIdxs) == 0 && len(order) == 0 {
+		// Aggregates over an empty set still yield one row.
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	res := &Result{}
+	for _, oc := range outCols {
+		res.Columns = append(res.Columns, oc.e.label())
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make([]relational.Value, len(outCols))
+		for i, oc := range outCols {
+			v, err := evalAggregate(g.rows, g.key, oc)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func evalAggregate(rows [][]relational.Value, key []relational.Value, oc struct {
+	e   selectExpr
+	idx int
+}) (relational.Value, error) {
+	switch oc.e.agg {
+	case aggNone:
+		return key[oc.idx], nil
+	case aggCount:
+		if oc.idx < 0 {
+			return int64(len(rows)), nil
+		}
+		n := int64(0)
+		for _, r := range rows {
+			if r[oc.idx] != nil {
+				n++
+			}
+		}
+		return n, nil
+	case aggCountDistinct:
+		seen := make(map[string]struct{})
+		for _, r := range rows {
+			if r[oc.idx] != nil {
+				seen[relational.FormatValue(r[oc.idx])] = struct{}{}
+			}
+		}
+		return int64(len(seen)), nil
+	case aggMin, aggMax:
+		var best relational.Value
+		for _, r := range rows {
+			v := r[oc.idx]
+			if v == nil {
+				continue
+			}
+			if best == nil {
+				best = v
+				continue
+			}
+			cmp := relational.CompareValues(v, best)
+			if (oc.e.agg == aggMin && cmp < 0) || (oc.e.agg == aggMax && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case aggSum, aggAvg:
+		sum := 0.0
+		n := 0
+		for _, r := range rows {
+			switch x := r[oc.idx].(type) {
+			case int64:
+				sum += float64(x)
+				n++
+			case float64:
+				sum += x
+				n++
+			case nil:
+			default:
+				return nil, fmt.Errorf("sql: %s over non-numeric column", oc.e.label())
+			}
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		if oc.e.agg == aggAvg {
+			return sum / float64(n), nil
+		}
+		return sum, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported aggregate")
+	}
+}

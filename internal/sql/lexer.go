@@ -1,0 +1,120 @@
+// Package sql implements a small SQL SELECT engine over the relational
+// store: projections, joins, filters, grouping with aggregates, ordering,
+// and limits. The paper's prototype analyzes its datasets with "simple SQL
+// queries" against PostgreSQL (§6.2); this package provides the same
+// analysis surface over the embedded store, and is what cmd/sql exposes
+// for inspecting saved scenario databases and integration results.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT select_list
+//	FROM table [alias] { JOIN table [alias] ON qualified = qualified }
+//	[WHERE predicate { AND predicate }]
+//	[GROUP BY column {, column}]
+//	[ORDER BY output_column [ASC|DESC]]
+//	[LIMIT n]
+//
+//	select_list: * | expr {, expr}
+//	expr:        column | COUNT(*) | COUNT(DISTINCT column) |
+//	             MIN(column) | MAX(column) | SUM(column) | AVG(column)
+//	predicate:   column op literal | column IS [NOT] NULL |
+//	             column LIKE 'pattern'
+//	op:          = | != | <> | < | <= | > | >=
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * . = != <> < <= > >=
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits a query into tokens.
+func lex(query string) ([]token, error) {
+	var out []token
+	i := 0
+	runes := []rune(query)
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			out = append(out, token{tokIdent, string(runes[start:i]), start})
+		case unicode.IsDigit(r) || (r == '-' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			start := i
+			i++
+			for i < len(runes) && (unicode.IsDigit(runes[i]) || runes[i] == '.') {
+				i++
+			}
+			out = append(out, token{tokNumber, string(runes[start:i]), start})
+		case r == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(runes) {
+				if runes[i] == '\'' {
+					if i+1 < len(runes) && runes[i+1] == '\'' { // escaped quote
+						sb.WriteRune('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteRune(runes[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at %d", i)
+			}
+			out = append(out, token{tokString, sb.String(), i})
+		case strings.ContainsRune("(),*.=", r):
+			out = append(out, token{tokSymbol, string(r), i})
+			i++
+		case r == '!' || r == '<' || r == '>':
+			start := i
+			i++
+			if i < len(runes) && (runes[i] == '=' || (r == '<' && runes[i] == '>')) {
+				i++
+			}
+			sym := string(runes[start:i])
+			if sym == "!" {
+				return nil, fmt.Errorf("sql: stray '!' at %d", start)
+			}
+			out = append(out, token{tokSymbol, sym, start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", r, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(runes)})
+	return out, nil
+}
+
+// keyword reports whether the token is the given (case-insensitive)
+// keyword.
+func (t token) keyword(word string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, word)
+}

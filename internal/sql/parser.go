@@ -1,0 +1,395 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// columnRef is a possibly qualified column reference.
+type columnRef struct {
+	qualifier string // table name or alias, "" if unqualified
+	column    string
+}
+
+func (c columnRef) String() string {
+	if c.qualifier == "" {
+		return c.column
+	}
+	return c.qualifier + "." + c.column
+}
+
+// aggKind enumerates the supported aggregate functions.
+type aggKind int
+
+const (
+	aggNone aggKind = iota
+	aggCount
+	aggCountDistinct
+	aggMin
+	aggMax
+	aggSum
+	aggAvg
+)
+
+// selectExpr is one entry of the select list.
+type selectExpr struct {
+	star bool      // SELECT *
+	agg  aggKind   // aggNone for plain columns
+	col  columnRef // operand (unused for COUNT(*))
+}
+
+func (e selectExpr) label() string {
+	switch e.agg {
+	case aggCount:
+		return "count(*)"
+	case aggCountDistinct:
+		return "count(distinct " + e.col.String() + ")"
+	case aggMin:
+		return "min(" + e.col.String() + ")"
+	case aggMax:
+		return "max(" + e.col.String() + ")"
+	case aggSum:
+		return "sum(" + e.col.String() + ")"
+	case aggAvg:
+		return "avg(" + e.col.String() + ")"
+	default:
+		return e.col.String()
+	}
+}
+
+// tableRef is FROM/JOIN source with an optional alias.
+type tableRef struct {
+	table string
+	alias string
+}
+
+func (t tableRef) name() string {
+	if t.alias != "" {
+		return t.alias
+	}
+	return t.table
+}
+
+// joinClause is one JOIN ... ON a = b.
+type joinClause struct {
+	table tableRef
+	left  columnRef
+	right columnRef
+}
+
+// predicate is one WHERE conjunct.
+type predicate struct {
+	col     columnRef
+	op      string // "=", "!=", "<", "<=", ">", ">=", "isnull", "notnull", "like"
+	literal interface{}
+}
+
+// query is the parsed SELECT statement.
+type query struct {
+	selects []selectExpr
+	from    tableRef
+	joins   []joinClause
+	where   []predicate
+	groupBy []columnRef
+	orderBy string // output column label, "" if none
+	desc    bool
+	limit   int // -1 if none
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(word string) error {
+	t := p.next()
+	if !t.keyword(word) {
+		return fmt.Errorf("sql: expected %s at position %d, got %q", strings.ToUpper(word), t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sql: expected %q at position %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(text string) (*query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &query{limit: -1}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	q.from, err = p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().keyword("join") {
+		p.next()
+		j := joinClause{}
+		j.table, err = p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		j.left, err = p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		j.right, err = p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		q.joins = append(q.joins, j)
+	}
+	if p.peek().keyword("where") {
+		p.next()
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.where = append(q.where, pred)
+			if !p.peek().keyword("and") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.peek().keyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.groupBy = append(q.groupBy, c)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().keyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		c, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		q.orderBy = c.String()
+		if p.peek().keyword("desc") {
+			p.next()
+			q.desc = true
+		} else if p.peek().keyword("asc") {
+			p.next()
+		}
+	}
+	if p.peek().keyword("limit") {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		}
+		q.limit = n
+	}
+	if t := p.next(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at position %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *query) error {
+	for {
+		e, err := p.parseSelectExpr()
+		if err != nil {
+			return err
+		}
+		q.selects = append(q.selects, e)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseSelectExpr() (selectExpr, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "*" {
+		p.next()
+		return selectExpr{star: true}, nil
+	}
+	aggs := map[string]aggKind{"count": aggCount, "min": aggMin, "max": aggMax, "sum": aggSum, "avg": aggAvg}
+	if t.kind == tokIdent {
+		if kind, isAgg := aggs[strings.ToLower(t.text)]; isAgg && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.next() // function name
+			p.next() // (
+			e := selectExpr{agg: kind}
+			if kind == aggCount && p.peek().kind == tokSymbol && p.peek().text == "*" {
+				p.next()
+			} else {
+				if kind == aggCount && p.peek().keyword("distinct") {
+					p.next()
+					e.agg = aggCountDistinct
+				}
+				col, err := p.parseColumnRef()
+				if err != nil {
+					return selectExpr{}, err
+				}
+				e.col = col
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return selectExpr{}, err
+			}
+			return e, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return selectExpr{}, err
+	}
+	return selectExpr{col: col}, nil
+}
+
+func (p *parser) parseTableRef() (tableRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return tableRef{}, fmt.Errorf("sql: expected table name at %d, got %q", t.pos, t.text)
+	}
+	ref := tableRef{table: t.text}
+	// Optional alias: an identifier that is not an upcoming keyword.
+	nxt := p.peek()
+	if nxt.kind == tokIdent && !isKeyword(nxt.text) {
+		ref.alias = nxt.text
+		p.next()
+	}
+	return ref, nil
+}
+
+func isKeyword(word string) bool {
+	switch strings.ToLower(word) {
+	case "join", "on", "where", "group", "by", "order", "limit", "and", "asc", "desc", "is", "not", "null", "like", "select", "from", "distinct":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseColumnRef() (columnRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return columnRef{}, fmt.Errorf("sql: expected column at %d, got %q", t.pos, t.text)
+	}
+	ref := columnRef{column: t.text}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		c := p.next()
+		if c.kind != tokIdent {
+			return columnRef{}, fmt.Errorf("sql: expected column after '.' at %d", c.pos)
+		}
+		ref.qualifier = ref.column
+		ref.column = c.text
+	}
+	return ref, nil
+}
+
+func (p *parser) parsePredicate() (predicate, error) {
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return predicate{}, err
+	}
+	t := p.next()
+	switch {
+	case t.keyword("is"):
+		if p.peek().keyword("not") {
+			p.next()
+			if err := p.expectKeyword("null"); err != nil {
+				return predicate{}, err
+			}
+			return predicate{col: col, op: "notnull"}, nil
+		}
+		if err := p.expectKeyword("null"); err != nil {
+			return predicate{}, err
+		}
+		return predicate{col: col, op: "isnull"}, nil
+	case t.keyword("like"):
+		lit := p.next()
+		if lit.kind != tokString {
+			return predicate{}, fmt.Errorf("sql: LIKE needs a string pattern at %d", lit.pos)
+		}
+		return predicate{col: col, op: "like", literal: lit.text}, nil
+	case t.kind == tokSymbol:
+		op := t.text
+		if op == "<>" {
+			op = "!="
+		}
+		switch op {
+		case "=", "!=", "<", "<=", ">", ">=":
+		default:
+			return predicate{}, fmt.Errorf("sql: unknown operator %q at %d", t.text, t.pos)
+		}
+		lit := p.next()
+		switch lit.kind {
+		case tokString:
+			return predicate{col: col, op: op, literal: lit.text}, nil
+		case tokNumber:
+			if strings.Contains(lit.text, ".") {
+				f, err := strconv.ParseFloat(lit.text, 64)
+				if err != nil {
+					return predicate{}, fmt.Errorf("sql: bad number %q", lit.text)
+				}
+				return predicate{col: col, op: op, literal: f}, nil
+			}
+			n, err := strconv.ParseInt(lit.text, 10, 64)
+			if err != nil {
+				return predicate{}, fmt.Errorf("sql: bad number %q", lit.text)
+			}
+			return predicate{col: col, op: op, literal: n}, nil
+		default:
+			return predicate{}, fmt.Errorf("sql: expected literal at %d, got %q", lit.pos, lit.text)
+		}
+	default:
+		return predicate{}, fmt.Errorf("sql: expected operator at %d, got %q", t.pos, t.text)
+	}
+}

@@ -1,0 +1,468 @@
+// Package structure implements the structural-conflict estimation module
+// of §4: the structure conflict detector converts source and target
+// schemas into cardinality-constrained schema graphs, matches every atomic
+// target relationship to its most concise source relationship, compares
+// prescribed and inferred cardinalities, and counts actually conflicting
+// data elements (Table 3). The structure repair planner then derives
+// ordered cleaning tasks (Table 4), simulating their side effects on a
+// virtual CSG instance (Figure 5) and detecting infinite cleaning loops.
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efes/internal/core"
+	"efes/internal/csg"
+	"efes/internal/effort"
+)
+
+// ConflictKind classifies a structural violation; the classes correspond
+// to the rows of the paper's Table 4.
+type ConflictKind string
+
+// The structural conflict classes.
+const (
+	// NotNullViolated: integrated tuples would lack a required value.
+	NotNullViolated ConflictKind = "Not null violated"
+	// MultipleValues: integrated tuples would carry several values for
+	// a single-valued attribute.
+	MultipleValues ConflictKind = "Multiple attribute values"
+	// UniqueViolated: a value would be contained in several tuples
+	// although the target requires uniqueness.
+	UniqueViolated ConflictKind = "Unique violated"
+	// DetachedValue: a value would have no enclosing tuple.
+	DetachedValue ConflictKind = "Value w/o enclosing tuple"
+	// DanglingValue: a referencing value would have no referenced
+	// counterpart (foreign key violated).
+	DanglingValue ConflictKind = "FK violated"
+	// AmbiguousReference: a referencing value would match several
+	// referenced values after integration.
+	AmbiguousReference ConflictKind = "Ambiguous reference"
+)
+
+// Conflict is one detected structural violation: a target relationship
+// whose matched source relationship delivers inadmissible link counts,
+// with the number of offending source data elements.
+type Conflict struct {
+	// Source names the source database causing the conflict.
+	Source string
+	// Kind is the violation class.
+	Kind ConflictKind
+	// TargetTable and TargetAttribute locate the violated constraint.
+	TargetTable, TargetAttribute string
+	// TargetRel renders the violated atomic target relationship.
+	TargetRel string
+	// Prescribed is the target relationship's prescribed cardinality.
+	Prescribed csg.Card
+	// Inferred is the matched source relationship's inferred
+	// cardinality (empty if no source relationship was found).
+	Inferred csg.Card
+	// SourcePath renders the matched source relationship.
+	SourcePath string
+	// Count is the number of violating source data elements.
+	Count int
+	// Samples holds up to three violating source elements, so that the
+	// report can point at concrete data (the paper's granularity
+	// requirement: "it is important to know which source and/or target
+	// attributes are cause of problems and how").
+	Samples []string
+}
+
+// String renders the conflict for reports.
+func (c *Conflict) String() string {
+	msg := fmt.Sprintf("%s: κ(%s) = %s, source %s delivers %s (%d violations)",
+		c.Kind, c.TargetRel, c.Prescribed, c.Source, c.Inferred, c.Count)
+	if len(c.Samples) > 0 {
+		msg += fmt.Sprintf(", e.g. %s", strings.Join(c.Samples, ", "))
+	}
+	return msg
+}
+
+// Check is one row of the Table-3 complexity report: a violated target
+// constraint with its violation count in the source data.
+type Check struct {
+	// TargetRel renders the constrained target relationship.
+	TargetRel string
+	// Prescribed is the constraint.
+	Prescribed csg.Card
+	// Violations is the number of violating source data elements.
+	Violations int
+}
+
+// Report is the structure module's data complexity report.
+type Report struct {
+	// Checks summarize the violated constraints (Table 3).
+	Checks []Check
+	// Conflicts carry the full per-class breakdown for the planner.
+	Conflicts []*Conflict
+
+	// targetGraph is kept for the planner's side-effect simulation.
+	targetGraph *csg.Graph
+}
+
+// ModuleName implements core.Report.
+func (r *Report) ModuleName() string { return ModuleName }
+
+// ProblemCount implements core.Report.
+func (r *Report) ProblemCount() int { return len(r.Conflicts) }
+
+// Summary renders the report in the shape of the paper's Table 3,
+// followed by the per-class details with sample offending elements.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-55s %25s\n", "Constraint in target schema", "Violation count in source")
+	for _, c := range r.Checks {
+		fmt.Fprintf(&b, "%-55s %25d\n", fmt.Sprintf("κ(%s) = %s", c.TargetRel, c.Prescribed), c.Violations)
+	}
+	for _, c := range r.Conflicts {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}
+
+// ProblemSites implements core.ProblemLocator.
+func (r *Report) ProblemSites() []core.ProblemSite {
+	var out []core.ProblemSite
+	for _, c := range r.Conflicts {
+		out = append(out, core.ProblemSite{Table: c.TargetTable, Attribute: c.TargetAttribute, Count: c.Count})
+	}
+	return out
+}
+
+// ModuleName is the module's registered name.
+const ModuleName = "structural conflicts"
+
+// Module is the structural-conflict estimation module.
+type Module struct {
+	planner *Planner
+}
+
+// New creates the module with the default repair planner.
+func New() *Module { return &Module{planner: NewPlanner()} }
+
+// NewWithPlanner creates the module with a custom repair planner
+// (extensibility: alternative repair catalogs).
+func NewWithPlanner(p *Planner) *Module { return &Module{planner: p} }
+
+// Name implements core.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// AssessComplexity implements core.Module: the structure conflict
+// detector of §4.1.
+func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
+	targetGraph, err := csg.FromSchema(s.Target.Schema)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{targetGraph: targetGraph}
+	for _, src := range s.Sources {
+		srcGraph, err := csg.FromSchema(src.DB.Schema)
+		if err != nil {
+			return nil, err
+		}
+		srcInst, err := csg.FromDatabase(srcGraph, src.DB)
+		if err != nil {
+			return nil, err
+		}
+		nodeMatch := csg.NodeMatch(src.Correspondences.NodeMatch())
+		m.detectSource(report, s, src.Name, targetGraph, srcGraph, srcInst, nodeMatch)
+	}
+	sort.SliceStable(report.Conflicts, func(i, j int) bool {
+		a, b := report.Conflicts[i], report.Conflicts[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.TargetRel != b.TargetRel {
+			return a.TargetRel < b.TargetRel
+		}
+		return a.Kind < b.Kind
+	})
+	sort.SliceStable(report.Checks, func(i, j int) bool {
+		return report.Checks[i].TargetRel < report.Checks[j].TargetRel
+	})
+	return report, nil
+}
+
+func (m *Module) detectSource(report *Report, s *core.Scenario, srcName string,
+	targetGraph, srcGraph *csg.Graph, srcInst *csg.Instance, nodeMatch csg.NodeMatch) {
+
+	for _, e := range targetGraph.Edges() {
+		if e.Card.Equal(csg.CardAny) {
+			continue // unconstrained: nothing to violate
+		}
+		// Only relationships of target tables that receive data from
+		// this source matter.
+		if !tableReceivesData(nodeMatch, e) {
+			continue
+		}
+		fromMatched := hasMatch(nodeMatch, e.From)
+		toMatched := hasMatch(nodeMatch, e.To)
+		switch {
+		case fromMatched && toMatched:
+			m.detectMatched(report, srcName, srcGraph, srcInst, nodeMatch, e)
+		case fromMatched && !toMatched:
+			// The end of the relationship has no source counterpart:
+			// integrated elements provide zero links. Violating if
+			// the prescribed cardinality requires at least one.
+			// Key attributes (unique) are exempt: their values are
+			// generated by the mapping (the mapping module's
+			// "Primary key: yes" complexity), not repaired by hand.
+			// The same holds for equality relationships into a
+			// generated key: the mapping's re-keying populates them.
+			if isGeneratedKeyTarget(targetGraph, e) {
+				continue
+			}
+			if e.Card.Lo >= 1 {
+				count := srcInst.NumElements(srcGraph.Node(nodeMatch[e.From.ID]))
+				if count > 0 {
+					addConflict(report, &Conflict{
+						Source: srcName, Kind: classify(e, true),
+						TargetTable: e.From.Table, TargetAttribute: attributeOf(e),
+						TargetRel: relName(e), Prescribed: e.Card,
+						Inferred: csg.Exactly(0), SourcePath: "(no corresponding source elements)",
+						Count: count,
+					})
+				}
+			}
+		default:
+			// Start node unmatched: no elements will be integrated
+			// for it, so the relationship is trivially satisfied.
+		}
+	}
+}
+
+func (m *Module) detectMatched(report *Report, srcName string, srcGraph *csg.Graph,
+	srcInst *csg.Instance, nodeMatch csg.NodeMatch, e *csg.Edge) {
+
+	path := csg.MatchRelationship(e, srcGraph, nodeMatch)
+	if path == nil {
+		// Both endpoints exist in the source but are unconnected.
+		// For equality relationships we can still evaluate value
+		// equality directly: a referencing value without an equal
+		// referenced value will dangle after integration.
+		if e.Kind == csg.EqualityEdge {
+			count := unequalValues(srcInst,
+				srcGraph.Node(nodeMatch[e.From.ID]), srcGraph.Node(nodeMatch[e.To.ID]))
+			if count > 0 && e.Card.Lo >= 1 {
+				addConflict(report, &Conflict{
+					Source: srcName, Kind: classify(e, true),
+					TargetTable: e.From.Table, TargetAttribute: attributeOf(e),
+					TargetRel: relName(e), Prescribed: e.Card,
+					Inferred: csg.CardOpt, SourcePath: "(value equality, no source constraint)",
+					Count: count,
+				})
+			}
+			return
+		}
+		// Otherwise integrated elements cannot provide the links.
+		if e.Card.Lo >= 1 {
+			count := srcInst.NumElements(srcGraph.Node(nodeMatch[e.From.ID]))
+			if count > 0 {
+				addConflict(report, &Conflict{
+					Source: srcName, Kind: classify(e, true),
+					TargetTable: e.From.Table, TargetAttribute: attributeOf(e),
+					TargetRel: relName(e), Prescribed: e.Card,
+					Inferred: csg.Exactly(0), SourcePath: "(no source relationship found)",
+					Count: count,
+				})
+			}
+		}
+		return
+	}
+	inferred := path.InferredCard()
+	if inferred.SubsetOf(e.Card) {
+		return // statically safe: every source element fits
+	}
+	below, above, belowSamples, aboveSamples := violationSplit(srcInst, path, e.Card)
+	if below > 0 {
+		addConflict(report, &Conflict{
+			Source: srcName, Kind: classify(e, true),
+			TargetTable: e.From.Table, TargetAttribute: attributeOf(e),
+			TargetRel: relName(e), Prescribed: e.Card,
+			Inferred: inferred, SourcePath: path.String(), Count: below,
+			Samples: belowSamples,
+		})
+	}
+	if above > 0 {
+		addConflict(report, &Conflict{
+			Source: srcName, Kind: classify(e, false),
+			TargetTable: e.From.Table, TargetAttribute: attributeOf(e),
+			TargetRel: relName(e), Prescribed: e.Card,
+			Inferred: inferred, SourcePath: path.String(), Count: above,
+			Samples: aboveSamples,
+		})
+	}
+}
+
+// maxSamples bounds the violating elements quoted per conflict.
+const maxSamples = 3
+
+// violationSplit counts source elements with too few (below) and too many
+// (above) links along the path, relative to the prescribed cardinality,
+// and collects up to maxSamples offending elements per class. Samples are
+// picked deterministically (smallest elements first).
+func violationSplit(in *csg.Instance, p csg.Path, prescribed csg.Card) (below, above int, belowSamples, aboveSamples []string) {
+	counts := in.LinkCounts(p)
+	elems := make([]string, 0, len(counts))
+	for elem := range counts {
+		elems = append(elems, elem)
+	}
+	sort.Strings(elems)
+	for _, elem := range elems {
+		v := int64(counts[elem])
+		switch {
+		case prescribed.Contains(v):
+		case prescribed.IsEmpty() || v < prescribed.Lo:
+			below++
+			if len(belowSamples) < maxSamples {
+				belowSamples = append(belowSamples, elem)
+			}
+		default:
+			above++
+			if len(aboveSamples) < maxSamples {
+				aboveSamples = append(aboveSamples, elem)
+			}
+		}
+	}
+	return below, above, belowSamples, aboveSamples
+}
+
+// classify maps a violated target relationship to its conflict class
+// (Table 4): the edge direction and kind determine what the violation
+// means.
+func classify(e *csg.Edge, below bool) ConflictKind {
+	if e.Kind == csg.EqualityEdge {
+		if below {
+			return DanglingValue
+		}
+		return AmbiguousReference
+	}
+	if e.From.Kind == csg.TableNode {
+		// tuple -> value: too few = missing required value, too many =
+		// several values for one attribute.
+		if below {
+			return NotNullViolated
+		}
+		return MultipleValues
+	}
+	// value -> tuple: too few = detached value, too many = uniqueness
+	// violated.
+	if below {
+		return DetachedValue
+	}
+	return UniqueViolated
+}
+
+// attributeOf names the attribute involved in the relationship.
+func attributeOf(e *csg.Edge) string {
+	if e.From.Kind == csg.AttributeNode {
+		return e.From.Attribute
+	}
+	return e.To.Attribute
+}
+
+// relName renders the atomic target relationship in the paper's notation,
+// e.g. "records -> artist".
+func relName(e *csg.Edge) string {
+	from, to := e.From.ID, e.To.ID
+	if e.From.Kind == csg.AttributeNode && e.From.Table == e.To.Table {
+		from = e.From.Attribute
+	}
+	if e.To.Kind == csg.AttributeNode && e.From.Table == e.To.Table {
+		to = e.To.Attribute
+	}
+	return from + " -> " + to
+}
+
+func addConflict(report *Report, c *Conflict) {
+	report.Conflicts = append(report.Conflicts, c)
+	for i := range report.Checks {
+		if report.Checks[i].TargetRel == c.TargetRel && report.Checks[i].Prescribed.Equal(c.Prescribed) {
+			report.Checks[i].Violations += c.Count
+			return
+		}
+	}
+	report.Checks = append(report.Checks, Check{TargetRel: c.TargetRel, Prescribed: c.Prescribed, Violations: c.Count})
+}
+
+// isGeneratedKeyTarget reports whether the relationship points into an
+// attribute whose values the mapping generates rather than copies: a
+// unique (key) attribute, a foreign key column (populated by the mapping's
+// re-keying, priced via its FK term), or — for equality edges — a unique
+// referenced attribute.
+func isGeneratedKeyTarget(g *csg.Graph, e *csg.Edge) bool {
+	if e.To.Kind != csg.AttributeNode {
+		return false
+	}
+	if e.Kind == csg.AttributeEdge {
+		if e.Inverse.Card.Equal(csg.CardOne) {
+			return true // key attribute
+		}
+		for _, out := range g.OutEdges(e.To) {
+			if out.Kind == csg.EqualityEdge {
+				return true // foreign key column: re-keyed by the mapping
+			}
+		}
+		return false
+	}
+	valueToTuple := g.EdgeBetween(e.To.ID, e.To.Table)
+	return valueToTuple != nil && valueToTuple.Card.Equal(csg.CardOne)
+}
+
+// unequalValues counts the elements of node from without an equal element
+// in node to.
+func unequalValues(in *csg.Instance, from, to *csg.Node) int {
+	if from == nil || to == nil {
+		return 0
+	}
+	set := make(map[string]struct{})
+	for _, v := range in.Elements(to) {
+		set[v] = struct{}{}
+	}
+	count := 0
+	for _, v := range in.Elements(from) {
+		if _, ok := set[v]; !ok {
+			count++
+		}
+	}
+	return count
+}
+
+// tableReceivesData reports whether the relationship belongs to a target
+// table that this source provides data for (its table node or one of its
+// attribute nodes is matched).
+func tableReceivesData(nodeMatch csg.NodeMatch, e *csg.Edge) bool {
+	for _, n := range []*csg.Node{e.From, e.To} {
+		if _, ok := nodeMatch[n.Table]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMatch(nodeMatch csg.NodeMatch, n *csg.Node) bool {
+	_, ok := nodeMatch[n.ID]
+	return ok
+}
+
+// PlanTasks implements core.Module: the structure repair planner of §4.2.
+func (m *Module) PlanTasks(r core.Report, q effort.Quality) ([]effort.Task, error) {
+	rep, ok := r.(*Report)
+	if !ok {
+		return nil, fmt.Errorf("structure: foreign report type %T", r)
+	}
+	tasks, _, err := m.planner.Plan(rep, q)
+	return tasks, err
+}
+
+// PlanWithTrace runs the repair planner and also returns the Figure-5
+// simulation trace.
+func (m *Module) PlanWithTrace(r core.Report, q effort.Quality) ([]effort.Task, []string, error) {
+	rep, ok := r.(*Report)
+	if !ok {
+		return nil, nil, fmt.Errorf("structure: foreign report type %T", r)
+	}
+	return m.planner.Plan(rep, q)
+}

@@ -1,0 +1,246 @@
+package structure
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"efes/internal/csg"
+	"efes/internal/effort"
+)
+
+// ErrCleaningLoop reports that the chosen repair actions contradict each
+// other: the execution order of cleaning tasks forms a cycle (§4.2,
+// "infinite cleaning loops").
+var ErrCleaningLoop = errors.New("structure: repair tasks form an infinite cleaning loop")
+
+// Action describes how one conflict class is repaired at one quality
+// level: the task to emit, its effort-relevant parameters, and the side
+// effects its application has on the virtual CSG instance.
+type Action struct {
+	// Type is the emitted task type.
+	Type effort.TaskType
+	// Params derives the task's effort parameters from the conflict.
+	Params func(c *Conflict) map[string]float64
+	// Cascade returns the follow-up conflicts the repair introduces on
+	// the virtual CSG instance (Figure 5), e.g. created tuples missing
+	// required values. A nil Cascade has no side effects.
+	Cascade func(st *planState, c *Conflict) []*Conflict
+}
+
+// Planner is the structure repair planner of §4.2. Its catalog maps each
+// conflict class and expected quality to a repair action (Table 4); the
+// catalog is replaceable for extensibility.
+type Planner struct {
+	// Catalog maps conflict kinds to their per-quality repair actions.
+	Catalog map[ConflictKind]map[effort.Quality]Action
+	// MaxFixes bounds how often the same conflict may be re-fixed
+	// before the planner reports an infinite cleaning loop.
+	MaxFixes int
+}
+
+// NewPlanner creates a planner with the paper's Table-4 repair catalog.
+func NewPlanner() *Planner {
+	p := &Planner{Catalog: make(map[ConflictKind]map[effort.Quality]Action), MaxFixes: 3}
+	countParams := func(c *Conflict) map[string]float64 {
+		return map[string]float64{"values": float64(c.Count)}
+	}
+	p.Catalog[NotNullViolated] = map[effort.Quality]Action{
+		effort.LowEffort:   {Type: effort.TaskRejectTuples},
+		effort.HighQuality: {Type: effort.TaskAddMissingValues, Params: countParams},
+	}
+	p.Catalog[MultipleValues] = map[effort.Quality]Action{
+		effort.LowEffort:   {Type: effort.TaskKeepAnyValue},
+		effort.HighQuality: {Type: effort.TaskMergeValues, Params: countParams},
+	}
+	p.Catalog[UniqueViolated] = map[effort.Quality]Action{
+		effort.LowEffort:   {Type: effort.TaskSetValuesToNull},
+		effort.HighQuality: {Type: effort.TaskAggregateTuples},
+	}
+	p.Catalog[DetachedValue] = map[effort.Quality]Action{
+		effort.LowEffort:   {Type: effort.TaskDeleteDetachedVals},
+		effort.HighQuality: {Type: effort.TaskAddTuples, Cascade: cascadeCreatedTuples},
+	}
+	p.Catalog[DanglingValue] = map[effort.Quality]Action{
+		effort.LowEffort:   {Type: effort.TaskDeleteDanglingVals},
+		effort.HighQuality: {Type: effort.TaskAddReferencedValues, Cascade: cascadeAddedReferences},
+	}
+	p.Catalog[AmbiguousReference] = map[effort.Quality]Action{
+		effort.LowEffort:   {Type: effort.TaskKeepAnyValue},
+		effort.HighQuality: {Type: effort.TaskMergeValues, Params: countParams},
+	}
+	return p
+}
+
+// planState carries the virtual CSG instance the planner simulates repairs
+// on: the target graph, the fix bookkeeping for loop detection, and the
+// human-readable trace.
+type planState struct {
+	graph    *csg.Graph
+	fixCount map[string]int
+	trace    []string
+}
+
+// kindPriority orders conflict processing so that tasks creating new
+// elements (and hence possibly new violations) run before the tasks fixing
+// those violations — the ordering requirement of §4.2.
+func kindPriority(k ConflictKind) int {
+	switch k {
+	case DetachedValue:
+		return 0
+	case DanglingValue:
+		return 1
+	case NotNullViolated:
+		return 2
+	case MultipleValues:
+		return 3
+	case UniqueViolated:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Plan derives the ordered repair task list for the reported conflicts at
+// the given quality, simulating side effects until the virtual CSG
+// instance is violation-free. It returns the tasks, the simulation trace
+// (Figure 5), and ErrCleaningLoop if the repairs cycle.
+func (p *Planner) Plan(rep *Report, q effort.Quality) ([]effort.Task, []string, error) {
+	st := &planState{graph: rep.targetGraph, fixCount: make(map[string]int)}
+	queue := make([]*Conflict, len(rep.Conflicts))
+	copy(queue, rep.Conflicts)
+
+	var tasks []effort.Task
+	for len(queue) > 0 {
+		sort.SliceStable(queue, func(i, j int) bool {
+			a, b := queue[i], queue[j]
+			if pa, pb := kindPriority(a.Kind), kindPriority(b.Kind); pa != pb {
+				return pa < pb
+			}
+			if a.TargetRel != b.TargetRel {
+				return a.TargetRel < b.TargetRel
+			}
+			return a.Source < b.Source
+		})
+		c := queue[0]
+		queue = queue[1:]
+		if c.Count == 0 {
+			continue
+		}
+		key := c.Source + "|" + c.TargetRel + "|" + string(c.Kind)
+		st.fixCount[key]++
+		if st.fixCount[key] > p.MaxFixes {
+			return nil, st.trace, fmt.Errorf("%w: conflict %s re-fixed more than %d times",
+				ErrCleaningLoop, c.TargetRel, p.MaxFixes)
+		}
+		actions, ok := p.Catalog[c.Kind]
+		if !ok {
+			return nil, st.trace, fmt.Errorf("structure: no repair action for conflict kind %q", c.Kind)
+		}
+		action, ok := actions[q]
+		if !ok {
+			return nil, st.trace, fmt.Errorf("structure: no %s repair action for conflict kind %q", q, c.Kind)
+		}
+		task := effort.Task{
+			Type:        action.Type,
+			Category:    effort.CategoryCleaningStructure,
+			Quality:     q,
+			Subject:     c.TargetRel,
+			Repetitions: c.Count,
+		}
+		if action.Params != nil {
+			task.Params = action.Params(c)
+		}
+		tasks = append(tasks, task)
+		st.trace = append(st.trace, fmt.Sprintf("%s on %s: fixes %d × %s (actual %s ⊄ prescribed %s → %s)",
+			action.Type, c.TargetRel, c.Count, c.Kind, c.Inferred, c.Prescribed, c.Prescribed))
+		if action.Cascade != nil {
+			for _, next := range action.Cascade(st, c) {
+				st.trace = append(st.trace, fmt.Sprintf("  side effect: %s on %s (%d elements)",
+					next.Kind, next.TargetRel, next.Count))
+				queue = append(queue, next)
+			}
+		}
+	}
+	return tasks, st.trace, nil
+}
+
+// cascadeCreatedTuples models the side effect of creating enclosing tuples
+// for detached values (Figure 5): the new tuples provide the triggering
+// attribute's value but lack every other required attribute, so each
+// sibling NOT NULL attribute gains missing-value violations. Attributes
+// with a uniqueness constraint (keys) are excluded — their values are
+// generated by the mapping, not repaired by hand (cf. the mapping
+// module's primary key handling).
+func cascadeCreatedTuples(st *planState, c *Conflict) []*Conflict {
+	if st.graph == nil {
+		return nil
+	}
+	table := st.graph.Node(c.TargetTable)
+	if table == nil {
+		return nil
+	}
+	var out []*Conflict
+	for _, e := range st.graph.OutEdges(table) {
+		if e.Kind != csg.AttributeEdge || e.To.Kind != csg.AttributeNode {
+			continue
+		}
+		if e.To.Attribute == c.TargetAttribute {
+			continue // the detached values themselves fill this attribute
+		}
+		if e.Card.Lo < 1 {
+			continue // nullable: no violation
+		}
+		if e.Inverse.Card.Equal(csg.CardOne) {
+			continue // unique (key) attribute: generated, not repaired
+		}
+		out = append(out, &Conflict{
+			Source: c.Source, Kind: NotNullViolated,
+			TargetTable: c.TargetTable, TargetAttribute: e.To.Attribute,
+			TargetRel: relName(e), Prescribed: e.Card,
+			Inferred:   csg.Exactly(0),
+			SourcePath: "(tuples created by " + string(effort.TaskAddTuples) + ")",
+			Count:      c.Count,
+		})
+	}
+	return out
+}
+
+// cascadeAddedReferences models the side effect of adding missing
+// referenced values to repair dangling references: the added values have
+// no enclosing tuples in the referenced table yet, creating detached-value
+// violations there.
+func cascadeAddedReferences(st *planState, c *Conflict) []*Conflict {
+	if st.graph == nil {
+		return nil
+	}
+	// The conflict's relationship is the equality edge fk -> ref; find
+	// the referenced attribute node's edge to its table.
+	fkNode := st.graph.Node(csg.AttributeNodeID(c.TargetTable, c.TargetAttribute))
+	if fkNode == nil {
+		return nil
+	}
+	for _, eq := range st.graph.OutEdges(fkNode) {
+		if eq.Kind != csg.EqualityEdge {
+			continue
+		}
+		refNode := eq.To
+		refTable := st.graph.Node(refNode.Table)
+		if refTable == nil {
+			continue
+		}
+		valueToTuple := st.graph.EdgeBetween(refNode.ID, refTable.ID)
+		if valueToTuple == nil || valueToTuple.Card.Lo < 1 {
+			continue
+		}
+		return []*Conflict{{
+			Source: c.Source, Kind: DetachedValue,
+			TargetTable: refNode.Table, TargetAttribute: refNode.Attribute,
+			TargetRel: relName(valueToTuple), Prescribed: valueToTuple.Card,
+			Inferred:   csg.Exactly(0),
+			SourcePath: "(values added by " + string(effort.TaskAddReferencedValues) + ")",
+			Count:      c.Count,
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,522 @@
+package structure
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/csg"
+	"efes/internal/effort"
+	"efes/internal/match"
+	"efes/internal/relational"
+	"efes/internal/scenario"
+)
+
+func assess(t *testing.T, scn *core.Scenario) (*Module, *Report) {
+	t.Helper()
+	m := New()
+	rep, err := m.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rep.(*Report)
+}
+
+func TestTable3Reproduction(t *testing.T) {
+	cfg := scenario.SmallExampleConfig()
+	scn := scenario.MusicExample(cfg)
+	_, rep := assess(t, scn)
+
+	byRel := make(map[string]Check)
+	for _, c := range rep.Checks {
+		byRel[c.TargetRel] = c
+	}
+	// Table 3 row 1: κ(records -> artist) = 1 with the albums that have
+	// zero or multiple credited artists as violations.
+	c1, ok := byRel["records -> artist"]
+	if !ok {
+		t.Fatalf("missing check records -> artist: %v", rep.Checks)
+	}
+	if !c1.Prescribed.Equal(csg.CardOne) {
+		t.Errorf("prescribed = %s, want 1", c1.Prescribed)
+	}
+	if want := cfg.AlbumsNoArtist + cfg.AlbumsMultiArtist; c1.Violations != want {
+		t.Errorf("records -> artist violations = %d, want %d", c1.Violations, want)
+	}
+	// Table 3 row 2: κ(artist -> records) = 1..* with the artists that
+	// appear on no album.
+	c2, ok := byRel["artist -> records"]
+	if !ok {
+		t.Fatalf("missing check artist -> records: %v", rep.Checks)
+	}
+	if !c2.Prescribed.Equal(csg.CardMany) {
+		t.Errorf("prescribed = %s, want 1..*", c2.Prescribed)
+	}
+	if c2.Violations != cfg.ArtistsWithoutAlbums {
+		t.Errorf("artist -> records violations = %d, want %d", c2.Violations, cfg.ArtistsWithoutAlbums)
+	}
+	// No other constraint is violated in the running example.
+	if len(rep.Checks) != 2 {
+		t.Errorf("checks = %v, want exactly the two Table-3 rows", rep.Checks)
+	}
+}
+
+func TestTable3PaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation in -short mode")
+	}
+	scn := scenario.MusicExample(scenario.PaperExampleConfig())
+	_, rep := assess(t, scn)
+	byRel := make(map[string]int)
+	for _, c := range rep.Checks {
+		byRel[c.TargetRel] = c.Violations
+	}
+	if byRel["records -> artist"] != 503 {
+		t.Errorf("violations = %d, want 503 (paper Table 3)", byRel["records -> artist"])
+	}
+	if byRel["artist -> records"] != 102 {
+		t.Errorf("violations = %d, want 102 (paper Table 3)", byRel["artist -> records"])
+	}
+}
+
+func TestConflictClassification(t *testing.T) {
+	cfg := scenario.SmallExampleConfig()
+	scn := scenario.MusicExample(cfg)
+	_, rep := assess(t, scn)
+
+	kinds := make(map[ConflictKind]int)
+	for _, c := range rep.Conflicts {
+		kinds[c.Kind] += c.Count
+	}
+	if kinds[NotNullViolated] != cfg.AlbumsNoArtist {
+		t.Errorf("NotNullViolated = %d, want %d", kinds[NotNullViolated], cfg.AlbumsNoArtist)
+	}
+	if kinds[MultipleValues] != cfg.AlbumsMultiArtist {
+		t.Errorf("MultipleValues = %d, want %d", kinds[MultipleValues], cfg.AlbumsMultiArtist)
+	}
+	if kinds[DetachedValue] != cfg.ArtistsWithoutAlbums {
+		t.Errorf("DetachedValue = %d, want %d", kinds[DetachedValue], cfg.ArtistsWithoutAlbums)
+	}
+}
+
+func TestHighQualityPlanTable5(t *testing.T) {
+	cfg := scenario.SmallExampleConfig()
+	scn := scenario.MusicExample(cfg)
+	m, rep := assess(t, scn)
+	tasks, trace, err := m.PlanWithTrace(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := make(map[effort.TaskType]effort.Task)
+	for _, task := range tasks {
+		byType[task.Type] = task
+	}
+	// Table 5 structure: Add tuples for the detached artists, then Add
+	// missing values for the titles of the created tuples (the Figure-5
+	// cascade), plus the repairs of the records -> artist conflicts.
+	at, ok := byType[effort.TaskAddTuples]
+	if !ok || at.Repetitions != cfg.ArtistsWithoutAlbums {
+		t.Errorf("Add tuples = %+v, want %d repetitions", at, cfg.ArtistsWithoutAlbums)
+	}
+	mv, ok := byType[effort.TaskMergeValues]
+	if !ok || mv.Repetitions != cfg.AlbumsMultiArtist {
+		t.Errorf("Merge values = %+v, want %d repetitions", mv, cfg.AlbumsMultiArtist)
+	}
+	// Two Add-missing-values tasks: artist (for no-artist albums) and
+	// title (cascade of Add tuples).
+	addValues := 0
+	titleCascade := false
+	for _, task := range tasks {
+		if task.Type == effort.TaskAddMissingValues {
+			addValues++
+			if strings.Contains(task.Subject, "title") {
+				titleCascade = true
+				if task.Repetitions != cfg.ArtistsWithoutAlbums {
+					t.Errorf("title cascade repetitions = %d, want %d", task.Repetitions, cfg.ArtistsWithoutAlbums)
+				}
+			}
+		}
+	}
+	if addValues != 2 || !titleCascade {
+		t.Errorf("Add missing values tasks = %d (title cascade: %v); tasks: %v", addValues, titleCascade, tasks)
+	}
+	// The cascade appears in the Figure-5 trace.
+	joined := strings.Join(trace, "\n")
+	if !strings.Contains(joined, "side effect") || !strings.Contains(joined, "title") {
+		t.Errorf("trace lacks the Figure-5 side effect:\n%s", joined)
+	}
+	// Ordering: Add tuples precedes the title fix (§4.2 ordering).
+	addIdx, titleIdx := -1, -1
+	for i, task := range tasks {
+		if task.Type == effort.TaskAddTuples {
+			addIdx = i
+		}
+		if task.Type == effort.TaskAddMissingValues && strings.Contains(task.Subject, "title") {
+			titleIdx = i
+		}
+	}
+	if addIdx < 0 || titleIdx < 0 || addIdx > titleIdx {
+		t.Errorf("task order wrong: Add tuples at %d, title fix at %d", addIdx, titleIdx)
+	}
+}
+
+func TestLowEffortPlan(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m, rep := assess(t, scn)
+	tasks, err := m.PlanTasks(rep, effort.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[effort.TaskType]bool)
+	for _, task := range tasks {
+		types[task.Type] = true
+		if task.Category != effort.CategoryCleaningStructure {
+			t.Errorf("category = %s", task.Category)
+		}
+	}
+	for _, want := range []effort.TaskType{effort.TaskDeleteDetachedVals, effort.TaskRejectTuples, effort.TaskKeepAnyValue} {
+		if !types[want] {
+			t.Errorf("low-effort plan missing %q: %v", want, tasks)
+		}
+	}
+	// Low effort never creates tuples, so no cascade tasks appear.
+	if types[effort.TaskAddTuples] || types[effort.TaskAddMissingValues] {
+		t.Errorf("low-effort plan contains high-quality tasks: %v", tasks)
+	}
+	// Low-effort total: delete detached (0) + reject (5) + keep any (5).
+	est, err := effort.NewCalculator(effort.DefaultSettings()).Price(effort.LowEffort, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Total(); got != 10 {
+		t.Errorf("low-effort structure total = %v, want 10", got)
+	}
+}
+
+func TestIdenticalSchemaNoConflicts(t *testing.T) {
+	// The s4-s4 / d1-d2 property: same schema, valid data, full
+	// correspondences -> no structural conflicts at all.
+	s := scenario.MusicExampleTarget()
+	src := relational.NewDatabase(s)
+	tgt := relational.NewDatabase(s)
+	src.MustInsert("records", 1, "T", "A", nil)
+	src.MustInsert("tracks", 1, "Song", "4:43")
+	corr := &match.Set{}
+	corr.Table("records", "records").Table("tracks", "tracks")
+	for _, c := range [][2]string{{"records", "id"}, {"records", "title"}, {"records", "artist"}, {"records", "genre"}} {
+		corr.Attr(c[0], c[1], c[0], c[1])
+	}
+	for _, c := range [][2]string{{"tracks", "record"}, {"tracks", "title"}, {"tracks", "duration"}} {
+		corr.Attr(c[0], c[1], c[0], c[1])
+	}
+	scn := &core.Scenario{Name: "ident", Target: tgt,
+		Sources: []*core.Source{{Name: "src", DB: src, Correspondences: corr}}}
+	m, rep := assess(t, scn)
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("identical schemas must yield no conflicts: %v", rep.Conflicts)
+	}
+	tasks, err := m.PlanTasks(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Errorf("no conflicts must yield no tasks: %v", tasks)
+	}
+}
+
+func TestDanglingValueDetection(t *testing.T) {
+	// Source tracks reference albums that do not exist after
+	// integration: the equality relationship into the target key is
+	// violated.
+	srcSchema := relational.NewSchema("src")
+	srcSchema.MustAddTable(relational.MustTable("songs",
+		relational.Column{Name: "album", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	srcSchema.MustAddTable(relational.MustTable("albums",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	srcSchema.MustAddConstraint(relational.PrimaryKey{Table: "albums", Columns: []string{"id"}})
+	srcSchema.MustAddConstraint(relational.NotNullConstraint{Table: "songs", Column: "name"})
+	// No FK between songs.album and albums.id: dangling references are
+	// possible and present.
+	src := relational.NewDatabase(srcSchema)
+	src.MustInsert("albums", 1, "A")
+	src.MustInsert("songs", 1, "ok")
+	src.MustInsert("songs", 99, "dangling")
+	src.MustInsert("songs", 98, "dangling too")
+
+	tgt := relational.NewDatabase(scenario.MusicExampleTarget())
+	corr := &match.Set{}
+	corr.Table("albums", "records").Table("songs", "tracks")
+	corr.Attr("albums", "name", "records", "title")
+	corr.Attr("albums", "id", "records", "id")
+	corr.Attr("songs", "name", "tracks", "title")
+	corr.Attr("songs", "album", "tracks", "record")
+
+	scn := &core.Scenario{Name: "dangling", Target: tgt,
+		Sources: []*core.Source{{Name: "src", DB: src, Correspondences: corr}}}
+	m, rep := assess(t, scn)
+
+	var dangling *Conflict
+	for _, c := range rep.Conflicts {
+		if c.Kind == DanglingValue {
+			dangling = c
+		}
+	}
+	if dangling == nil {
+		t.Fatalf("no dangling-value conflict found: %v", rep.Conflicts)
+	}
+	if dangling.Count != 2 {
+		t.Errorf("dangling count = %d, want 2", dangling.Count)
+	}
+	// High-quality repair adds the referenced values, which cascades
+	// into detached-value repairs (create enclosing record tuples),
+	// which cascade into missing titles and artists.
+	tasks, _, err := m.PlanWithTrace(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[effort.TaskType]int)
+	for _, task := range tasks {
+		types[task.Type]++
+	}
+	if types[effort.TaskAddReferencedValues] != 1 {
+		t.Errorf("expected Add referenced values: %v", tasks)
+	}
+	if types[effort.TaskAddTuples] < 1 {
+		t.Errorf("expected cascaded Add tuples: %v", tasks)
+	}
+	if types[effort.TaskAddMissingValues] < 1 {
+		t.Errorf("expected cascaded Add missing values: %v", tasks)
+	}
+}
+
+func TestInfiniteCleaningLoopDetected(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	planner := NewPlanner()
+	// Sabotage the catalog: "fixing" missing values deletes the tuples,
+	// which detaches their values, which are fixed by creating tuples,
+	// which miss values again — a contradictory repair strategy.
+	planner.Catalog[NotNullViolated][effort.HighQuality] = Action{
+		Type: effort.TaskRejectTuples,
+		Cascade: func(st *planState, c *Conflict) []*Conflict {
+			return []*Conflict{{
+				Source: c.Source, Kind: DetachedValue,
+				TargetTable: c.TargetTable, TargetAttribute: "artist",
+				TargetRel: "artist -> records", Prescribed: csg.CardMany,
+				Inferred: csg.Exactly(0), Count: c.Count,
+			}}
+		},
+	}
+	m := NewWithPlanner(planner)
+	rep, err := m.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.PlanTasks(rep, effort.HighQuality)
+	if !errors.Is(err, ErrCleaningLoop) {
+		t.Errorf("contradictory repairs must be detected as a cleaning loop, got %v", err)
+	}
+}
+
+func TestPlannerUnknownKind(t *testing.T) {
+	p := NewPlanner()
+	rep := &Report{Conflicts: []*Conflict{{Kind: "Alien conflict", Count: 1, TargetRel: "x -> y"}}}
+	if _, _, err := p.Plan(rep, effort.LowEffort); err == nil {
+		t.Error("unknown conflict kind must fail")
+	}
+}
+
+func TestPlannerSkipsZeroCountConflicts(t *testing.T) {
+	p := NewPlanner()
+	rep := &Report{Conflicts: []*Conflict{{Kind: NotNullViolated, Count: 0, TargetRel: "x -> y"}}}
+	tasks, _, err := p.Plan(rep, effort.HighQuality)
+	if err != nil || len(tasks) != 0 {
+		t.Errorf("zero-count conflicts must be skipped: %v, %v", tasks, err)
+	}
+}
+
+func TestReportSummaryTable3Shape(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	_, rep := assess(t, scn)
+	s := rep.Summary()
+	for _, want := range []string{"Constraint in target schema", "Violation count", "records -> artist", "1..*"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if rep.ModuleName() != ModuleName {
+		t.Error("module name mismatch")
+	}
+	if rep.ProblemCount() == 0 {
+		t.Error("problem count should be positive")
+	}
+}
+
+func TestPlanTasksRejectsForeignReport(t *testing.T) {
+	m := New()
+	if _, err := m.PlanTasks(fakeReport{}, effort.LowEffort); err == nil {
+		t.Error("foreign report type must be rejected")
+	}
+}
+
+type fakeReport struct{}
+
+func (fakeReport) ModuleName() string { return "fake" }
+func (fakeReport) Summary() string    { return "" }
+func (fakeReport) ProblemCount() int  { return 0 }
+
+func TestUnmatchedRequiredAttribute(t *testing.T) {
+	// A NOT NULL target attribute with no correspondence at all: every
+	// integrated tuple violates it.
+	srcSchema := relational.NewSchema("src")
+	srcSchema.MustAddTable(relational.MustTable("albums",
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	srcSchema.MustAddConstraint(relational.NotNullConstraint{Table: "albums", Column: "name"})
+	src := relational.NewDatabase(srcSchema)
+	src.MustInsert("albums", "A")
+	src.MustInsert("albums", "B")
+	tgt := relational.NewDatabase(scenario.MusicExampleTarget())
+	corr := &match.Set{}
+	corr.Table("albums", "records")
+	corr.Attr("albums", "name", "records", "title")
+	scn := &core.Scenario{Name: "unmatched", Target: tgt,
+		Sources: []*core.Source{{Name: "src", DB: src, Correspondences: corr}}}
+	_, rep := assess(t, scn)
+	var artistConflict *Conflict
+	for _, c := range rep.Conflicts {
+		if c.TargetAttribute == "artist" && c.Kind == NotNullViolated {
+			artistConflict = c
+		}
+		if c.TargetAttribute == "id" {
+			t.Errorf("key attribute must be exempt (mapping generates it): %v", c)
+		}
+	}
+	if artistConflict == nil {
+		t.Fatalf("missing NOT NULL conflict for records.artist: %v", rep.Conflicts)
+	}
+	if artistConflict.Count != 2 {
+		t.Errorf("count = %d, want 2 (every integrated album)", artistConflict.Count)
+	}
+}
+
+func TestConflictSamples(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	_, rep := assess(t, scn)
+	for _, c := range rep.Conflicts {
+		if len(c.Samples) == 0 {
+			t.Errorf("conflict %s has no sample elements", c.TargetRel)
+		}
+		if len(c.Samples) > 3 {
+			t.Errorf("conflict %s quotes %d samples, want at most 3", c.TargetRel, len(c.Samples))
+		}
+	}
+	// Samples surface in the report (granularity requirement).
+	if !strings.Contains(rep.Summary(), "e.g.") {
+		t.Errorf("summary lacks sample elements:\n%s", rep.Summary())
+	}
+}
+
+func TestAmbiguousReferenceClassification(t *testing.T) {
+	// A matched equality relationship whose source path can deliver
+	// several referenced values: classify() maps the above-violations to
+	// AmbiguousReference, repaired by keeping any value (low) or merging
+	// (high).
+	if got := classify(&csg.Edge{Kind: csg.EqualityEdge}, false); got != AmbiguousReference {
+		t.Errorf("classification = %q", got)
+	}
+	p := NewPlanner()
+	rep := &Report{Conflicts: []*Conflict{{
+		Kind: AmbiguousReference, Count: 4, TargetRel: "x -> y",
+	}}}
+	tasks, _, err := p.Plan(rep, effort.LowEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Type != effort.TaskKeepAnyValue {
+		t.Errorf("low plan = %v", tasks)
+	}
+	tasks, _, err = p.Plan(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Type != effort.TaskMergeValues {
+		t.Errorf("high plan = %v", tasks)
+	}
+}
+
+func TestPlannerMissingQualityAction(t *testing.T) {
+	p := NewPlanner()
+	// Strip the low-effort action of one kind.
+	p.Catalog[NotNullViolated] = map[effort.Quality]Action{
+		effort.HighQuality: p.Catalog[NotNullViolated][effort.HighQuality],
+	}
+	rep := &Report{Conflicts: []*Conflict{{Kind: NotNullViolated, Count: 1, TargetRel: "x -> y"}}}
+	if _, _, err := p.Plan(rep, effort.LowEffort); err == nil {
+		t.Error("missing quality action must fail")
+	}
+}
+
+func TestProblemSitesLocateConflicts(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m := New()
+	if m.Name() != ModuleName {
+		t.Error("module name")
+	}
+	_, rep := assess(t, scn)
+	sites := rep.ProblemSites()
+	if len(sites) != len(rep.Conflicts) {
+		t.Fatalf("sites = %d, conflicts = %d", len(sites), len(rep.Conflicts))
+	}
+	foundArtist := false
+	for _, s := range sites {
+		if s.Table == "records" && s.Attribute == "artist" && s.Count > 0 {
+			foundArtist = true
+		}
+	}
+	if !foundArtist {
+		t.Errorf("records.artist missing from sites: %+v", sites)
+	}
+}
+
+func TestKindPriorityOrdering(t *testing.T) {
+	// Creators precede fixers; unknown kinds sort last.
+	kinds := []ConflictKind{DetachedValue, DanglingValue, NotNullViolated, MultipleValues, UniqueViolated, AmbiguousReference, "Alien"}
+	for i := 1; i < len(kinds); i++ {
+		if kindPriority(kinds[i-1]) > kindPriority(kinds[i]) {
+			t.Errorf("priority(%s) > priority(%s)", kinds[i-1], kinds[i])
+		}
+	}
+}
+
+func TestCascadeAddedReferencesEdgeCases(t *testing.T) {
+	// Without a graph or without a matching equality edge, the cascade
+	// produces nothing rather than panicking.
+	st := &planState{}
+	c := &Conflict{TargetTable: "tracks", TargetAttribute: "record", Count: 3}
+	if got := cascadeAddedReferences(st, c); got != nil {
+		t.Errorf("nil graph cascade = %v", got)
+	}
+	g := csg.MustFromSchema(scenario.MusicExampleTarget())
+	st.graph = g
+	bogus := &Conflict{TargetTable: "tracks", TargetAttribute: "nonexistent", Count: 3}
+	if got := cascadeAddedReferences(st, bogus); got != nil {
+		t.Errorf("missing node cascade = %v", got)
+	}
+	// The real FK column cascades into a detached-value conflict on
+	// records.id... which is unique, i.e. the value -> tuple edge has
+	// κ=1 (lower bound 1): a conflict on the referenced table.
+	real := &Conflict{TargetTable: "tracks", TargetAttribute: "record", Count: 3}
+	out := cascadeAddedReferences(st, real)
+	if len(out) != 1 || out[0].Kind != DetachedValue || out[0].TargetTable != "records" {
+		t.Errorf("cascade = %+v", out)
+	}
+	// cascadeCreatedTuples with nil graph is equally safe.
+	if got := cascadeCreatedTuples(&planState{}, real); got != nil {
+		t.Errorf("nil graph tuple cascade = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package valuefit
+
+import (
+	"fmt"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+)
+
+// PlanTasks implements core.Module: the value transformation planner of
+// §5.2. In contrast to structure repairs, value transformation tasks have
+// no interdependencies, so an appropriate task is proposed for each
+// heterogeneity based on the expected result quality (Table 7). For a
+// low-effort result most heterogeneities can simply be ignored.
+func (m *Module) PlanTasks(r core.Report, q effort.Quality) ([]effort.Task, error) {
+	rep, ok := r.(*Report)
+	if !ok {
+		return nil, fmt.Errorf("valuefit: foreign report type %T", r)
+	}
+	var tasks []effort.Task
+	for _, h := range rep.Heterogeneities {
+		task, emit := planOne(h, q)
+		if emit {
+			tasks = append(tasks, task)
+		}
+	}
+	return tasks, nil
+}
+
+// planOne maps one heterogeneity and quality level to its Table-7 task.
+// The second return value is false when the heterogeneity is ignored
+// (the "-" cells of Table 7).
+func planOne(h *Heterogeneity, q effort.Quality) (effort.Task, bool) {
+	params := map[string]float64{
+		"values":    float64(h.SourceValues),
+		"dist-vals": float64(h.SourceDistinct),
+	}
+	task := effort.Task{
+		Category:    effort.CategoryCleaningValues,
+		Quality:     q,
+		Subject:     h.Pair(),
+		Repetitions: h.SourceValues,
+		Params:      params,
+	}
+	switch h.Kind {
+	case TooFewElements:
+		if q == effort.LowEffort {
+			return effort.Task{}, false
+		}
+		task.Type = effort.TaskAddMissingValues
+		return task, true
+	case DifferentRepresentationsCritical:
+		if q == effort.LowEffort {
+			task.Type = effort.TaskDropValues
+			return task, true
+		}
+		task.Type = effort.TaskConvertValues
+		return task, true
+	case DifferentRepresentations:
+		if q == effort.LowEffort {
+			return effort.Task{}, false
+		}
+		task.Type = effort.TaskConvertValues
+		return task, true
+	case TooFine:
+		if q == effort.LowEffort {
+			return effort.Task{}, false
+		}
+		task.Type = effort.TaskGeneralizeValues
+		return task, true
+	case TooCoarse:
+		if q == effort.LowEffort {
+			return effort.Task{}, false
+		}
+		task.Type = effort.TaskRefineValues
+		return task, true
+	default:
+		return effort.Task{}, false
+	}
+}
