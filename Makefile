@@ -1,0 +1,18 @@
+# Tier-1 verification: build, vet, and the full test suite under the race
+# detector (the concurrency layer — profiler cache, parallel detectors,
+# parallel experiment grid — must stay race-clean).
+.PHONY: verify build test bench
+
+verify:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .

@@ -11,6 +11,7 @@ package efes_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"efes"
@@ -279,7 +280,7 @@ func BenchmarkConstraintValidation(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation runs the module ablation study (DESIGN.md §7): the
+// BenchmarkAblation runs the module ablation study (DESIGN.md §8): the
 // full evaluation for five framework configurations.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -382,6 +383,52 @@ func BenchmarkSQLJoin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sqlpkg.Query(db, q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateSequential is the single-worker reference for
+// BenchmarkEstimateParallel: the full two-phase pipeline with sequential
+// detectors and a private (uncached across iterations) profiler.
+func BenchmarkEstimateSequential(b *testing.B) {
+	fw := benchFramework()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Estimate(benchExample, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateParallel runs the same pipeline with concurrent module
+// detectors and a shared profiling cache, and reports the cache hit rate
+// as a custom metric. On multi-core machines this is where the detector
+// concurrency and the memoized target-column profiles pay off (compare
+// with BenchmarkEstimateSequential).
+func BenchmarkEstimateParallel(b *testing.B) {
+	vm := valuefit.New()
+	vm.Profiler = profile.NewProfiler(runtime.GOMAXPROCS(0))
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), vm).SetWorkers(runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Estimate(benchExample, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(vm.Profiler.HitRate(), "cache-hit-rate")
+}
+
+// BenchmarkExperimentsParallelGrid evaluates the Figure 6/7 grid with a
+// worker pool (the -workers flag of cmd/experiments).
+func BenchmarkExperimentsParallelGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunParallel(experiments.DefaultSeed, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exp.OverallEfesRMSE <= 0 {
+			b.Fatal("degenerate run")
 		}
 	}
 }

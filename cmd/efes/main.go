@@ -2,7 +2,8 @@
 // disk:
 //
 //	efes -target targetdir -source srcdir [-corr file] [-quality high] \
-//	     [-discover] [-augment] [-skill 1.0] [-criticality 1.0] [-mapping-tool]
+//	     [-discover] [-augment] [-skill 1.0] [-criticality 1.0] \
+//	     [-mapping-tool] [-workers N]
 //
 // Each database directory contains a schema.txt (the format written by
 // relational.Schema.String / SaveDir) and one <table>.csv per table. The
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"efes"
@@ -49,6 +51,7 @@ func main() {
 	heatmap := flag.Bool("heatmap", false, "append the problem heatmap over the target schema")
 	htmlOut := flag.String("html", "", "write a self-contained HTML report (with cost-benefit curve) to FILE")
 	writeConfig := flag.String("write-config", "", "write the default effort configuration to FILE and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of concurrent module detectors (1 = sequential)")
 	flag.Parse()
 
 	if *writeConfig != "" {
@@ -140,7 +143,7 @@ func main() {
 		settings.MappingTool = *mappingTool
 		calc = efes.NewCalculator(settings)
 	}
-	fw := efes.NewFrameworkWith(calc, efes.StandardModules()...)
+	fw := efes.NewFrameworkWith(calc, efes.StandardModules()...).SetWorkers(*workers)
 	res, err := fw.Estimate(scn, quality)
 	if err != nil {
 		fatal(err)

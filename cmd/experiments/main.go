@@ -6,6 +6,7 @@
 //	experiments -figure 6      # one figure (4-7)
 //	experiments -seed 7        # alternative random seed
 //	experiments -small         # test-sized running example (fast)
+//	experiments -workers 4     # evaluation-grid worker pool (same output)
 //
 // Tables 2, 3, 5, 6, and 8 are produced by running the framework on the
 // paper's Figure-2 running example; Figures 6 and 7 run the full two-domain
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"efes/internal/baseline"
 	"efes/internal/core"
@@ -36,13 +38,15 @@ func main() {
 	all := flag.Bool("all", false, "print every table and figure")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "random seed for the synthetic datasets")
 	small := flag.Bool("small", false, "use the fast, test-sized running example")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker pool size for the figure 6/7 evaluation grid (output is identical for every value)")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*ablation && !*sensitivity {
 		flag.Usage()
 		os.Exit(2)
 	}
-	r := &runner{seed: *seed, small: *small}
+	r := &runner{seed: *seed, small: *small, workers: *workers}
 	if *all {
 		for t := 1; t <= 9; t++ {
 			r.printTable(t)
@@ -69,8 +73,9 @@ func main() {
 }
 
 type runner struct {
-	seed  int64
-	small bool
+	seed    int64
+	small   bool
+	workers int
 
 	exampleResultHigh *core.Result
 	exampleScenario   *core.Scenario
@@ -274,7 +279,7 @@ func (r *runner) printFigure(n int) {
 			fmt.Println("  " + line)
 		}
 	case 6, 7:
-		exp, err := experiments.Run(r.seed)
+		exp, err := experiments.RunParallel(r.seed, r.workers)
 		if err != nil {
 			r.fatal(err)
 		}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"efes/internal/effort"
 	"efes/internal/match"
@@ -142,12 +143,13 @@ func (r *Result) Summary() string {
 type Framework struct {
 	modules []Module
 	calc    *effort.Calculator
+	workers int
 }
 
 // New creates a framework with the given calculator and modules. Modules
 // run in registration order.
 func New(calc *effort.Calculator, modules ...Module) *Framework {
-	return &Framework{modules: modules, calc: calc}
+	return &Framework{modules: modules, calc: calc, workers: 1}
 }
 
 // Modules returns the registered modules.
@@ -156,21 +158,69 @@ func (f *Framework) Modules() []Module { return f.modules }
 // Calculator returns the effort calculator.
 func (f *Framework) Calculator() *effort.Calculator { return f.calc }
 
+// SetWorkers sets how many module detectors AssessComplexity may run
+// concurrently. Values below one select one worker (sequential). Call it
+// before sharing the framework across goroutines; the framework itself is
+// then safe for concurrent Estimate/AssessComplexity calls as long as the
+// registered modules are (the built-in modules are: detectors are pure
+// §3.2 functions of the scenario, and the valuefit profiler cache is
+// concurrency-safe).
+func (f *Framework) SetWorkers(n int) *Framework {
+	if n < 1 {
+		n = 1
+	}
+	f.workers = n
+	return f
+}
+
+// Workers returns the configured detector concurrency.
+func (f *Framework) Workers() int { return f.workers }
+
 // AssessComplexity runs only phase 1 on the scenario: every module's data
 // complexity detector. The reports are independent of execution settings
 // and expected quality, and are useful on their own (source selection,
-// data visualization).
+// data visualization). Detectors are objective and context-free (§3.2),
+// so with SetWorkers(n>1) they run concurrently; the result is
+// nevertheless deterministic: reports stay in module registration order
+// and on failure the first error in registration order is returned.
 func (f *Framework) AssessComplexity(s *Scenario) ([]Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	var reports []Report
-	for _, m := range f.modules {
-		r, err := m.AssessComplexity(s)
-		if err != nil {
-			return nil, fmt.Errorf("core: module %s: %w", m.Name(), err)
+	if f.workers <= 1 || len(f.modules) <= 1 {
+		var reports []Report
+		for _, m := range f.modules {
+			r, err := m.AssessComplexity(s)
+			if err != nil {
+				return nil, fmt.Errorf("core: module %s: %w", m.Name(), err)
+			}
+			reports = append(reports, r)
 		}
-		reports = append(reports, r)
+		return reports, nil
+	}
+	reports := make([]Report, len(f.modules))
+	errs := make([]error, len(f.modules))
+	sem := make(chan struct{}, f.workers)
+	var wg sync.WaitGroup
+	for i, m := range f.modules {
+		wg.Add(1)
+		go func(i int, m Module) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := m.AssessComplexity(s)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: module %s: %w", m.Name(), err)
+				return
+			}
+			reports[i] = r
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs { // first error in registration order
+		if err != nil {
+			return nil, err
+		}
 	}
 	return reports, nil
 }

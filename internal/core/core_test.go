@@ -3,11 +3,13 @@ package core_test
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"efes/internal/core"
 	"efes/internal/effort"
 	"efes/internal/mapping"
+	"efes/internal/profile"
 	"efes/internal/scenario"
 	"efes/internal/structure"
 	"efes/internal/valuefit"
@@ -202,5 +204,110 @@ func TestMultiSourceEstimation(t *testing.T) {
 	ratio := resDouble.TotalMinutes() / resSingle.TotalMinutes()
 	if ratio < 1.8 || ratio > 2.2 {
 		t.Errorf("doubling the source should roughly double the estimate; ratio = %.2f", ratio)
+	}
+}
+
+// namedFailing is a module whose detector always fails, for error-order
+// tests with several failing modules.
+type namedFailing struct{ name string }
+
+func (m namedFailing) Name() string { return m.name }
+
+func (m namedFailing) AssessComplexity(*core.Scenario) (core.Report, error) {
+	return nil, errors.New(m.name + " boom")
+}
+
+func (m namedFailing) PlanTasks(core.Report, effort.Quality) ([]effort.Task, error) {
+	return nil, nil
+}
+
+// TestAssessComplexityParallelMatchesSequential runs the detectors
+// sequentially and with a worker pool and requires identical reports in
+// identical (registration) order.
+func TestAssessComplexityParallelMatchesSequential(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	seq, err := defaultFramework().AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := defaultFramework().SetWorkers(4).AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel reports = %d, sequential = %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].ModuleName() != seq[i].ModuleName() {
+			t.Errorf("report %d = %s, want %s (registration order)", i, par[i].ModuleName(), seq[i].ModuleName())
+		}
+		if par[i].Summary() != seq[i].Summary() {
+			t.Errorf("module %s: parallel summary differs from sequential", seq[i].ModuleName())
+		}
+	}
+}
+
+// TestAssessComplexityParallelFirstError requires the error of the
+// earliest-registered failing module, regardless of completion order.
+func TestAssessComplexityParallelFirstError(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), namedFailing{name: "alpha"}, namedFailing{name: "beta"}).SetWorkers(4)
+	for i := 0; i < 10; i++ { // completion order varies; result must not
+		_, err := fw.AssessComplexity(scn)
+		if err == nil || !strings.Contains(err.Error(), "alpha boom") {
+			t.Fatalf("err = %v, want the first failing module's error", err)
+		}
+	}
+}
+
+// TestSetWorkersClamps pins the sequential fallback for n < 1.
+func TestSetWorkersClamps(t *testing.T) {
+	fw := defaultFramework().SetWorkers(-3)
+	if fw.Workers() != 1 {
+		t.Errorf("workers = %d, want 1", fw.Workers())
+	}
+	if fw.SetWorkers(8).Workers() != 8 {
+		t.Error("SetWorkers(8) not stored")
+	}
+}
+
+// TestConcurrentEstimatesShareFramework hammers ONE framework (with
+// parallel detectors and a shared valuefit profiler) from many
+// goroutines, as the parallel experiment grid does. Every goroutine must
+// get the same estimate as a private sequential framework. Run with
+// -race.
+func TestConcurrentEstimatesShareFramework(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	want, err := defaultFramework().Estimate(scn, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := valuefit.New()
+	vm.Profiler = profile.NewProfiler(2)
+	shared := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), vm).SetWorkers(2)
+	const goroutines = 8
+	results := make([]*core.Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = shared.Estimate(scn, effort.HighQuality)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Summary() != want.Summary() {
+			t.Errorf("goroutine %d: shared-framework estimate differs from private sequential run", i)
+		}
+	}
+	if hits, _ := vm.Profiler.Counters(); hits == 0 {
+		t.Error("shared profiler saw no cache hits across concurrent estimates")
 	}
 }

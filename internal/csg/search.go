@@ -14,20 +14,31 @@ const MaxPathLength = 8
 // the enumeration preserves the practically best match.
 const MaxPaths = 4096
 
+// maxStepsPerRound bounds the node visits of ONE iterative-deepening
+// round of FindPaths. The budget is deliberately per round, not shared
+// across rounds: every round re-traverses the shallow prefix of the
+// search tree from scratch, so a shared budget would be exhausted by the
+// (useless) shallow re-traversals on dense graphs and deeper rounds would
+// silently never run — making the effective truncation depth a function
+// of graph density. With a per-round budget the total work is still
+// bounded (maxLen · maxStepsPerRound) and every depth gets an equal
+// chance. It is a variable only so tests can exercise the truncation
+// behavior cheaply.
+var maxStepsPerRound = 2_000_000
+
 // FindPaths enumerates simple paths (no repeated nodes) from one node to
 // another, up to maxLen edges and at most MaxPaths candidates (an
 // iterative-deepening search, so shorter paths are enumerated first). The
 // result is deterministic: paths are ordered by length, then by their
-// string rendering.
+// string rendering. Truncation is deterministic too: each round visits
+// nodes in the graph's edge-insertion order (fixed by schema declaration
+// order), so when a round's step budget or the MaxPaths cap cuts the
+// enumeration short, it always keeps the same earliest-enumerated
+// candidates for a given graph.
 func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
 	if from == nil || to == nil {
 		return nil
 	}
-	// maxSteps bounds the total edges traversed across all deepening
-	// rounds, so dense graphs where few branches reach the target still
-	// terminate quickly. Shallow rounds run to completion first, so the
-	// budget is always spent on the most concise candidates.
-	const maxSteps = 2_000_000
 	steps := 0
 	var out []Path
 	visited := map[*Node]bool{from: true}
@@ -35,7 +46,7 @@ func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
 	var dfs func(n *Node, limit int)
 	dfs = func(n *Node, limit int) {
 		steps++
-		if len(out) >= MaxPaths || steps > maxSteps {
+		if len(out) >= MaxPaths || steps > maxStepsPerRound {
 			return
 		}
 		if len(current) > 0 && n == to {
@@ -60,7 +71,8 @@ func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
 			visited[e.To] = false
 		}
 	}
-	for limit := 1; limit <= maxLen && len(out) < MaxPaths && steps <= maxSteps; limit++ {
+	for limit := 1; limit <= maxLen && len(out) < MaxPaths; limit++ {
+		steps = 0 // fresh budget per deepening round
 		dfs(from, limit)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -381,3 +381,28 @@ func TestSensitivitySweep(t *testing.T) {
 		t.Error("rendering header missing")
 	}
 }
+
+// TestRunParallelByteIdentical is the determinism guarantee of the
+// parallel evaluation grid: whatever the worker count, the rendered
+// Figures 6 and 7 (and the RMSE lines they contain) must be byte-for-byte
+// the output of the sequential run. Each grid cell builds its own
+// scenario from the shared seed and derives all randomness from the
+// practitioner's per-cell RNG, so worker scheduling cannot leak into the
+// results.
+func TestRunParallelByteIdentical(t *testing.T) {
+	seq := fullRun(t)
+	par, err := RunParallel(DefaultSeed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := RenderFigure(par.Bibliographic), RenderFigure(seq.Bibliographic); got != want {
+		t.Errorf("figure 6 differs between -workers 4 and sequential:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := RenderFigure(par.Music), RenderFigure(seq.Music); got != want {
+		t.Errorf("figure 7 differs between -workers 4 and sequential:\n%s\nvs\n%s", got, want)
+	}
+	if par.OverallEfesRMSE != seq.OverallEfesRMSE || par.OverallCountingRMSE != seq.OverallCountingRMSE {
+		t.Errorf("pooled RMSE differs: parallel %v/%v, sequential %v/%v",
+			par.OverallEfesRMSE, par.OverallCountingRMSE, seq.OverallEfesRMSE, seq.OverallCountingRMSE)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"efes/internal/baseline"
 	"efes/internal/core"
@@ -132,7 +133,37 @@ type rawRun struct {
 	rows []Measurement // Efes/Counting uncalibrated here
 }
 
-// runDomain executes all scenarios of a domain at both quality levels.
+// gridQualities is the quality axis of the Figure 6/7 evaluation grid, in
+// row order (low effort before high quality within each scenario).
+var gridQualities = []effort.Quality{effort.LowEffort, effort.HighQuality}
+
+// evalCell evaluates one scenario×quality cell of the grid: the Efes
+// estimate, the practitioner's measured ground truth, and the counting
+// baseline. All randomness comes from the practitioner's per-cell RNG
+// (seeded from scenario name and quality), so a cell's measurement is
+// independent of when — or on which worker — it runs.
+func evalCell(fw *core.Framework, pract *Practitioner, counting *baseline.Counting,
+	scn *core.Scenario, name string, q effort.Quality) (Measurement, error) {
+	res, err := fw.Estimate(scn, q)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("experiments: %s (%s): %w", name, q, err)
+	}
+	measured, measuredBy, err := pract.Measure(scn, q)
+	if err != nil {
+		return Measurement{}, err
+	}
+	cnt := counting.Estimate(scn, q)
+	return Measurement{
+		Scenario: name, Quality: q,
+		Efes: res.Estimate.Total(), Measured: measured, Counting: cnt.Total(),
+		EfesBreakdown:     res.Estimate.ByCategory(),
+		MeasuredBreakdown: measuredBy,
+		CountingBreakdown: cnt.ByCategory(),
+	}, nil
+}
+
+// runDomain executes all scenarios of a domain at both quality levels,
+// sequentially.
 func runDomain(d Domain, seed int64) (*rawRun, error) {
 	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
 		mapping.New(), structure.New(), valuefit.New())
@@ -141,26 +172,64 @@ func runDomain(d Domain, seed int64) (*rawRun, error) {
 	run := &rawRun{}
 	for _, spec := range d.Scenarios {
 		scn := spec.Build(seed)
-		for _, q := range []effort.Quality{effort.LowEffort, effort.HighQuality} {
-			res, err := fw.Estimate(scn, q)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s (%s): %w", spec.Name, q, err)
-			}
-			measured, measuredBy, err := pract.Measure(scn, q)
+		for _, q := range gridQualities {
+			m, err := evalCell(fw, pract, counting, scn, spec.Name, q)
 			if err != nil {
 				return nil, err
 			}
-			cnt := counting.Estimate(scn, q)
-			run.rows = append(run.rows, Measurement{
-				Scenario: spec.Name, Quality: q,
-				Efes: res.Estimate.Total(), Measured: measured, Counting: cnt.Total(),
-				EfesBreakdown:     res.Estimate.ByCategory(),
-				MeasuredBreakdown: measuredBy,
-				CountingBreakdown: cnt.ByCategory(),
-			})
+			run.rows = append(run.rows, m)
 		}
 	}
 	return run, nil
+}
+
+// runDomainParallel evaluates the domain's scenario×quality grid with a
+// bounded pool of workers. The result is byte-identical to runDomain:
+// each cell builds its own scenario instance from the same deterministic
+// seed, every measurement derives its randomness from the practitioner's
+// per-cell RNG, results are placed by grid index (scenario-major, quality
+// order as in the figures), and on failure the first error in grid order
+// is returned. One framework, practitioner, and baseline are shared by
+// all workers — their run paths are read-only.
+func runDomainParallel(d Domain, seed int64, workers int) (*rawRun, error) {
+	if workers <= 1 {
+		return runDomain(d, seed)
+	}
+	type cell struct {
+		spec ScenarioSpec
+		q    effort.Quality
+	}
+	var cells []cell
+	for _, spec := range d.Scenarios {
+		for _, q := range gridQualities {
+			cells = append(cells, cell{spec: spec, q: q})
+		}
+	}
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), valuefit.New())
+	pract := NewPractitioner(seed)
+	counting := baseline.New()
+	rows := make([]Measurement, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scn := c.spec.Build(seed)
+			rows[i], errs[i] = evalCell(fw, pract, counting, scn, c.spec.Name, c.q)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs { // first error in grid order
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &rawRun{rows: rows}, nil
 }
 
 // calibrate scales the Efes and Counting values of test rows by factors
@@ -207,13 +276,36 @@ func scaleBreakdown(b map[effort.Category]float64, k float64) map[effort.Categor
 // Run executes the full evaluation: both domains, cross-validated
 // calibration, per-domain and pooled RMSE.
 func Run(seed int64) (*Experiment, error) {
-	bibRaw, err := runDomain(BibliographicDomain(), seed)
-	if err != nil {
-		return nil, err
+	return RunParallel(seed, 1)
+}
+
+// RunParallel is Run with a bounded worker pool per domain (the two
+// domains also run concurrently when workers > 1). Output is guaranteed
+// byte-identical to Run for every worker count — see runDomainParallel.
+func RunParallel(seed int64, workers int) (*Experiment, error) {
+	var bibRaw, musicRaw *rawRun
+	var bibErr, musicErr error
+	if workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			bibRaw, bibErr = runDomainParallel(BibliographicDomain(), seed, workers)
+		}()
+		go func() {
+			defer wg.Done()
+			musicRaw, musicErr = runDomainParallel(MusicDomain(), seed, workers)
+		}()
+		wg.Wait()
+	} else {
+		bibRaw, bibErr = runDomain(BibliographicDomain(), seed)
+		musicRaw, musicErr = runDomain(MusicDomain(), seed)
 	}
-	musicRaw, err := runDomain(MusicDomain(), seed)
-	if err != nil {
-		return nil, err
+	if bibErr != nil {
+		return nil, bibErr
+	}
+	if musicErr != nil {
+		return nil, musicErr
 	}
 	exp := &Experiment{}
 	exp.Bibliographic = calibrate(musicRaw, bibRaw) // trained on music

@@ -208,6 +208,46 @@ func NewMatcher() *Matcher {
 	return &Matcher{Threshold: 0.5, NameWeight: 0.5, TypeWeight: 0.15, InstanceWeight: 0.35, SampleSize: 1000}
 }
 
+// instanceProfile is the per-column data needed by instanceSimilarity,
+// profiled once per column and Match call instead of once per candidate
+// pair: the (sampled) distinct values rendered as a set, and the dominant
+// text pattern. With S source and T target columns, this turns O(S·T)
+// distinct-value scans into O(S+T).
+type instanceProfile struct {
+	set     map[string]struct{}
+	pattern string
+}
+
+// columnCache memoizes instanceProfiles per column within one Match call.
+type columnCache map[string]*instanceProfile
+
+func (c columnCache) get(m *Matcher, db *relational.Database, table, column string) *instanceProfile {
+	key := table + "\x00" + column
+	if p, ok := c[key]; ok {
+		return p
+	}
+	p := m.profileColumn(db, table, column)
+	c[key] = p
+	return p
+}
+
+// profileColumn computes one column's instance profile (nil when the
+// column's values cannot be read).
+func (m *Matcher) profileColumn(db *relational.Database, table, column string) *instanceProfile {
+	vs, _, err := db.DistinctValues(table, column)
+	if err != nil || len(vs) == 0 {
+		return nil
+	}
+	if m.SampleSize > 0 && len(vs) > m.SampleSize {
+		vs = vs[:m.SampleSize]
+	}
+	set := make(map[string]struct{}, len(vs))
+	for _, v := range vs {
+		set[relational.FormatValue(v)] = struct{}{}
+	}
+	return &instanceProfile{set: set, pattern: dominantPattern(vs)}
+}
+
 // Match discovers attribute correspondences from a source database into a
 // target database. Each target attribute receives at most one source
 // attribute (greedy best-first, stable and deterministic), and each source
@@ -217,12 +257,15 @@ func (m *Matcher) Match(source, target *relational.Database) *Set {
 		c     Correspondence
 		score float64
 	}
+	srcProfiles, tgtProfiles := make(columnCache), make(columnCache)
 	var candidates []scored
 	for _, st := range source.Schema.Tables() {
 		for _, sc := range st.Columns {
+			sp := srcProfiles.get(m, source, st.Name, sc.Name)
 			for _, tt := range target.Schema.Tables() {
 				for _, tc := range tt.Columns {
-					score := m.score(source, st, sc, target, tt, tc)
+					tp := tgtProfiles.get(m, target, tt.Name, tc.Name)
+					score := m.score(st, sc, tt, tc, sp, tp)
 					if score >= m.Threshold {
 						candidates = append(candidates, scored{
 							c: Correspondence{
@@ -259,14 +302,14 @@ func (m *Matcher) Match(source, target *relational.Database) *Set {
 	return out
 }
 
-func (m *Matcher) score(source *relational.Database, st *relational.Table, sc relational.Column,
-	target *relational.Database, tt *relational.Table, tc relational.Column) float64 {
+func (m *Matcher) score(st *relational.Table, sc relational.Column,
+	tt *relational.Table, tc relational.Column, sp, tp *instanceProfile) float64 {
 	name := nameSimilarity(sc.Name, tc.Name)
 	// Table-name agreement nudges attribute matches between
 	// corresponding relations.
 	name = 0.8*name + 0.2*nameSimilarity(st.Name, tt.Name)
 	typ := typeCompatibility(sc.Type, tc.Type)
-	inst := m.instanceSimilarity(source, st.Name, sc.Name, target, tt.Name, tc.Name)
+	inst := instanceSimilarity(sp, tp)
 	wsum := m.NameWeight + m.TypeWeight + m.InstanceWeight
 	return (m.NameWeight*name + m.TypeWeight*typ + m.InstanceWeight*inst) / wsum
 }
@@ -372,41 +415,16 @@ func typeCompatibility(a, b relational.Type) float64 {
 }
 
 // instanceSimilarity blends distinct-value overlap with pattern-profile
-// similarity of the two columns.
-func (m *Matcher) instanceSimilarity(source *relational.Database, st, sc string,
-	target *relational.Database, tt, tc string) float64 {
-	sv, _, err1 := source.DistinctValues(st, sc)
-	tv, _, err2 := target.DistinctValues(tt, tc)
-	if err1 != nil || err2 != nil {
+// similarity of two memoized column profiles.
+func instanceSimilarity(sp, tp *instanceProfile) float64 {
+	if sp == nil || tp == nil {
 		return 0
 	}
-	if len(sv) == 0 || len(tv) == 0 {
-		return 0
-	}
-	if m.SampleSize > 0 {
-		if len(sv) > m.SampleSize {
-			sv = sv[:m.SampleSize]
-		}
-		if len(tv) > m.SampleSize {
-			tv = tv[:m.SampleSize]
-		}
-	}
-	ss := make(map[string]struct{}, len(sv))
-	for _, v := range sv {
-		ss[relational.FormatValue(v)] = struct{}{}
-	}
-	ts := make(map[string]struct{}, len(tv))
-	for _, v := range tv {
-		ts[relational.FormatValue(v)] = struct{}{}
-	}
-	overlap := jaccard(ss, ts)
-
+	overlap := jaccard(sp.set, tp.set)
 	// Pattern-profile similarity: share of values following the same
 	// dominant text pattern.
-	spat := dominantPattern(sv)
-	tpat := dominantPattern(tv)
 	patternScore := 0.0
-	if spat != "" && spat == tpat {
+	if sp.pattern != "" && sp.pattern == tp.pattern {
 		patternScore = 1
 	}
 	return 0.6*overlap + 0.4*patternScore

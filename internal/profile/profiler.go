@@ -1,0 +1,234 @@
+package profile
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"efes/internal/relational"
+)
+
+// profileKey identifies one memoized column profile. The database is keyed
+// by identity (pointer): profiles describe one concrete instance, and two
+// scenarios never share instances unless they really are the same data.
+// The type is part of the key because a column can be profiled under its
+// declared type or viewed through a different (coercion target) type, and
+// the two profiles differ.
+type profileKey struct {
+	db      *relational.Database
+	table   string
+	column  string
+	typ     relational.Type
+	coerced bool
+}
+
+// profileEntry is one cache slot. The ready channel implements in-flight
+// deduplication: the first goroutine to request a key computes it while
+// concurrent requesters block on ready instead of recomputing.
+type profileEntry struct {
+	ready        chan struct{}
+	stats        *ColumnStats
+	incompatible int
+	err          error
+}
+
+// Profiler memoizes column profiles and fans whole-table and
+// whole-database profiling out over a bounded worker pool. It is safe for
+// concurrent use by multiple goroutines; a single Profiler can be shared
+// across estimation modules, frameworks, and experiment workers so that
+// every (database, table, column, type) combination is profiled exactly
+// once per process, however many correspondences refer to it.
+//
+// Entries key the database by pointer identity and therefore keep the
+// instance alive; call Reset to release a long-lived Profiler's memory
+// between unrelated workloads.
+type Profiler struct {
+	workers int
+
+	mu      sync.Mutex
+	entries map[profileKey]*profileEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewProfiler creates a Profiler whose bulk operations (ProfileTable,
+// ProfileDatabase) use at most workers concurrent goroutines; workers <= 0
+// selects GOMAXPROCS.
+func NewProfiler(workers int) *Profiler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Profiler{workers: workers, entries: make(map[profileKey]*profileEntry)}
+}
+
+// Workers returns the concurrency bound of the bulk operations.
+func (p *Profiler) Workers() int { return p.workers }
+
+// get returns the cached entry for key, computing it via compute exactly
+// once. Concurrent requests for the same key wait for the first computation
+// instead of duplicating it.
+func (p *Profiler) get(key profileKey, compute func() (*ColumnStats, int, error)) (*ColumnStats, int, error) {
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if ok {
+		p.mu.Unlock()
+		p.hits.Add(1)
+		<-e.ready
+		return e.stats, e.incompatible, e.err
+	}
+	e = &profileEntry{ready: make(chan struct{})}
+	p.entries[key] = e
+	p.mu.Unlock()
+	p.misses.Add(1)
+	e.stats, e.incompatible, e.err = compute()
+	close(e.ready)
+	return e.stats, e.incompatible, e.err
+}
+
+// Column returns the memoized profile of a column under its declared type
+// (the raw view: values are profiled as stored).
+func (p *Profiler) Column(db *relational.Database, table, column string) (*ColumnStats, error) {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("profile: unknown table %s", table)
+	}
+	col, ok := t.Column(column)
+	if !ok {
+		return nil, fmt.Errorf("profile: unknown column %s.%s", table, column)
+	}
+	key := profileKey{db: db, table: table, column: column, typ: col.Type}
+	cs, _, err := p.get(key, func() (*ColumnStats, int, error) {
+		values, err := db.Column(table, column)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Values(table, column, col.Type, values), 0, nil
+	})
+	return cs, err
+}
+
+// ColumnCoerced returns the memoized profile of a column viewed through a
+// different type: every value is coerced to typ, values that cannot be
+// coerced are dropped and counted (the "incompatible" return), and the
+// surviving values (including NULLs) are profiled under typ. This is the
+// view the value-fit detector takes of a source column: how the data will
+// look once integrated into the target attribute.
+func (p *Profiler) ColumnCoerced(db *relational.Database, table, column string, typ relational.Type) (*ColumnStats, int, error) {
+	key := profileKey{db: db, table: table, column: column, typ: typ, coerced: true}
+	return p.get(key, func() (*ColumnStats, int, error) {
+		values, err := db.Column(table, column)
+		if err != nil {
+			return nil, 0, err
+		}
+		coerced := make([]relational.Value, 0, len(values))
+		incompatible := 0
+		for _, v := range values {
+			cv, err := relational.Coerce(typ, v)
+			if err != nil {
+				incompatible++
+				continue
+			}
+			coerced = append(coerced, cv)
+		}
+		return Values(table, column, typ, coerced), incompatible, nil
+	})
+}
+
+// ProfileTable profiles every column of a table, fanning the columns out
+// over the worker pool, and returns the profiles in schema column order.
+func (p *Profiler) ProfileTable(db *relational.Database, table string) ([]*ColumnStats, error) {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("profile: unknown table %s", table)
+	}
+	out := make([]*ColumnStats, len(t.Columns))
+	errs := make([]error, len(t.Columns))
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for i, col := range t.Columns {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = p.Column(db, table, name)
+		}(i, col.Name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ProfileDatabase profiles every column of every table, bounded by the
+// worker pool, and returns the profiles in schema order (tables in schema
+// order, columns in declaration order).
+func (p *Profiler) ProfileDatabase(db *relational.Database) ([]*ColumnStats, error) {
+	type slot struct {
+		table, column string
+	}
+	var slots []slot
+	for _, t := range db.Schema.Tables() {
+		for _, c := range t.Columns {
+			slots = append(slots, slot{table: t.Name, column: c.Name})
+		}
+	}
+	out := make([]*ColumnStats, len(slots))
+	errs := make([]error, len(slots))
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for i, s := range slots {
+		wg.Add(1)
+		go func(i int, s slot) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = p.Column(db, s.table, s.column)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Counters returns how many lookups were served from the cache (hits) and
+// how many required profiling work (misses).
+func (p *Profiler) Counters() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// HitRate returns the share of lookups served from the cache, or 0 before
+// any lookup.
+func (p *Profiler) HitRate() float64 {
+	h, m := p.Counters()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of cached column profiles.
+func (p *Profiler) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Reset drops every cached profile and zeroes the counters, releasing the
+// references that pin profiled database instances in memory.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.entries = make(map[profileKey]*profileEntry)
+	p.mu.Unlock()
+	p.hits.Store(0)
+	p.misses.Store(0)
+}

@@ -1,0 +1,189 @@
+package profile
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"efes/internal/relational"
+)
+
+func profilerDB(t *testing.T) *relational.Database {
+	t.Helper()
+	s := relational.NewSchema("db")
+	s.MustAddTable(relational.MustTable("songs",
+		relational.Column{Name: "title", Type: relational.String},
+		relational.Column{Name: "length", Type: relational.Integer},
+	))
+	db := relational.NewDatabase(s)
+	db.MustInsert("songs", "Sweet Home Alabama", int64(215900))
+	db.MustInsert("songs", "Smoke on the Water", int64(340000))
+	db.MustInsert("songs", nil, nil)
+	return db
+}
+
+func TestProfilerMemoizesColumn(t *testing.T) {
+	db := profilerDB(t)
+	p := NewProfiler(2)
+	a, err := p.Column(db, "songs", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Column(db, "songs", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second lookup must return the cached *ColumnStats")
+	}
+	if hits, misses := p.Counters(); hits != 1 || misses != 1 {
+		t.Errorf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if p.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", p.HitRate())
+	}
+	if a.Rows != 3 || a.Nulls != 1 || a.Distinct != 2 {
+		t.Errorf("stats = %d rows, %d nulls, %d distinct", a.Rows, a.Nulls, a.Distinct)
+	}
+}
+
+func TestProfilerCoercedViewIsSeparateEntry(t *testing.T) {
+	db := profilerDB(t)
+	p := NewProfiler(1)
+	raw, err := p.Column(db, "songs", "length")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asString, incompatible, err := p.ColumnCoerced(db, "songs", "length", relational.String)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incompatible != 0 {
+		t.Errorf("incompatible = %d, want 0 (integers cast to strings)", incompatible)
+	}
+	if raw == asString {
+		t.Error("raw and coerced views must be distinct cache entries")
+	}
+	if !raw.HasNumeric || asString.HasNumeric {
+		t.Error("raw view is numeric, string-coerced view is not")
+	}
+	if p.Len() != 2 {
+		t.Errorf("entries = %d, want 2", p.Len())
+	}
+	// Incompatible values are dropped and counted.
+	_, bad, err := p.ColumnCoerced(db, "songs", "title", relational.Integer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 2 {
+		t.Errorf("incompatible = %d, want 2 (titles do not cast to int)", bad)
+	}
+}
+
+func TestProfilerUnknownColumn(t *testing.T) {
+	db := profilerDB(t)
+	p := NewProfiler(1)
+	if _, err := p.Column(db, "songs", "ghost"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := p.Column(db, "ghosts", "title"); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, _, err := p.ColumnCoerced(db, "ghosts", "title", relational.String); err == nil {
+		t.Error("unknown table must error in coerced view")
+	}
+}
+
+func TestProfilerProfileDatabase(t *testing.T) {
+	db := profilerDB(t)
+	p := NewProfiler(4)
+	all, err := p.ProfileDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(all))
+	}
+	if all[0].Column != "title" || all[1].Column != "length" {
+		t.Errorf("order = %s, %s; want schema order", all[0].Column, all[1].Column)
+	}
+	cols, err := p.ProfileTable(db, "songs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != all[0] || cols[1] != all[1] {
+		t.Error("ProfileTable must serve from the same cache in schema order")
+	}
+}
+
+// TestProfilerConcurrentSharing hammers one Profiler from many goroutines:
+// every caller must observe the same memoized profile and the underlying
+// profiling work must run exactly once per distinct key (in-flight
+// deduplication). Run with -race.
+func TestProfilerConcurrentSharing(t *testing.T) {
+	db := profilerDB(t)
+	p := NewProfiler(4)
+	const goroutines = 32
+	results := make([]*ColumnStats, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, err := p.Column(db, "songs", "title")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := p.ColumnCoerced(db, "songs", "length", relational.String); err != nil {
+				t.Error(err)
+			}
+			results[i] = cs
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatal("goroutines observed different profile instances")
+		}
+	}
+	if _, misses := p.Counters(); misses != 2 {
+		t.Errorf("misses = %d, want 2 (one per distinct key)", misses)
+	}
+	if p.HitRate() < 0.9 {
+		t.Errorf("hit rate = %v, want > 0.9 under contention", p.HitRate())
+	}
+}
+
+func TestProfilerReset(t *testing.T) {
+	db := profilerDB(t)
+	p := NewProfiler(1)
+	if _, err := p.Column(db, "songs", "title"); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Error("reset must drop entries")
+	}
+	if h, m := p.Counters(); h != 0 || m != 0 {
+		t.Errorf("counters after reset = %d/%d", h, m)
+	}
+}
+
+// TestValuesWithNonFiniteNumbers is the regression test for the histogram
+// bucket-index panic: profiling a column containing ±Inf used to convert
+// NaN bucket positions straight to int and index out of bounds.
+func TestValuesWithNonFiniteNumbers(t *testing.T) {
+	vals := []relational.Value{math.Inf(1), math.Inf(-1), 3.0, 4.0, nil}
+	cs := Values("t", "c", relational.Float, vals)
+	if cs.Rows != 5 || cs.Nulls != 1 || !cs.HasNumeric {
+		t.Errorf("stats = %d rows, %d nulls, numeric %v", cs.Rows, cs.Nulls, cs.HasNumeric)
+	}
+	total := 0
+	for _, n := range cs.NumHist.Buckets {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("histogram holds %d values, want 4", total)
+	}
+}

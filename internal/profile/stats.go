@@ -271,9 +271,19 @@ func histogramOf(xs []float64, lo, hi float64) Histogram {
 	for _, x := range xs {
 		b := 0
 		if width > 0 {
-			b = int((x - lo) / width * float64(HistogramBuckets))
-			if b >= HistogramBuckets {
+			// Clamp on the float before converting: with ±Inf values
+			// (legal float64 cell contents) the bucket expression is
+			// NaN or ±Inf, and Go's float-to-int conversion of those
+			// is unspecified — an unclamped int(NaN) indexed out of
+			// bounds here.
+			f := (x - lo) / width * float64(HistogramBuckets)
+			switch {
+			case math.IsNaN(f) || f < 0:
+				b = 0
+			case f >= HistogramBuckets:
 				b = HistogramBuckets - 1
+			default:
+				b = int(f)
 			}
 		}
 		h.Buckets[b]++

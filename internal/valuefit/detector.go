@@ -129,6 +129,12 @@ type Module struct {
 	// DomainConstancy is the minimum constancy of a domain-restricted
 	// attribute. Defaults to 0.5.
 	DomainConstancy float64
+	// Profiler memoizes column profiles across correspondences (and,
+	// when shared, across scenarios and goroutines). When nil, each
+	// AssessComplexity call uses a private cache, which still profiles
+	// every target column once per scenario instead of once per
+	// correspondence.
+	Profiler *profile.Profiler
 }
 
 // New creates the module with the default thresholds.
@@ -141,6 +147,10 @@ func (m *Module) Name() string { return ModuleName }
 
 // AssessComplexity implements core.Module: the value fit detector.
 func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
+	prof := m.Profiler
+	if prof == nil {
+		prof = profile.NewProfiler(0)
+	}
 	report := &Report{}
 	for _, src := range s.Sources {
 		for _, corr := range src.Correspondences.AttributePairs() {
@@ -153,7 +163,7 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 				continue
 			}
 			report.PairsChecked++
-			h, err := m.checkPair(src, s.Target, corr.SourceTable, corr.SourceColumn, corr.TargetTable, corr.TargetColumn)
+			h, err := m.checkPair(prof, src, s.Target, corr.SourceTable, corr.SourceColumn, corr.TargetTable, corr.TargetColumn)
 			if err != nil {
 				return nil, err
 			}
@@ -172,37 +182,30 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 	return report, nil
 }
 
-// checkPair runs Algorithm 1 on one corresponding attribute pair.
-func (m *Module) checkPair(src *core.Source, target *relational.Database,
+// checkPair runs Algorithm 1 on one corresponding attribute pair. All
+// profiling goes through the profiler cache: the raw source profile, the
+// coerced source view, and — crucially — the target profile, which many
+// correspondences share and which is therefore computed once per scenario.
+func (m *Module) checkPair(prof *profile.Profiler, src *core.Source, target *relational.Database,
 	st, sc, tt, tc string) (*Heterogeneity, error) {
 
-	srcValues, err := src.DB.Column(st, sc)
+	rawSS, err := prof.Column(src.DB, st, sc)
 	if err != nil {
 		return nil, err
 	}
-	tgtValues, err := target.Column(tt, tc)
+	tstats, err := prof.Column(target, tt, tc)
 	if err != nil {
 		return nil, err
 	}
 	tgtCol, _ := target.Schema.Table(tt).Column(tc)
-	srcCol, _ := src.DB.Schema.Table(st).Column(sc)
 
 	// The target attribute's datatype designates which statistics to
 	// use; source values are viewed through the target type (how they
 	// would look once integrated), with incompatible ones counted.
-	coerced := make([]relational.Value, 0, len(srcValues))
-	incompatible := 0
-	for _, v := range srcValues {
-		cv, err := relational.Coerce(tgtCol.Type, v)
-		if err != nil {
-			incompatible++
-			continue
-		}
-		coerced = append(coerced, cv)
+	ss, incompatible, err := prof.ColumnCoerced(src.DB, st, sc, tgtCol.Type)
+	if err != nil {
+		return nil, err
 	}
-	ss := profile.Values(st, sc, tgtCol.Type, coerced)
-	tstats := profile.Values(tt, tc, tgtCol.Type, tgtValues)
-	rawSS := profile.Values(st, sc, srcCol.Type, srcValues)
 
 	h := &Heterogeneity{
 		Source:         src.Name,
@@ -214,7 +217,7 @@ func (m *Module) checkPair(src *core.Source, target *relational.Database,
 	}
 
 	// Algorithm 1, line 1: substantially fewer source values.
-	if len(tgtValues) > 0 && rawSS.Rows > 0 && rawSS.Fill < m.FewerValuesFactor*tstats.Fill {
+	if tstats.Rows > 0 && rawSS.Rows > 0 && rawSS.Fill < m.FewerValuesFactor*tstats.Fill {
 		h.Kind = TooFewElements
 		return h, nil
 	}
@@ -223,7 +226,7 @@ func (m *Module) checkPair(src *core.Source, target *relational.Database,
 		h.Kind = DifferentRepresentationsCritical
 		return h, nil
 	}
-	if len(coerced) == 0 || len(tgtValues) == 0 {
+	if ss.Rows == 0 || tstats.Rows == 0 {
 		return nil, nil // nothing to compare
 	}
 	// Lines 5-8: domain granularity mismatch.
@@ -354,10 +357,19 @@ func shrinkFit(fit float64, n int) float64 {
 //	f = Σ_τ i(St(τ)) · f(Ss(τ), St(τ)) / Σ_τ i(St(τ))
 //
 // It returns 1 when no statistic applies (nothing indicates a mismatch).
+// Statistics whose fit or importance is not finite — degenerate profiles
+// such as empty or all-NULL columns, or data containing ±Inf — are skipped
+// rather than allowed to poison the weighted average with NaN: a NaN here
+// would silently disable the 0.9 threshold decision (every comparison with
+// NaN is false), hiding real heterogeneities.
 func OverallFit(ss, ts *profile.ColumnStats) float64 {
 	fits := StatFits(ss, ts)
 	num, den := 0.0, 0.0
 	for _, sf := range fits {
+		if math.IsNaN(sf.Fit) || math.IsInf(sf.Fit, 0) ||
+			math.IsNaN(sf.Importance) || math.IsInf(sf.Importance, 0) {
+			continue
+		}
 		num += sf.Importance * sf.Fit
 		den += sf.Importance
 	}
@@ -430,7 +442,14 @@ func histConcentration(hist map[rune]float64) float64 {
 }
 
 // charHistFit is the cosine similarity of the two character histograms.
+// Degenerate inputs yield a defined fit instead of NaN from the zero-norm
+// division: two empty histograms (both columns empty, all-NULL, or holding
+// only empty strings) carry no evidence of a mismatch and fit perfectly,
+// while an empty histogram against a populated one is a maximal mismatch.
 func charHistFit(ss, ts *profile.ColumnStats) float64 {
+	if len(ss.CharHist) == 0 && len(ts.CharHist) == 0 {
+		return 1
+	}
 	if len(ss.CharHist) == 0 || len(ts.CharHist) == 0 {
 		return 0
 	}
@@ -443,7 +462,7 @@ func charHistFit(ss, ts *profile.ColumnStats) float64 {
 		nb += f * f
 	}
 	if na == 0 || nb == 0 {
-		return 0
+		return 0 // all-zero frequencies: no shared signature to compare
 	}
 	return dot / math.Sqrt(na*nb)
 }
@@ -462,8 +481,13 @@ func distImportance(d profile.Dist) float64 {
 }
 
 // distFit measures the overlap of two (approximately normal)
-// distributions via the standardized mean distance.
+// distributions via the standardized mean distance. Non-finite moments
+// (from columns containing ±Inf, or empty distributions upstream) carry no
+// usable evidence, so they yield the neutral fit 1 instead of NaN.
 func distFit(a, b profile.Dist) float64 {
+	if !finiteDist(a) || !finiteDist(b) {
+		return 1
+	}
 	spread := math.Sqrt(a.StdDev*a.StdDev+b.StdDev*b.StdDev) + 1e-9
 	// Also admit scale: means that differ by orders of magnitude fit
 	// badly even with huge variances.
@@ -475,10 +499,25 @@ func distFit(a, b profile.Dist) float64 {
 	return math.Exp(-d * d / 2)
 }
 
+// finiteDist reports whether both moments of a distribution are finite.
+func finiteDist(d profile.Dist) bool {
+	return !math.IsNaN(d.Mean) && !math.IsInf(d.Mean, 0) &&
+		!math.IsNaN(d.StdDev) && !math.IsInf(d.StdDev, 0)
+}
+
 // rangeFit is the overlap of the two value ranges, relative to the
 // narrower of the two spans: jittered but cohabiting ranges fit well,
-// while different scales (seconds vs milliseconds) yield zero.
+// while different scales (seconds vs milliseconds) yield zero. Non-finite
+// bounds (data containing ±Inf) carry no evidence and yield the neutral
+// fit 1; columns without numeric values never reach this function, as
+// StatFits only selects the numeric statistics when both sides have
+// numeric data.
 func rangeFit(ss, ts *profile.ColumnStats) float64 {
+	for _, v := range []float64{ss.Min, ss.Max, ts.Min, ts.Max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 1
+		}
+	}
 	lo := math.Max(ss.Min, ts.Min)
 	hi := math.Min(ss.Max, ts.Max)
 	if hi < lo {

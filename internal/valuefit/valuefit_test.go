@@ -2,6 +2,7 @@ package valuefit
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -436,5 +437,155 @@ func TestAssessComplexityErrorPropagation(t *testing.T) {
 	scn.Sources[0].Correspondences.Attr("songs", "ghost", "tracks", "duration")
 	if _, err := New().AssessComplexity(scn); err == nil {
 		t.Error("unknown source column must surface as an error")
+	}
+}
+
+// TestAllNullColumnsThroughModule is the regression test for the
+// degenerate-profile bugfix: empty and all-NULL columns must flow through
+// the full value-fit module with defined (finite) fits and never poison
+// OverallFit or the 0.9 threshold decision with NaN.
+func TestAllNullColumnsThroughModule(t *testing.T) {
+	nulls := make([]relational.Value, 20)
+	cases := []struct {
+		name             string
+		srcVals, tgtVals []relational.Value
+	}{
+		{"all-null target", durations(20), nulls},
+		{"all-null source", nulls, durations(20)},
+		{"both all-null", nulls, nulls},
+		{"empty target", durations(20), nil},
+		{"empty source", nil, durations(20)},
+		{"empty-string source", strs("", "", "", "", "", "", "", "", "", ""), durations(20)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			scn := pairScenario(t, relational.String, relational.String, c.srcVals, c.tgtVals)
+			rep := detect(t, scn)
+			for _, h := range rep.Heterogeneities {
+				if math.IsNaN(h.Fit) || math.IsInf(h.Fit, 0) {
+					t.Errorf("heterogeneity %v has non-finite fit %v", h, h.Fit)
+				}
+			}
+			// The all-NULL source against a filled target must be
+			// reported as too few elements, not silently dropped.
+			if c.name == "all-null source" {
+				if len(rep.Heterogeneities) != 1 || rep.Heterogeneities[0].Kind != TooFewElements {
+					t.Errorf("heterogeneities = %v, want TooFewElements", rep.Heterogeneities)
+				}
+			}
+		})
+	}
+}
+
+// TestFitGuardsDegenerateInputs pins the defined fits of the leaf
+// functions on degenerate and non-finite inputs.
+func TestFitGuardsDegenerateInputs(t *testing.T) {
+	empty := profile.Values("s", "a", relational.String, nil)
+	full := profile.Values("t", "b", relational.String, durations(30))
+	if got := charHistFit(empty, empty); got != 1 {
+		t.Errorf("charHistFit(empty, empty) = %v, want 1 (no evidence of mismatch)", got)
+	}
+	if got := charHistFit(empty, full); got != 0 {
+		t.Errorf("charHistFit(empty, full) = %v, want 0", got)
+	}
+	if got := charHistFit(full, full); math.IsNaN(got) || got < 0.99 {
+		t.Errorf("charHistFit(full, full) = %v, want ~1", got)
+	}
+	nan := math.NaN()
+	if got := distFit(profile.Dist{Mean: nan, StdDev: nan}, profile.Dist{Mean: 3, StdDev: 1}); got != 1 {
+		t.Errorf("distFit with NaN moments = %v, want neutral 1", got)
+	}
+	if got := distFit(profile.Dist{Mean: math.Inf(1)}, profile.Dist{Mean: 3, StdDev: 1}); got != 1 {
+		t.Errorf("distFit with Inf mean = %v, want neutral 1", got)
+	}
+	if got := rangeFit(&profile.ColumnStats{Min: nan, Max: nan}, &profile.ColumnStats{Min: 0, Max: 1}); got != 1 {
+		t.Errorf("rangeFit with NaN bounds = %v, want neutral 1", got)
+	}
+	// OverallFit never returns NaN, even when fed degenerate profiles.
+	for _, pair := range [][2]*profile.ColumnStats{{empty, empty}, {empty, full}, {full, empty}} {
+		if got := OverallFit(pair[0], pair[1]); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("OverallFit(%s, %s) = %v, want finite", pair[0].Column, pair[1].Column, got)
+		}
+	}
+}
+
+// TestOverallFitSkipsNonFiniteStatistics feeds profiles containing ±Inf
+// values (legal float64 cell contents) through OverallFit: the poisoned
+// mean/range statistics must be skipped rather than turning the weighted
+// average into NaN, which would silently disable the threshold decision.
+func TestOverallFitSkipsNonFiniteStatistics(t *testing.T) {
+	inf := []relational.Value{math.Inf(1), math.Inf(-1), 3.0, 4.0}
+	ss := profile.Values("s", "a", relational.Float, inf)
+	ts := profile.Values("t", "b", relational.Float, []relational.Value{1.0, 2.0, 3.0})
+	if got := OverallFit(ss, ts); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("OverallFit with Inf data = %v, want finite", got)
+	}
+}
+
+// TestProfilerCacheEliminatesRepeatedTargetProfiling asserts the tentpole
+// cache property: with several correspondences feeding one target column,
+// a shared Profiler profiles that column once and serves the rest from the
+// cache.
+func TestProfilerCacheEliminatesRepeatedTargetProfiling(t *testing.T) {
+	ss := relational.NewSchema("src")
+	ss.MustAddTable(relational.MustTable("s",
+		relational.Column{Name: "a1", Type: relational.String},
+		relational.Column{Name: "a2", Type: relational.String},
+		relational.Column{Name: "a3", Type: relational.String}))
+	ts := relational.NewSchema("tgt")
+	ts.MustAddTable(relational.MustTable("t", relational.Column{Name: "b", Type: relational.String}))
+	sdb := relational.NewDatabase(ss)
+	tdb := relational.NewDatabase(ts)
+	for i, d := range durations(30) {
+		sdb.MustInsert("s", d, durations(30)[i], durations(30)[i])
+		tdb.MustInsert("t", d)
+	}
+	corr := &match.Set{}
+	corr.Attr("s", "a1", "t", "b")
+	corr.Attr("s", "a2", "t", "b")
+	corr.Attr("s", "a3", "t", "b")
+	scn := &core.Scenario{Name: "fanin", Target: tdb,
+		Sources: []*core.Source{{Name: "src", DB: sdb, Correspondences: corr}}}
+
+	m := New()
+	m.Profiler = profile.NewProfiler(2)
+	if _, err := m.AssessComplexity(scn); err != nil {
+		t.Fatal(err)
+	}
+	// 3 pairs × (raw source + coerced source) = 6 misses, target = 1
+	// miss + 2 hits.
+	hits, misses := m.Profiler.Counters()
+	if misses != 7 {
+		t.Errorf("misses = %d, want 7 (target profiled exactly once)", misses)
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (two correspondences reuse the target profile)", hits)
+	}
+	// A second assessment over the same scenario is served entirely from
+	// the cache.
+	if _, err := m.AssessComplexity(scn); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := m.Profiler.Counters(); misses != 7 {
+		t.Errorf("misses after re-run = %d, want still 7", misses)
+	}
+	if m.Profiler.HitRate() < 0.5 {
+		t.Errorf("hit rate = %v, want >= 0.5", m.Profiler.HitRate())
+	}
+}
+
+// TestSharedProfilerMatchesPrivateProfiler asserts that routing the
+// detector through a shared cache does not change its verdicts.
+func TestSharedProfilerMatchesPrivateProfiler(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	private := detect(t, scn)
+	shared := New()
+	shared.Profiler = profile.NewProfiler(4)
+	rep, err := shared.AssessComplexity(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Summary(), private.Summary(); got != want {
+		t.Errorf("shared-profiler report differs:\n%s\nvs\n%s", got, want)
 	}
 }
