@@ -1,12 +1,20 @@
 # Tier-1 verification: build, vet, and the full test suite under the race
 # detector (the concurrency layer — profiler cache, parallel detectors,
-# parallel experiment grid — must stay race-clean).
-.PHONY: verify build test bench
+# parallel experiment grid — must stay race-clean). The resilience suite
+# (fault injection, deadlines, graceful degradation) runs a second,
+# focused pass so a fault-harness regression is reported by name.
+.PHONY: verify build test bench faults
 
 verify:
 	go build ./...
 	go vet ./...
 	go test -race ./...
+	go test -race -run 'Fault|Resilience' ./...
+
+# The fault-injection and resilience suite alone, twice, to shake out
+# order- and state-dependent behavior in the harness (arming/Reset).
+faults:
+	go test -race -count=2 -run 'Fault|Resilience' ./...
 
 build:
 	go build ./...

@@ -3,7 +3,8 @@
 //
 //	efes -target targetdir -source srcdir [-corr file] [-quality high] \
 //	     [-discover] [-augment] [-skill 1.0] [-criticality 1.0] \
-//	     [-mapping-tool] [-workers N]
+//	     [-mapping-tool] [-workers N] [-timeout 30s] [-module-timeout 10s] \
+//	     [-retries 2] [-best-effort|-fail-fast] [-csv file]
 //
 // Each database directory contains a schema.txt (the format written by
 // relational.Schema.String / SaveDir) and one <table>.csv per table. The
@@ -20,12 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"efes"
 	"efes/internal/core"
@@ -52,7 +55,16 @@ func main() {
 	htmlOut := flag.String("html", "", "write a self-contained HTML report (with cost-benefit curve) to FILE")
 	writeConfig := flag.String("write-config", "", "write the default effort configuration to FILE and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of concurrent module detectors (1 = sequential)")
+	csvOut := flag.String("csv", "", "write the result (tasks + failures) as CSV to FILE")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the estimation (0 = none)")
+	moduleTimeout := flag.Duration("module-timeout", 0, "deadline per module detector attempt (0 = none)")
+	retries := flag.Int("retries", 0, "retries per failed module detector")
+	bestEffort := flag.Bool("best-effort", false, "degrade on module failure: list it and fall back to the counting baseline")
+	failFast := flag.Bool("fail-fast", false, "abort on the first module failure (the default; rejects -best-effort)")
 	flag.Parse()
+	if *bestEffort && *failFast {
+		fatal(fmt.Errorf("-best-effort and -fail-fast are mutually exclusive"))
+	}
 
 	if *writeConfig != "" {
 		f, err := os.Create(*writeConfig)
@@ -143,10 +155,41 @@ func main() {
 		settings.MappingTool = *mappingTool
 		calc = efes.NewCalculator(settings)
 	}
-	fw := efes.NewFrameworkWith(calc, efes.StandardModules()...).SetWorkers(*workers)
-	res, err := fw.Estimate(scn, quality)
+	fw := efes.NewFrameworkWith(calc, efes.StandardModules()...).
+		SetWorkers(*workers).
+		SetResilience(efes.Resilience{
+			ModuleTimeout: *moduleTimeout,
+			Retries:       *retries,
+			Backoff:       100 * time.Millisecond,
+			BestEffort:    *bestEffort,
+		}).
+		SetFallback(efes.NewCountingBaseline())
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := fw.EstimateContext(ctx, scn, quality)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Degraded() {
+		fmt.Fprintf(os.Stderr, "efes: warning: degraded result, %d module(s) failed\n", len(res.Failures))
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "efes: wrote CSV result to %s\n", *csvOut)
 	}
 	if *htmlOut != "" {
 		curve, err := fw.CostBenefit(scn)

@@ -7,6 +7,8 @@
 //	experiments -seed 7        # alternative random seed
 //	experiments -small         # test-sized running example (fast)
 //	experiments -workers 4     # evaluation-grid worker pool (same output)
+//	experiments -timeout 5m    # overall deadline for the whole run
+//	experiments -module-timeout 30s -best-effort   # degrade, don't die
 //
 // Tables 2, 3, 5, 6, and 8 are produced by running the framework on the
 // paper's Figure-2 running example; Figures 6 and 7 run the full two-domain
@@ -14,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"efes/internal/baseline"
 	"efes/internal/core"
@@ -40,13 +44,34 @@ func main() {
 	small := flag.Bool("small", false, "use the fast, test-sized running example")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker pool size for the figure 6/7 evaluation grid (output is identical for every value)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+	moduleTimeout := flag.Duration("module-timeout", 0, "deadline per module detector attempt (0 = none)")
+	bestEffort := flag.Bool("best-effort", false, "degrade on module failure: fall back to the counting baseline")
+	failFast := flag.Bool("fail-fast", false, "abort on the first module failure (the default; rejects -best-effort)")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*ablation && !*sensitivity {
 		flag.Usage()
 		os.Exit(2)
 	}
-	r := &runner{seed: *seed, small: *small, workers: *workers}
+	if *bestEffort && *failFast {
+		fmt.Fprintln(os.Stderr, "experiments: -best-effort and -fail-fast are mutually exclusive")
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	r := &runner{
+		seed: *seed, small: *small, workers: *workers, ctx: ctx,
+		res: core.Resilience{
+			ModuleTimeout: *moduleTimeout,
+			Backoff:       100 * time.Millisecond,
+			BestEffort:    *bestEffort,
+		},
+	}
 	if *all {
 		for t := 1; t <= 9; t++ {
 			r.printTable(t)
@@ -76,6 +101,8 @@ type runner struct {
 	seed    int64
 	small   bool
 	workers int
+	ctx     context.Context
+	res     core.Resilience
 
 	exampleResultHigh *core.Result
 	exampleScenario   *core.Scenario
@@ -98,10 +125,16 @@ func (r *runner) example() (*core.Scenario, *core.Result) {
 	cfg.Seed = r.seed
 	scn := scenario.MusicExample(cfg)
 	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
-		mapping.New(), structure.New(), valuefit.New())
-	res, err := fw.Estimate(scn, effort.HighQuality)
+		mapping.New(), structure.New(), valuefit.New()).SetResilience(r.res)
+	if r.res.BestEffort {
+		fw.SetFallback(baseline.New())
+	}
+	res, err := fw.EstimateContext(r.ctx, scn, effort.HighQuality)
 	if err != nil {
 		r.fatal(err)
+	}
+	if res.Degraded() {
+		fmt.Fprintf(os.Stderr, "experiments: warning: degraded result, %d module(s) failed\n", len(res.Failures))
 	}
 	r.exampleScenario, r.exampleResultHigh = scn, res
 	return scn, res
@@ -279,7 +312,7 @@ func (r *runner) printFigure(n int) {
 			fmt.Println("  " + line)
 		}
 	case 6, 7:
-		exp, err := experiments.RunParallel(r.seed, r.workers)
+		exp, err := experiments.RunResilient(r.ctx, r.seed, r.workers, r.res)
 		if err != nil {
 			r.fatal(err)
 		}

@@ -62,6 +62,27 @@ type (
 	CostBenefitPoint = core.CostBenefitPoint
 )
 
+// Re-exported resilience layer (see Framework.SetResilience and the
+// context-aware entry points Framework.AssessComplexityContext and
+// Framework.EstimateContext).
+type (
+	// Resilience configures per-module deadlines, retry-with-backoff,
+	// and best-effort degradation for a framework.
+	Resilience = core.Resilience
+	// ModuleFailure records one module that failed during a
+	// best-effort run; Result.Failures lists them.
+	ModuleFailure = core.ModuleFailure
+	// PanicError is a detector or planner panic recovered by the
+	// isolation layer.
+	PanicError = core.PanicError
+	// FallbackEstimator replaces a failed module's effort contribution
+	// (NewFramework wires in the attribute-counting baseline).
+	FallbackEstimator = core.FallbackEstimator
+	// ContextModule is the optional interface for cancellation-aware
+	// module detectors.
+	ContextModule = core.ContextModule
+)
+
 // Re-exported effort model.
 type (
 	// Quality is the expected quality of the integration result.
@@ -203,9 +224,12 @@ func DefaultConfig() Config { return effort.DefaultConfig() }
 
 // NewFramework assembles the full EFES framework with the three standard
 // estimation modules (mapping, structural conflicts, value
-// heterogeneities) and the Table-9 effort functions.
+// heterogeneities), the Table-9 effort functions, and the
+// attribute-counting baseline as the best-effort fallback estimator (used
+// only when a Resilience policy with BestEffort is set and a module
+// fails).
 func NewFramework(s Settings) *Framework {
-	return core.New(effort.NewCalculator(s), StandardModules()...)
+	return core.New(effort.NewCalculator(s), StandardModules()...).SetFallback(baseline.New())
 }
 
 // NewFrameworkWith assembles a framework with a custom calculator and

@@ -12,6 +12,9 @@ import (
 
 	"efes/internal/core"
 	"efes/internal/effort"
+	"efes/internal/mapping"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
 )
 
 // Table1Task is one row of the paper's Table 1: an ETL sub-task with its
@@ -132,6 +135,41 @@ func (c *Counting) Estimate(s *core.Scenario, q effort.Quality) *effort.Estimate
 			},
 		},
 	}
+}
+
+// FallbackTasks implements core.FallbackEstimator: when the named module
+// fails in a best-effort run, its effort contribution is replaced by that
+// module's share of the attribute-counting estimate. The mapping module
+// receives the Table-1 mapping share; the structure and value modules
+// each receive half of the cleaning share (Harden's catalog does not
+// split cleaning further); unknown custom modules are priced like a
+// cleaning module, conservatively keeping the estimate non-zero. The
+// returned tasks are pre-priced and deterministic for a given scenario.
+func (c *Counting) FallbackTasks(s *core.Scenario, module string, q effort.Quality) []effort.TaskEffort {
+	attrs := SourceAttributes(s)
+	total := float64(attrs) * HoursPerAttribute() * 60 * c.DatabaseFraction * c.Scale
+	mappingMin := total * mappingShare()
+	cleaningMin := total - mappingMin
+	cat := effort.CategoryCleaningStructure
+	minutes := cleaningMin / 2
+	switch module {
+	case mapping.ModuleName:
+		cat, minutes = effort.CategoryMapping, mappingMin
+	case valuefit.ModuleName:
+		cat = effort.CategoryCleaningValues
+	case structure.ModuleName:
+		// cleaning structure share, set above
+	}
+	return []effort.TaskEffort{{
+		Task: effort.Task{
+			Type:        "Attribute counting (fallback)",
+			Category:    cat,
+			Quality:     q,
+			Subject:     fmt.Sprintf("module %s, %d source attributes", module, attrs),
+			Repetitions: attrs,
+		},
+		Minutes: minutes,
+	}}
 }
 
 // Calibrate fits the scale factor that minimizes the squared relative

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"efes/internal/effort"
+	"efes/internal/mapping"
+	"efes/internal/scenario"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
+)
+
+func TestFaultFallbackTasksSplitTheCountingEstimate(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	c := New()
+	total := c.Estimate(scn, effort.HighQuality).Total()
+
+	minutes := func(module string) (float64, effort.Category) {
+		tasks := c.FallbackTasks(scn, module, effort.HighQuality)
+		if len(tasks) != 1 {
+			t.Fatalf("module %s: %d fallback tasks, want 1", module, len(tasks))
+		}
+		te := tasks[0]
+		if te.Task.Type != "Attribute counting (fallback)" {
+			t.Errorf("module %s: task type %q", module, te.Task.Type)
+		}
+		if !strings.Contains(te.Task.Subject, "module "+module) {
+			t.Errorf("module %s: subject %q", module, te.Task.Subject)
+		}
+		if te.Minutes <= 0 {
+			t.Errorf("module %s: fallback minutes = %v", module, te.Minutes)
+		}
+		return te.Minutes, te.Task.Category
+	}
+
+	mapMin, mapCat := minutes(mapping.ModuleName)
+	structMin, structCat := minutes(structure.ModuleName)
+	valMin, valCat := minutes(valuefit.ModuleName)
+	if mapCat != effort.CategoryMapping || structCat != effort.CategoryCleaningStructure || valCat != effort.CategoryCleaningValues {
+		t.Errorf("categories = %v %v %v", mapCat, structCat, valCat)
+	}
+	// Structure and value fit each take half the cleaning share, and the
+	// three shares reassemble the full counting estimate.
+	if math.Abs(structMin-valMin) > 1e-9 {
+		t.Errorf("cleaning halves differ: %v vs %v", structMin, valMin)
+	}
+	if got := mapMin + structMin + valMin; math.Abs(got-total) > 1e-6 {
+		t.Errorf("fallback shares sum to %v, want the counting total %v", got, total)
+	}
+	// Unknown custom modules are priced like a cleaning module.
+	customMin, customCat := minutes("my custom module")
+	if customCat != effort.CategoryCleaningStructure || math.Abs(customMin-structMin) > 1e-9 {
+		t.Errorf("custom module fallback = %v (%v), want the cleaning half", customMin, customCat)
+	}
+}

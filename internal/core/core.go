@@ -6,9 +6,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"efes/internal/effort"
 	"efes/internal/match"
@@ -39,7 +39,10 @@ type Scenario struct {
 }
 
 // Validate checks the scenario for basic well-formedness: at least one
-// source, a target, and correspondences referring to existing elements.
+// source, a target, unique source names, and correspondences that refer
+// to existing elements and are not duplicated (detectors count each
+// correspondence, so a duplicate would silently double its problems and
+// effort).
 func (s *Scenario) Validate() error {
 	if s.Target == nil {
 		return fmt.Errorf("core: scenario %s has no target", s.Name)
@@ -47,14 +50,25 @@ func (s *Scenario) Validate() error {
 	if len(s.Sources) == 0 {
 		return fmt.Errorf("core: scenario %s has no sources", s.Name)
 	}
+	names := make(map[string]bool, len(s.Sources))
 	for _, src := range s.Sources {
+		if names[src.Name] {
+			return fmt.Errorf("core: scenario %s has duplicate source name %s", s.Name, src.Name)
+		}
+		names[src.Name] = true
 		if src.DB == nil {
 			return fmt.Errorf("core: source %s has no database", src.Name)
 		}
 		if src.Correspondences == nil {
 			return fmt.Errorf("core: source %s has no correspondences", src.Name)
 		}
+		seen := make(map[string]bool, len(src.Correspondences.All))
 		for _, c := range src.Correspondences.All {
+			key := c.SourceTable + "\x00" + c.SourceColumn + "\x00" + c.TargetTable + "\x00" + c.TargetColumn
+			if seen[key] {
+				return fmt.Errorf("core: source %s has duplicate correspondence %s", src.Name, c)
+			}
+			seen[key] = true
 			st := src.DB.Schema.Table(c.SourceTable)
 			if st == nil {
 				return fmt.Errorf("core: correspondence %s: unknown source table", c)
@@ -111,10 +125,19 @@ type Result struct {
 	// Scenario is the analyzed scenario's name.
 	Scenario string
 	// Reports holds one complexity report per module, in module order.
+	// In a degraded best-effort run, failed modules have no report.
 	Reports []Report
-	// Estimate is the priced task list.
+	// Estimate is the priced task list. In a degraded run it includes
+	// the fallback tasks substituted for failed modules.
 	Estimate *effort.Estimate
+	// Failures lists the modules that failed during a best-effort run,
+	// in module registration order. Empty for a clean run.
+	Failures []ModuleFailure
 }
+
+// Degraded reports whether any module failed and the estimate includes
+// fallback contributions.
+func (r *Result) Degraded() bool { return len(r.Failures) > 0 }
 
 // TotalMinutes returns the estimated total effort.
 func (r *Result) TotalMinutes() float64 { return r.Estimate.Total() }
@@ -128,12 +151,22 @@ func (r *Result) ProblemCount() int {
 	return n
 }
 
-// Summary renders all complexity reports followed by the estimate.
+// Summary renders all complexity reports, any module failures, and the
+// estimate. Degraded summaries are byte-stable across runs and worker
+// counts: failures appear in module registration order with deterministic
+// messages.
 func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== Scenario %s ===\n", r.Scenario)
 	for _, rep := range r.Reports {
 		fmt.Fprintf(&b, "--- %s ---\n%s\n", rep.ModuleName(), rep.Summary())
+	}
+	if r.Degraded() {
+		fmt.Fprintf(&b, "--- DEGRADED: %d module(s) failed ---\n", len(r.Failures))
+		for _, mf := range r.Failures {
+			fmt.Fprintf(&b, "%s\n", mf)
+		}
+		b.WriteString("\n")
 	}
 	b.WriteString(r.Estimate.String())
 	return b.String()
@@ -141,9 +174,11 @@ func (r *Result) Summary() string {
 
 // Framework wires estimation modules to an effort calculator (Figure 3).
 type Framework struct {
-	modules []Module
-	calc    *effort.Calculator
-	workers int
+	modules  []Module
+	calc     *effort.Calculator
+	workers  int
+	res      Resilience
+	fallback FallbackEstimator
 }
 
 // New creates a framework with the given calculator and modules. Modules
@@ -184,67 +219,16 @@ func (f *Framework) Workers() int { return f.workers }
 // nevertheless deterministic: reports stay in module registration order
 // and on failure the first error in registration order is returned.
 func (f *Framework) AssessComplexity(s *Scenario) ([]Report, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if f.workers <= 1 || len(f.modules) <= 1 {
-		var reports []Report
-		for _, m := range f.modules {
-			r, err := m.AssessComplexity(s)
-			if err != nil {
-				return nil, fmt.Errorf("core: module %s: %w", m.Name(), err)
-			}
-			reports = append(reports, r)
-		}
-		return reports, nil
-	}
-	reports := make([]Report, len(f.modules))
-	errs := make([]error, len(f.modules))
-	sem := make(chan struct{}, f.workers)
-	var wg sync.WaitGroup
-	for i, m := range f.modules {
-		wg.Add(1)
-		go func(i int, m Module) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := m.AssessComplexity(s)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: module %s: %w", m.Name(), err)
-				return
-			}
-			reports[i] = r
-		}(i, m)
-	}
-	wg.Wait()
-	for _, err := range errs { // first error in registration order
-		if err != nil {
-			return nil, err
-		}
-	}
-	return reports, nil
+	reports, _, err := f.AssessComplexityContext(context.Background(), s)
+	return reports, err
 }
 
 // Estimate runs the full two-phase pipeline: complexity assessment, task
-// planning for the expected quality, and effort calculation.
+// planning for the expected quality, and effort calculation. It is
+// EstimateContext without a deadline; with the zero Resilience policy the
+// behavior matches the historical strict pipeline.
 func (f *Framework) Estimate(s *Scenario, q effort.Quality) (*Result, error) {
-	reports, err := f.AssessComplexity(s)
-	if err != nil {
-		return nil, err
-	}
-	var tasks []effort.Task
-	for i, m := range f.modules {
-		ts, err := m.PlanTasks(reports[i], q)
-		if err != nil {
-			return nil, fmt.Errorf("core: module %s: %w", m.Name(), err)
-		}
-		tasks = append(tasks, ts...)
-	}
-	est, err := f.calc.Price(q, tasks)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Scenario: s.Name, Reports: reports, Estimate: est}, nil
+	return f.EstimateContext(context.Background(), s, q)
 }
 
 // FitScore ranks how well a source fits the target for source selection

@@ -1,6 +1,12 @@
 package core
 
-import "encoding/json"
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
 
 // The export DTOs give downstream tooling (dashboards, project planning,
 // the paper's source-selection and data-visualization applications) a
@@ -24,6 +30,21 @@ type ResultExport struct {
 	Reports []ReportExport `json:"reports"`
 	// Tasks is the priced task list.
 	Tasks []TaskExport `json:"tasks"`
+	// Degraded reports whether any module failed and the estimate
+	// contains fallback contributions.
+	Degraded bool `json:"degraded,omitempty"`
+	// Failures lists the failed modules of a best-effort run, in module
+	// registration order.
+	Failures []FailureExport `json:"failures,omitempty"`
+}
+
+// FailureExport is the serializable form of a ModuleFailure.
+type FailureExport struct {
+	Module          string  `json:"module"`
+	Stage           string  `json:"stage"`
+	Error           string  `json:"error"`
+	Attempts        int     `json:"attempts"`
+	FallbackMinutes float64 `json:"fallbackMinutes"`
 }
 
 // ReportExport is the serializable form of a module report.
@@ -73,10 +94,59 @@ func (r *Result) Export() ResultExport {
 			Minutes:     te.Minutes,
 		})
 	}
+	out.Degraded = r.Degraded()
+	for _, mf := range r.Failures {
+		msg := ""
+		if mf.Err != nil {
+			msg = mf.Err.Error()
+		}
+		out.Failures = append(out.Failures, FailureExport{
+			Module:          mf.Module,
+			Stage:           mf.Stage,
+			Error:           msg,
+			Attempts:        mf.Attempts,
+			FallbackMinutes: mf.FallbackMinutes,
+		})
+	}
 	return out
 }
 
 // JSON renders the result as indented JSON.
 func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(r.Export(), "", "  ")
+}
+
+// WriteCSV renders the result as CSV for spreadsheet tooling: one "task"
+// row per priced task and, for degraded runs, one "failure" row per failed
+// module. The row order (tasks in estimate order, failures in module
+// registration order) and every field are deterministic.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "scenario", "category", "type", "subject", "repetitions", "minutes", "detail"}); err != nil {
+		return err
+	}
+	mins := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+	for _, te := range r.Estimate.Tasks {
+		err := cw.Write([]string{
+			"task", r.Scenario, string(te.Task.Category), string(te.Task.Type),
+			te.Task.Subject, strconv.Itoa(te.Task.Repetitions), mins(te.Minutes), "",
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, mf := range r.Failures {
+		detail := fmt.Sprintf("%s failed after %d attempt(s)", mf.Stage, mf.Attempts)
+		if mf.Err != nil {
+			detail += ": " + mf.Err.Error()
+		}
+		err := cw.Write([]string{
+			"failure", r.Scenario, "", mf.Module, "", "0", mins(mf.FallbackMinutes), detail,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"efes/internal/scenario"
+)
+
+func TestValidateRejectsDuplicateSourceNames(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	dup := *scn.Sources[0]
+	scn.Sources = append(scn.Sources, &dup)
+	err := scn.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate source name") {
+		t.Errorf("err = %v, want a duplicate-source-name rejection", err)
+	}
+}
+
+func TestValidateRejectsDuplicateCorrespondences(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	corrs := scn.Sources[0].Correspondences
+	corrs.All = append(corrs.All, corrs.All[0])
+	err := scn.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate correspondence") {
+		t.Errorf("err = %v, want a duplicate-correspondence rejection", err)
+	}
+	// A duplicate scenario must also be rejected by the pipeline entry
+	// point, before any detector runs.
+	fw := defaultFramework()
+	if _, err := fw.AssessComplexity(scn); err == nil {
+		t.Error("AssessComplexity must validate the scenario")
+	}
+}

@@ -1,6 +1,9 @@
 package csg
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // MaxPathLength bounds the path enumeration of the matcher. Real target
 // relationships correspond to short join chains; eight hops covers every
@@ -36,17 +39,32 @@ var maxStepsPerRound = 2_000_000
 // enumeration short, it always keeps the same earliest-enumerated
 // candidates for a given graph.
 func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
+	out, _ := FindPathsContext(context.Background(), g, from, to, maxLen)
+	return out
+}
+
+// FindPathsContext is FindPaths with cancellation: the search checks the
+// context before every deepening round and every 1024 node visits, and
+// returns the context's error when cancelled (dense discovered graphs can
+// hold exponentially many paths, so path search is the structure
+// detector's long pole under a module deadline).
+func FindPathsContext(ctx context.Context, g *Graph, from, to *Node, maxLen int) ([]Path, error) {
 	if from == nil || to == nil {
-		return nil
+		return nil, nil
 	}
 	steps := 0
+	cancelled := false
 	var out []Path
 	visited := map[*Node]bool{from: true}
 	var current Path
 	var dfs func(n *Node, limit int)
 	dfs = func(n *Node, limit int) {
 		steps++
-		if len(out) >= MaxPaths || steps > maxStepsPerRound {
+		if cancelled || len(out) >= MaxPaths || steps > maxStepsPerRound {
+			return
+		}
+		if steps&1023 == 0 && ctx.Err() != nil {
+			cancelled = true
 			return
 		}
 		if len(current) > 0 && n == to {
@@ -72,8 +90,17 @@ func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
 		}
 	}
 	for limit := 1; limit <= maxLen && len(out) < MaxPaths; limit++ {
+		if ctx.Err() != nil {
+			cancelled = true
+		}
+		if cancelled {
+			return nil, ctx.Err()
+		}
 		steps = 0 // fresh budget per deepening round
 		dfs(from, limit)
+	}
+	if cancelled {
+		return nil, ctx.Err()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i]) != len(out[j]) {
@@ -81,7 +108,7 @@ func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
 		}
 		return out[i].String() < out[j].String()
 	})
-	return out
+	return out, nil
 }
 
 // MoreConcise reports whether path a is a strictly better match than path
@@ -128,17 +155,28 @@ type NodeMatch map[string]string
 // enumerated, and the most concise one is returned. It returns nil when
 // either endpoint has no correspondence or no path exists.
 func MatchRelationship(target *Edge, source *Graph, match NodeMatch) Path {
+	p, _ := MatchRelationshipContext(context.Background(), target, source, match)
+	return p
+}
+
+// MatchRelationshipContext is MatchRelationship with cancellation,
+// propagated into the path enumeration.
+func MatchRelationshipContext(ctx context.Context, target *Edge, source *Graph, match NodeMatch) (Path, error) {
 	fromID, ok := match[target.From.ID]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	toID, ok := match[target.To.ID]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	from, to := source.Node(fromID), source.Node(toID)
 	if from == nil || to == nil {
-		return nil
+		return nil, nil
 	}
-	return BestPath(FindPaths(source, from, to, MaxPathLength))
+	paths, err := FindPathsContext(ctx, source, from, to, MaxPathLength)
+	if err != nil {
+		return nil, err
+	}
+	return BestPath(paths), nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"efes/internal/baseline"
 	"efes/internal/core"
 	"efes/internal/effort"
+	"efes/internal/faultinject"
 	"efes/internal/mapping"
 	"efes/internal/scenario"
 	"efes/internal/structure"
@@ -142,11 +144,14 @@ var gridQualities = []effort.Quality{effort.LowEffort, effort.HighQuality}
 // baseline. All randomness comes from the practitioner's per-cell RNG
 // (seeded from scenario name and quality), so a cell's measurement is
 // independent of when — or on which worker — it runs.
-func evalCell(fw *core.Framework, pract *Practitioner, counting *baseline.Counting,
+func evalCell(ctx context.Context, fw *core.Framework, pract *Practitioner, counting *baseline.Counting,
 	scn *core.Scenario, name string, q effort.Quality) (Measurement, error) {
-	res, err := fw.Estimate(scn, q)
+	if err := faultinject.Fire("experiments:cell"); err != nil {
+		return Measurement{}, fmt.Errorf("cell %s (%s): %w", name, q, err)
+	}
+	res, err := fw.EstimateContext(ctx, scn, q)
 	if err != nil {
-		return Measurement{}, fmt.Errorf("experiments: %s (%s): %w", name, q, err)
+		return Measurement{}, fmt.Errorf("cell %s (%s): %w", name, q, err)
 	}
 	measured, measuredBy, err := pract.Measure(scn, q)
 	if err != nil {
@@ -162,18 +167,33 @@ func evalCell(fw *core.Framework, pract *Practitioner, counting *baseline.Counti
 	}, nil
 }
 
+// gridFramework builds the evaluation framework for one domain run,
+// applying the run's resilience policy. Best-effort runs fall back to the
+// counting baseline for failed modules, so the grid keeps producing
+// comparable (if degraded) cells.
+func gridFramework(res core.Resilience) *core.Framework {
+	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
+		mapping.New(), structure.New(), valuefit.New()).SetResilience(res)
+	if res.BestEffort {
+		fw.SetFallback(baseline.New())
+	}
+	return fw
+}
+
 // runDomain executes all scenarios of a domain at both quality levels,
 // sequentially.
-func runDomain(d Domain, seed int64) (*rawRun, error) {
-	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
-		mapping.New(), structure.New(), valuefit.New())
+func runDomain(ctx context.Context, d Domain, seed int64, res core.Resilience) (*rawRun, error) {
+	fw := gridFramework(res)
 	pract := NewPractitioner(seed)
 	counting := baseline.New()
 	run := &rawRun{}
 	for _, spec := range d.Scenarios {
 		scn := spec.Build(seed)
 		for _, q := range gridQualities {
-			m, err := evalCell(fw, pract, counting, scn, spec.Name, q)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m, err := evalCell(ctx, fw, pract, counting, scn, spec.Name, q)
 			if err != nil {
 				return nil, err
 			}
@@ -191,9 +211,9 @@ func runDomain(d Domain, seed int64) (*rawRun, error) {
 // order as in the figures), and on failure the first error in grid order
 // is returned. One framework, practitioner, and baseline are shared by
 // all workers — their run paths are read-only.
-func runDomainParallel(d Domain, seed int64, workers int) (*rawRun, error) {
+func runDomainParallel(ctx context.Context, d Domain, seed int64, workers int, res core.Resilience) (*rawRun, error) {
 	if workers <= 1 {
-		return runDomain(d, seed)
+		return runDomain(ctx, d, seed, res)
 	}
 	type cell struct {
 		spec ScenarioSpec
@@ -205,8 +225,7 @@ func runDomainParallel(d Domain, seed int64, workers int) (*rawRun, error) {
 			cells = append(cells, cell{spec: spec, q: q})
 		}
 	}
-	fw := core.New(effort.NewCalculator(effort.DefaultSettings()),
-		mapping.New(), structure.New(), valuefit.New())
+	fw := gridFramework(res)
 	pract := NewPractitioner(seed)
 	counting := baseline.New()
 	rows := make([]Measurement, len(cells))
@@ -219,8 +238,16 @@ func runDomainParallel(d Domain, seed int64, workers int) (*rawRun, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// A cancelled grid stops promptly: cells that have not
+			// started yet are skipped (building a scenario alone is
+			// expensive), and running cells stop at their framework's
+			// next cancellation check.
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			scn := c.spec.Build(seed)
-			rows[i], errs[i] = evalCell(fw, pract, counting, scn, c.spec.Name, c.q)
+			rows[i], errs[i] = evalCell(ctx, fw, pract, counting, scn, c.spec.Name, c.q)
 		}(i, c)
 	}
 	wg.Wait()
@@ -283,6 +310,25 @@ func Run(seed int64) (*Experiment, error) {
 // domains also run concurrently when workers > 1). Output is guaranteed
 // byte-identical to Run for every worker count — see runDomainParallel.
 func RunParallel(seed int64, workers int) (*Experiment, error) {
+	return RunParallelContext(context.Background(), seed, workers)
+}
+
+// RunParallelContext is RunParallel with overall cancellation: a
+// cancelled context stops the evaluation grid promptly (unstarted cells
+// are skipped, running cells stop at their next cancellation check) and
+// the context's error is returned. It uses the strict (fail-fast, no
+// deadline) resilience policy; use RunResilient to configure one.
+func RunParallelContext(ctx context.Context, seed int64, workers int) (*Experiment, error) {
+	return RunResilient(ctx, seed, workers, core.Resilience{})
+}
+
+// RunResilient runs the evaluation with a resilience policy applied to
+// every cell's framework: per-module deadlines, retries, and — in
+// best-effort mode — graceful degradation onto the counting baseline, so
+// a single faulty detector degrades cells instead of killing the grid.
+// For a fixed policy outcome the output remains deterministic across
+// worker counts.
+func RunResilient(ctx context.Context, seed int64, workers int, res core.Resilience) (*Experiment, error) {
 	var bibRaw, musicRaw *rawRun
 	var bibErr, musicErr error
 	if workers > 1 {
@@ -290,16 +336,16 @@ func RunParallel(seed int64, workers int) (*Experiment, error) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			bibRaw, bibErr = runDomainParallel(BibliographicDomain(), seed, workers)
+			bibRaw, bibErr = runDomainParallel(ctx, BibliographicDomain(), seed, workers, res)
 		}()
 		go func() {
 			defer wg.Done()
-			musicRaw, musicErr = runDomainParallel(MusicDomain(), seed, workers)
+			musicRaw, musicErr = runDomainParallel(ctx, MusicDomain(), seed, workers, res)
 		}()
 		wg.Wait()
 	} else {
-		bibRaw, bibErr = runDomain(BibliographicDomain(), seed)
-		musicRaw, musicErr = runDomain(MusicDomain(), seed)
+		bibRaw, bibErr = runDomain(ctx, BibliographicDomain(), seed, res)
+		musicRaw, musicErr = runDomain(ctx, MusicDomain(), seed, res)
 	}
 	if bibErr != nil {
 		return nil, bibErr

@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultFireWithoutArming(t *testing.T) {
+	Reset()
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("unarmed Fire = %v, want nil", err)
+	}
+	if Calls("nowhere") != 0 {
+		t.Errorf("unarmed points must not count calls")
+	}
+}
+
+func TestFaultDefaultErrorMessage(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable("p", Fault{Kind: Error})
+	err := Fire("p")
+	if err == nil || err.Error() != "faultinject: injected error at p" {
+		t.Errorf("err = %v, want the stable default message", err)
+	}
+	// The message is point-exact: another point is unaffected.
+	if err := Fire("q"); err != nil {
+		t.Errorf("point q = %v, want nil", err)
+	}
+}
+
+func TestFaultCustomError(t *testing.T) {
+	defer Reset()
+	Reset()
+	boom := errors.New("boom")
+	Enable("p", Fault{Kind: Error, Err: boom})
+	if err := Fire("p"); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestFaultPanicMessage(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable("p", Fault{Kind: Panic})
+	defer func() {
+		v := recover()
+		if v != "faultinject: injected panic at p" {
+			t.Errorf("panic value = %v, want the stable message", v)
+		}
+	}()
+	Fire("p")
+	t.Fatal("Fire must panic")
+}
+
+func TestFaultOnCallTriggersNthOnly(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable("p", Fault{Kind: Error, OnCall: 2})
+	if err := Fire("p"); err != nil {
+		t.Fatalf("call 1 = %v, want nil", err)
+	}
+	if err := Fire("p"); err == nil {
+		t.Fatal("call 2 must fail")
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("call 3 = %v, want nil", err)
+	}
+	if Calls("p") != 3 || Fired("p") != 1 {
+		t.Errorf("calls = %d fired = %d, want 3 and 1", Calls("p"), Fired("p"))
+	}
+}
+
+func TestFaultTimesBoundsTriggers(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable("p", Fault{Kind: Error, Times: 2})
+	for i := 1; i <= 2; i++ {
+		if err := Fire("p"); err == nil {
+			t.Fatalf("call %d must fail", i)
+		}
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("call 3 = %v, want nil after Times exhausted", err)
+	}
+	if Fired("p") != 2 {
+		t.Errorf("fired = %d, want 2", Fired("p"))
+	}
+}
+
+func TestFaultDelayThenError(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable("p", Fault{Kind: Delay, Delay: 30 * time.Millisecond})
+	Enable("p", Fault{Kind: Error})
+	start := time.Now()
+	err := Fire("p")
+	if err == nil {
+		t.Fatal("the Error fault must still fire after the delay")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("elapsed = %v, want the delay applied first", elapsed)
+	}
+}
+
+func TestFaultResetDisarms(t *testing.T) {
+	Reset()
+	Enable("p", Fault{Kind: Error})
+	Reset()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("after Reset Fire = %v, want nil", err)
+	}
+	if Calls("p") != 0 {
+		t.Errorf("Reset must forget call counts")
+	}
+}
+
+func TestFaultConcurrentFire(t *testing.T) {
+	defer Reset()
+	Reset()
+	Enable("p", Fault{Kind: Error, Times: 5})
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := Fire("p"); err != nil {
+				failed.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	failed.Range(func(_, _ any) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("%d goroutines saw the fault, want exactly Times=5", n)
+	}
+	if Calls("p") != 20 {
+		t.Errorf("calls = %d, want 20", Calls("p"))
+	}
+}

@@ -9,6 +9,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -96,10 +97,20 @@ func (m *Module) Name() string { return ModuleName }
 // when no corresponding source attribute covers the target key with unique
 // values.
 func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
+	return m.AssessComplexityContext(context.Background(), s)
+}
+
+// AssessComplexityContext implements core.ContextModule: the detector
+// checks for cancellation between (source, target table) pairs, so a
+// cancelled or expired context stops the assessment promptly.
+func (m *Module) AssessComplexityContext(ctx context.Context, s *core.Scenario) (core.Report, error) {
 	report := &Report{}
 	for _, src := range s.Sources {
 		adj := fkAdjacency(src.DB.Schema)
 		for _, tt := range s.Target.Schema.Tables() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			attrCorrs := src.Correspondences.ForTarget(tt.Name)
 			tableCorr := tableLevelSource(src, tt.Name)
 			if len(attrCorrs) == 0 && tableCorr == "" {

@@ -1,11 +1,13 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"efes/internal/faultinject"
 	"efes/internal/relational"
 )
 
@@ -68,15 +70,28 @@ func (p *Profiler) Workers() int { return p.workers }
 
 // get returns the cached entry for key, computing it via compute exactly
 // once. Concurrent requests for the same key wait for the first computation
-// instead of duplicating it.
-func (p *Profiler) get(key profileKey, compute func() (*ColumnStats, int, error)) (*ColumnStats, int, error) {
+// instead of duplicating it, but stop waiting when their context is
+// cancelled. Context and injected-fault errors are returned to the caller
+// without being cached, so one cancelled or faulted lookup does not poison
+// the entry for later callers.
+func (p *Profiler) get(ctx context.Context, key profileKey, compute func() (*ColumnStats, int, error)) (*ColumnStats, int, error) {
+	if err := faultinject.Fire("profile:column"); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	p.mu.Lock()
 	e, ok := p.entries[key]
 	if ok {
 		p.mu.Unlock()
 		p.hits.Add(1)
-		<-e.ready
-		return e.stats, e.incompatible, e.err
+		select {
+		case <-e.ready:
+			return e.stats, e.incompatible, e.err
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
 	}
 	e = &profileEntry{ready: make(chan struct{})}
 	p.entries[key] = e
@@ -90,6 +105,13 @@ func (p *Profiler) get(key profileKey, compute func() (*ColumnStats, int, error)
 // Column returns the memoized profile of a column under its declared type
 // (the raw view: values are profiled as stored).
 func (p *Profiler) Column(db *relational.Database, table, column string) (*ColumnStats, error) {
+	return p.ColumnContext(context.Background(), db, table, column)
+}
+
+// ColumnContext is Column with cancellation: a caller whose context is
+// done stops waiting (and new computations are not started), without
+// disturbing other users of the shared cache.
+func (p *Profiler) ColumnContext(ctx context.Context, db *relational.Database, table, column string) (*ColumnStats, error) {
 	t := db.Schema.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("profile: unknown table %s", table)
@@ -99,7 +121,7 @@ func (p *Profiler) Column(db *relational.Database, table, column string) (*Colum
 		return nil, fmt.Errorf("profile: unknown column %s.%s", table, column)
 	}
 	key := profileKey{db: db, table: table, column: column, typ: col.Type}
-	cs, _, err := p.get(key, func() (*ColumnStats, int, error) {
+	cs, _, err := p.get(ctx, key, func() (*ColumnStats, int, error) {
 		values, err := db.Column(table, column)
 		if err != nil {
 			return nil, 0, err
@@ -116,8 +138,13 @@ func (p *Profiler) Column(db *relational.Database, table, column string) (*Colum
 // view the value-fit detector takes of a source column: how the data will
 // look once integrated into the target attribute.
 func (p *Profiler) ColumnCoerced(db *relational.Database, table, column string, typ relational.Type) (*ColumnStats, int, error) {
+	return p.ColumnCoercedContext(context.Background(), db, table, column, typ)
+}
+
+// ColumnCoercedContext is ColumnCoerced with cancellation.
+func (p *Profiler) ColumnCoercedContext(ctx context.Context, db *relational.Database, table, column string, typ relational.Type) (*ColumnStats, int, error) {
 	key := profileKey{db: db, table: table, column: column, typ: typ, coerced: true}
-	return p.get(key, func() (*ColumnStats, int, error) {
+	return p.get(ctx, key, func() (*ColumnStats, int, error) {
 		values, err := db.Column(table, column)
 		if err != nil {
 			return nil, 0, err
@@ -139,6 +166,13 @@ func (p *Profiler) ColumnCoerced(db *relational.Database, table, column string, 
 // ProfileTable profiles every column of a table, fanning the columns out
 // over the worker pool, and returns the profiles in schema column order.
 func (p *Profiler) ProfileTable(db *relational.Database, table string) ([]*ColumnStats, error) {
+	return p.ProfileTableContext(context.Background(), db, table)
+}
+
+// ProfileTableContext is ProfileTable with cancellation: workers stop
+// picking up columns once the context is done and the context's error is
+// returned.
+func (p *Profiler) ProfileTableContext(ctx context.Context, db *relational.Database, table string) ([]*ColumnStats, error) {
 	t := db.Schema.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("profile: unknown table %s", table)
@@ -153,10 +187,13 @@ func (p *Profiler) ProfileTable(db *relational.Database, table string) ([]*Colum
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = p.Column(db, table, name)
+			out[i], errs[i] = p.ColumnContext(ctx, db, table, name)
 		}(i, col.Name)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -169,6 +206,11 @@ func (p *Profiler) ProfileTable(db *relational.Database, table string) ([]*Colum
 // worker pool, and returns the profiles in schema order (tables in schema
 // order, columns in declaration order).
 func (p *Profiler) ProfileDatabase(db *relational.Database) ([]*ColumnStats, error) {
+	return p.ProfileDatabaseContext(context.Background(), db)
+}
+
+// ProfileDatabaseContext is ProfileDatabase with cancellation.
+func (p *Profiler) ProfileDatabaseContext(ctx context.Context, db *relational.Database) ([]*ColumnStats, error) {
 	type slot struct {
 		table, column string
 	}
@@ -188,10 +230,13 @@ func (p *Profiler) ProfileDatabase(db *relational.Database) ([]*ColumnStats, err
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = p.Column(db, s.table, s.column)
+			out[i], errs[i] = p.ColumnContext(ctx, db, s.table, s.column)
 		}(i, s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

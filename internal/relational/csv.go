@@ -36,6 +36,9 @@ func (db *Database) WriteCSV(table string, w io.Writer) error {
 // ReadCSV decodes rows for an existing table from CSV produced by
 // WriteCSV. The header must match the table's columns; empty fields become
 // NULL and the remaining fields are parsed according to the column types.
+// The load is atomic: rows are staged and committed only when the whole
+// input parses, so a malformed line mid-file leaves the table untouched.
+// Parse errors name the 1-based input line and the column.
 func (db *Database) ReadCSV(table string, r io.Reader) error {
 	t := db.Schema.Table(table)
 	if t == nil {
@@ -52,25 +55,31 @@ func (db *Database) ReadCSV(table string, r io.Reader) error {
 			return fmt.Errorf("relational: csv header mismatch for %s: got %q, want %q", table, name, t.Columns[i].Name)
 		}
 	}
+	var staged []Row
 	for {
 		record, err := cr.Read()
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if err != nil {
 			return fmt.Errorf("relational: read csv for %s: %w", table, err)
 		}
-		row := make([]Value, len(record))
+		row := make(Row, len(record))
 		for i, field := range record {
 			if field == "" {
 				continue // NULL
 			}
-			row[i] = field // Insert coerces strings to the column type
+			cv, cerr := Coerce(t.Columns[i].Type, field)
+			if cerr != nil {
+				line, _ := cr.FieldPos(i)
+				return fmt.Errorf("relational: csv for %s: line %d, column %s: %w", table, line, t.Columns[i].Name, cerr)
+			}
+			row[i] = cv
 		}
-		if err := db.Insert(table, row...); err != nil {
-			return err
-		}
+		staged = append(staged, row)
 	}
+	db.rows[table] = append(db.rows[table], staged...)
+	return nil
 }
 
 // SaveDir writes the whole database to a directory: schema.txt describing

@@ -9,6 +9,7 @@
 package structure
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -152,6 +153,13 @@ func (m *Module) Name() string { return ModuleName }
 // AssessComplexity implements core.Module: the structure conflict
 // detector of §4.1.
 func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
+	return m.AssessComplexityContext(context.Background(), s)
+}
+
+// AssessComplexityContext implements core.ContextModule: cancellation is
+// checked between target relationships and inside the CSG path
+// enumeration (the detector's long pole on dense graphs).
+func (m *Module) AssessComplexityContext(ctx context.Context, s *core.Scenario) (core.Report, error) {
 	targetGraph, err := csg.FromSchema(s.Target.Schema)
 	if err != nil {
 		return nil, err
@@ -167,7 +175,9 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 			return nil, err
 		}
 		nodeMatch := csg.NodeMatch(src.Correspondences.NodeMatch())
-		m.detectSource(report, s, src.Name, targetGraph, srcGraph, srcInst, nodeMatch)
+		if err := m.detectSource(ctx, report, s, src.Name, targetGraph, srcGraph, srcInst, nodeMatch); err != nil {
+			return nil, err
+		}
 	}
 	sort.SliceStable(report.Conflicts, func(i, j int) bool {
 		a, b := report.Conflicts[i], report.Conflicts[j]
@@ -185,10 +195,13 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 	return report, nil
 }
 
-func (m *Module) detectSource(report *Report, s *core.Scenario, srcName string,
-	targetGraph, srcGraph *csg.Graph, srcInst *csg.Instance, nodeMatch csg.NodeMatch) {
+func (m *Module) detectSource(ctx context.Context, report *Report, s *core.Scenario, srcName string,
+	targetGraph, srcGraph *csg.Graph, srcInst *csg.Instance, nodeMatch csg.NodeMatch) error {
 
 	for _, e := range targetGraph.Edges() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if e.Card.Equal(csg.CardAny) {
 			continue // unconstrained: nothing to violate
 		}
@@ -201,7 +214,9 @@ func (m *Module) detectSource(report *Report, s *core.Scenario, srcName string,
 		toMatched := hasMatch(nodeMatch, e.To)
 		switch {
 		case fromMatched && toMatched:
-			m.detectMatched(report, srcName, srcGraph, srcInst, nodeMatch, e)
+			if err := m.detectMatched(ctx, report, srcName, srcGraph, srcInst, nodeMatch, e); err != nil {
+				return err
+			}
 		case fromMatched && !toMatched:
 			// The end of the relationship has no source counterpart:
 			// integrated elements provide zero links. Violating if
@@ -231,12 +246,16 @@ func (m *Module) detectSource(report *Report, s *core.Scenario, srcName string,
 			// for it, so the relationship is trivially satisfied.
 		}
 	}
+	return nil
 }
 
-func (m *Module) detectMatched(report *Report, srcName string, srcGraph *csg.Graph,
-	srcInst *csg.Instance, nodeMatch csg.NodeMatch, e *csg.Edge) {
+func (m *Module) detectMatched(ctx context.Context, report *Report, srcName string, srcGraph *csg.Graph,
+	srcInst *csg.Instance, nodeMatch csg.NodeMatch, e *csg.Edge) error {
 
-	path := csg.MatchRelationship(e, srcGraph, nodeMatch)
+	path, err := csg.MatchRelationshipContext(ctx, e, srcGraph, nodeMatch)
+	if err != nil {
+		return err
+	}
 	if path == nil {
 		// Both endpoints exist in the source but are unconnected.
 		// For equality relationships we can still evaluate value
@@ -254,7 +273,7 @@ func (m *Module) detectMatched(report *Report, srcName string, srcGraph *csg.Gra
 					Count: count,
 				})
 			}
-			return
+			return nil
 		}
 		// Otherwise integrated elements cannot provide the links.
 		if e.Card.Lo >= 1 {
@@ -269,11 +288,11 @@ func (m *Module) detectMatched(report *Report, srcName string, srcGraph *csg.Gra
 				})
 			}
 		}
-		return
+		return nil
 	}
 	inferred := path.InferredCard()
 	if inferred.SubsetOf(e.Card) {
-		return // statically safe: every source element fits
+		return nil // statically safe: every source element fits
 	}
 	below, above, belowSamples, aboveSamples := violationSplit(srcInst, path, e.Card)
 	if below > 0 {
@@ -294,6 +313,7 @@ func (m *Module) detectMatched(report *Report, srcName string, srcGraph *csg.Gra
 			Samples: aboveSamples,
 		})
 	}
+	return nil
 }
 
 // maxSamples bounds the violating elements quoted per conflict.

@@ -7,6 +7,7 @@
 package valuefit
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -147,6 +148,15 @@ func (m *Module) Name() string { return ModuleName }
 
 // AssessComplexity implements core.Module: the value fit detector.
 func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
+	return m.AssessComplexityContext(context.Background(), s)
+}
+
+// AssessComplexityContext implements core.ContextModule: cancellation is
+// checked between attribute pairs and propagated into the profiler, so an
+// expired deadline interrupts even a long profiling run promptly (and a
+// profile computation already in flight on the shared cache is simply
+// abandoned by this caller, not poisoned for others).
+func (m *Module) AssessComplexityContext(ctx context.Context, s *core.Scenario) (core.Report, error) {
 	prof := m.Profiler
 	if prof == nil {
 		prof = profile.NewProfiler(0)
@@ -154,6 +164,9 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 	report := &Report{}
 	for _, src := range s.Sources {
 		for _, corr := range src.Correspondences.AttributePairs() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Key and foreign key target columns are exempt: their
 			// values are generated or re-keyed by the mapping rather
 			// than copied, so representation differences do not cause
@@ -163,7 +176,7 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 				continue
 			}
 			report.PairsChecked++
-			h, err := m.checkPair(prof, src, s.Target, corr.SourceTable, corr.SourceColumn, corr.TargetTable, corr.TargetColumn)
+			h, err := m.checkPair(ctx, prof, src, s.Target, corr.SourceTable, corr.SourceColumn, corr.TargetTable, corr.TargetColumn)
 			if err != nil {
 				return nil, err
 			}
@@ -186,14 +199,14 @@ func (m *Module) AssessComplexity(s *core.Scenario) (core.Report, error) {
 // profiling goes through the profiler cache: the raw source profile, the
 // coerced source view, and — crucially — the target profile, which many
 // correspondences share and which is therefore computed once per scenario.
-func (m *Module) checkPair(prof *profile.Profiler, src *core.Source, target *relational.Database,
+func (m *Module) checkPair(ctx context.Context, prof *profile.Profiler, src *core.Source, target *relational.Database,
 	st, sc, tt, tc string) (*Heterogeneity, error) {
 
-	rawSS, err := prof.Column(src.DB, st, sc)
+	rawSS, err := prof.ColumnContext(ctx, src.DB, st, sc)
 	if err != nil {
 		return nil, err
 	}
-	tstats, err := prof.Column(target, tt, tc)
+	tstats, err := prof.ColumnContext(ctx, target, tt, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +215,7 @@ func (m *Module) checkPair(prof *profile.Profiler, src *core.Source, target *rel
 	// The target attribute's datatype designates which statistics to
 	// use; source values are viewed through the target type (how they
 	// would look once integrated), with incompatible ones counted.
-	ss, incompatible, err := prof.ColumnCoerced(src.DB, st, sc, tgtCol.Type)
+	ss, incompatible, err := prof.ColumnCoercedContext(ctx, src.DB, st, sc, tgtCol.Type)
 	if err != nil {
 		return nil, err
 	}
