@@ -2,14 +2,21 @@
 # detector (the concurrency layer — profiler cache, parallel detectors,
 # parallel experiment grid — must stay race-clean). The resilience suite
 # (fault injection, deadlines, graceful degradation) runs a second,
-# focused pass so a fault-harness regression is reported by name.
-.PHONY: verify build test bench faults
+# focused pass so a fault-harness regression is reported by name, and
+# efeslint enforces the cross-cutting invariants (DESIGN.md §8).
+.PHONY: verify build test bench faults lint
 
 verify:
 	go build ./...
 	go vet ./...
 	go test -race ./...
 	go test -race -run 'Fault|Resilience' ./...
+	go run ./cmd/efeslint ./...
+
+# efeslint: the in-tree static analyzer (internal/lint). Exits nonzero on
+# any finding; see `go run ./cmd/efeslint -list` for the rules.
+lint:
+	go run ./cmd/efeslint ./...
 
 # The fault-injection and resilience suite alone, twice, to shake out
 # order- and state-dependent behavior in the harness (arming/Reset).

@@ -280,7 +280,7 @@ func BenchmarkConstraintValidation(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation runs the module ablation study (DESIGN.md §9): the
+// BenchmarkAblation runs the module ablation study (DESIGN.md §10): the
 // full evaluation for five framework configurations.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,161 @@
+// Command efeslint runs the EFES static-analysis pass (internal/lint): a
+// stdlib-only go/ast + go/types tool enforcing the project's determinism,
+// context-propagation, fault-point, wall-clock, and error-memoization
+// invariants. See DESIGN.md §8.
+//
+// Usage:
+//
+//	efeslint [-rules detorder,ctxflow,...] [-list] [packages]
+//
+// The package pattern is currently all-or-nothing: `./...` (the default)
+// analyzes every package of the module containing the working directory.
+// Individual directories may be given to restrict which packages'
+// diagnostics are reported (the whole module is still loaded, since the
+// analyses are type-driven). Directories under a testdata tree — which
+// the loader normally skips — are loaded when named explicitly, so the
+// self-test corpus can be linted directly:
+//
+//	efeslint ./internal/lint/testdata/src/...
+//
+// efeslint exits 0 when no unsuppressed diagnostic was found, 1 when at
+// least one was reported, and 2 on usage or load errors. Diagnostics are
+// printed as `file:line:col [rule] message` and can be suppressed at the
+// offending line with `//lint:ignore <rule> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"efes/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [./...|dirs]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a, ok := lint.AnalyzerByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "efeslint: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+		os.Exit(2)
+	}
+	// Explicitly named testdata directories are loaded as extra packages
+	// (the module loader skips testdata trees on its own walk).
+	var extra []string
+	for _, arg := range flag.Args() {
+		if arg == "./..." || !strings.Contains(filepath.ToSlash(arg), "testdata") {
+			continue
+		}
+		root, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+			os.Exit(2)
+		}
+		dirs, err := goFileDirs(root, strings.HasSuffix(arg, "/..."))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+			os.Exit(2)
+		}
+		extra = append(extra, dirs...)
+	}
+	mod, err := lint.Load(cwd, extra...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs := mod.Pkgs
+	if args := flag.Args(); len(args) > 0 && !(len(args) == 1 && args[0] == "./...") {
+		keep := make(map[string]bool)
+		for _, arg := range args {
+			abs, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+				os.Exit(2)
+			}
+			subtree := strings.HasSuffix(arg, "/...")
+			for _, p := range mod.Pkgs {
+				if p.Dir == abs || (subtree && strings.HasPrefix(p.Dir, abs+string(filepath.Separator))) {
+					keep[p.Path] = true
+				}
+			}
+		}
+		pkgs = pkgs[:0:0]
+		for _, p := range mod.Pkgs {
+			if keep[p.Path] {
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := lint.Run(mod.Fset, pkgs, analyzers, cwd)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "efeslint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// goFileDirs returns dir (and, when subtree is set, every directory below
+// it) containing non-test .go files.
+func goFileDirs(dir string, subtree bool) ([]string, error) {
+	hasGo := func(d string) bool {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				return true
+			}
+		}
+		return false
+	}
+	if !subtree {
+		if !hasGo(dir) {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		return []string{dir}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && hasGo(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -2,6 +2,7 @@ package csg
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -74,6 +75,7 @@ func (a AtomicRel) Links(in *Instance, elem string) []string {
 	for el := range frontier {
 		out = append(out, el)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,30 @@
+package csg
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestAtomicRelLinksSorted(t *testing.T) {
+	// AtomicRel.Links walks frontier sets held in maps; the result must
+	// come back sorted so that downstream consumers (and printed reports)
+	// do not inherit map iteration order.
+	g, in := buildFigure2Instance(t)
+	p := BestPath(FindPaths(g, g.Node("albums"), g.Node("artist_credits.artist"), MaxPathLength))
+	rel := AtomicRel{P: p}
+	for _, elem := range rel.Domain(in) {
+		links := rel.Links(in, elem)
+		if !sort.StringsAreSorted(links) {
+			t.Fatalf("Links(%s) not sorted: %v", elem, links)
+		}
+		again := rel.Links(in, elem)
+		if len(again) != len(links) {
+			t.Fatalf("Links(%s) unstable: %v vs %v", elem, links, again)
+		}
+		for i := range links {
+			if links[i] != again[i] {
+				t.Fatalf("Links(%s) unstable at %d: %v vs %v", elem, i, links, again)
+			}
+		}
+	}
+}

@@ -33,15 +33,23 @@ type FunctionSpec struct {
 	Below       *FunctionSpec `json:"below,omitempty"`
 }
 
-// Function materializes the spec.
+// Function materializes the spec. The per-parameter contributions are
+// summed in sorted parameter order (hoisted out of the closure): a float
+// sum in map iteration order would price the same task differently from
+// run to run (TaskWriteMapping sums four parameters).
 func (s FunctionSpec) Function() Function {
+	names := make([]string, 0, len(s.PerParam))
+	for name := range s.PerParam {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	return func(t Task) float64 {
 		if s.SwitchParam != "" && s.Below != nil && t.Param(s.SwitchParam) < s.SwitchBelow {
 			return s.Below.Function()(t)
 		}
 		m := s.Constant + s.PerRepetition*float64(t.Repetitions)
-		for name, per := range s.PerParam {
-			m += per * t.Param(name)
+		for _, name := range names {
+			m += s.PerParam[name] * t.Param(name)
 		}
 		return m
 	}
@@ -131,8 +139,10 @@ func LoadConfig(r io.Reader) (Config, error) {
 	if c.Functions == nil {
 		return Config{}, fmt.Errorf("effort: config declares no effort functions")
 	}
-	for tt, spec := range c.Functions {
-		if spec.SwitchParam != "" && spec.Below == nil {
+	// Validate in sorted task-type order so that a config with several
+	// problems always reports the same one first.
+	for _, tt := range c.TaskTypes() {
+		if spec := c.Functions[tt]; spec.SwitchParam != "" && spec.Below == nil {
 			return Config{}, fmt.Errorf("effort: config for %q has switchParam but no below branch", tt)
 		}
 	}

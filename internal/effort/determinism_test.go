@@ -1,0 +1,66 @@
+package effort
+
+import (
+	"strings"
+	"testing"
+)
+
+// Float addition is not associative, so any sum whose order depends on map
+// iteration varies between runs. These tests pin the fixed summation
+// orders with adversarial magnitudes where a reordering changes the
+// result: 1e16 + 1 + 1 == 1e16 in index order (1 vanishes below the ulp),
+// while (1+1) + 1e16 == 1.0000000000000002e16.
+
+func TestSpentMinutesSumsInTaskOrder(t *testing.T) {
+	p := progressFixture(t)
+	if err := p.Complete(0, 1e16); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Complete(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Complete(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SpentMinutes(); got != 1e16 {
+		t.Errorf("SpentMinutes = %v, want exactly 1e16 (task-index summation order)", got)
+	}
+}
+
+func TestFunctionSpecSumsParamsInSortedOrder(t *testing.T) {
+	spec := FunctionSpec{PerParam: map[string]float64{
+		"alpha": 1e16,
+		"beta":  1,
+		"gamma": 1,
+	}}
+	task := Task{Params: map[string]float64{"alpha": 1, "beta": 1, "gamma": 1}}
+	want := 1e16 // alpha first: 1e16 + 1 + 1
+	f := spec.Function()
+	for i := 0; i < 50; i++ {
+		if got := f(task); got != want {
+			t.Fatalf("call %d: Function = %v, want exactly %v (sorted-name summation order)", i, got, want)
+		}
+	}
+	// A fresh materialization must price identically, too.
+	if got := spec.Function()(task); got != want {
+		t.Errorf("re-materialized Function = %v, want %v", got, want)
+	}
+}
+
+func TestLoadConfigReportsFirstInvalidTypeDeterministically(t *testing.T) {
+	// Two broken specs: validation walks task types in sorted order, so
+	// the reported one must always be the alphabetically first.
+	cfg := `{"settings":{},"functions":{
+		"zz-broken":{"switchParam":"x"},
+		"aa-broken":{"switchParam":"y"}
+	}}`
+	for i := 0; i < 20; i++ {
+		_, err := LoadConfig(strings.NewReader(cfg))
+		if err == nil {
+			t.Fatal("LoadConfig accepted a switchParam without below branch")
+		}
+		if !strings.Contains(err.Error(), `"aa-broken"`) {
+			t.Fatalf("iteration %d: error %q, want the sorted-first type aa-broken", i, err)
+		}
+	}
+}

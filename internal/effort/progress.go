@@ -48,11 +48,16 @@ func (p *Progress) Complete(i int, actualMinutes float64) error {
 // Done reports whether the i-th task is completed.
 func (p *Progress) Done(i int) bool { return p.done[i] }
 
-// SpentMinutes sums the actual minutes of completed tasks.
+// SpentMinutes sums the actual minutes of completed tasks. The sum runs
+// in task order, not map order: float addition does not commute
+// bit-for-bit, and the monitoring output built from this figure must be
+// byte-stable across runs.
 func (p *Progress) SpentMinutes() float64 {
 	sum := 0.0
-	for _, m := range p.actual {
-		sum += m
+	for i := range p.estimate.Tasks {
+		if m, ok := p.actual[i]; ok {
+			sum += m
+		}
 	}
 	return sum
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+
+	"efes/internal/effort"
+	"efes/internal/scenario"
+)
+
+func TestMeasureTotalSumsBreakdownInSortedOrder(t *testing.T) {
+	// Measure's total is a float sum over the per-category breakdown map;
+	// it must equal the sum taken in sorted category order bit-exactly, on
+	// every call, or RMSE tables would wobble between runs.
+	scn := scenario.MustMusicScenario("d1", "d2", 7)
+	p := NewPractitioner(7)
+	var firstTotal float64
+	for i := 0; i < 5; i++ {
+		total, breakdown, err := p.Measure(scn, effort.HighQuality)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := make([]string, 0, len(breakdown))
+		for c := range breakdown {
+			cats = append(cats, string(c))
+		}
+		sort.Strings(cats)
+		want := 0.0
+		for _, c := range cats {
+			want += breakdown[effort.Category(c)]
+		}
+		if total != want {
+			t.Fatalf("call %d: total %v != sorted-order breakdown sum %v", i, total, want)
+		}
+		if i == 0 {
+			firstTotal = total
+		} else if total != firstTotal {
+			t.Fatalf("call %d: total %v != first call's %v", i, total, firstTotal)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"efes/internal/core"
 	"efes/internal/dedup"
@@ -123,9 +124,17 @@ func (p *Practitioner) Measure(scn *core.Scenario, q effort.Quality) (float64, m
 		}
 		breakdown[effort.CategoryCleaningStructure] += cost
 	}
+	// Sum the breakdown in category order: the total feeds the measured
+	// columns of Tables 1-9 and must be byte-identical across runs, which
+	// a float sum in map iteration order is not.
+	cats := make([]effort.Category, 0, len(breakdown))
+	for c := range breakdown {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
 	total := 0.0
-	for _, m := range breakdown {
-		total += m
+	for _, c := range cats {
+		total += breakdown[c]
 	}
 	return total, breakdown, nil
 }

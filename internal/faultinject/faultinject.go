@@ -63,6 +63,24 @@ var (
 	armedCount atomic.Int32
 )
 
+// Points returns the registry of valid fault-point names. Entries ending
+// in "*" are prefixes covering a family of points (e.g. "core:detector:*"
+// covers "core:detector:mapping"). Production Fire calls and test Enable
+// calls must both use names matched by this registry: the efeslint
+// faultpoint analyzer checks string literals statically, and the registry
+// test in this package checks the Fire call sites of the instrumented
+// packages, so a typo'd point that would silently never fire is caught
+// at both ends. Keep this list in sync when adding a Fire call at a new
+// point.
+func Points() []string {
+	return []string{
+		"core:detector:*",
+		"core:planner:*",
+		"experiments:cell",
+		"profile:column",
+	}
+}
+
 // Enable arms a fault at the named point. Points are matched by exact
 // string equality.
 func Enable(point string, f Fault) {

@@ -1,0 +1,140 @@
+package lint
+
+// ctxflow: context-propagation guard. The resilience layer (DESIGN.md §7)
+// only works when cancellation reaches every module boundary, so:
+//
+//   - a function that has a ctx context.Context in scope must not call an
+//     exported function or method from another internal EFES package when
+//     that callee has a Context-taking sibling (F vs FContext): calling
+//     the plain variant silently drops the caller's deadline;
+//   - context.Background() and context.TODO() are banned outside package
+//     main, tests, and compatibility shims (a function F whose own
+//     Context sibling FContext exists in the same package — the
+//     documented pattern `func F(...) { return FContext(context.
+//     Background(), ...) }`).
+//
+// Test files are not loaded by the linter, so tests are implicitly
+// allowed to use Background/TODO.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var analyzerCtxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "propagate ctx through module boundaries; no context.Background outside main/tests/shims",
+	Run:  runCtxflow,
+}
+
+// ctxflowPackages are the internal packages whose exported API must be
+// called through the Context variants when the caller holds a context.
+var ctxflowPackages = map[string]bool{
+	"core": true, "mapping": true, "structure": true, "valuefit": true,
+	"csg": true, "experiments": true, "profile": true,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkWithFuncStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return
+			}
+			checkBackground(pass, call, callee, stack)
+			checkPlainVariantCall(pass, call, callee, stack)
+		})
+	}
+}
+
+// checkBackground flags context.Background()/TODO() outside package main
+// and compatibility shims.
+func checkBackground(pass *Pass, call *ast.CallExpr, callee *types.Func, stack []ast.Node) {
+	if funcPkgPath(callee) != "context" || (callee.Name() != "Background" && callee.Name() != "TODO") {
+		return
+	}
+	if isPkgMain(pass.Pkg) {
+		return
+	}
+	// A compatibility shim is a top-level function F with a Context
+	// sibling; Background inside it (including nested closures) feeds
+	// that shim's delegation call.
+	if decl := outermostFuncDecl(stack); decl != nil {
+		if obj, ok := pass.Pkg.Info.Defs[decl.Name].(*types.Func); ok && contextVariant(obj) != nil {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "context.%s() outside main/tests/shims severs cancellation; accept a ctx parameter or add a Context variant", callee.Name())
+}
+
+// checkPlainVariantCall flags calls to another internal package's
+// exported F when FContext exists and the caller has a ctx in scope.
+func checkPlainVariantCall(pass *Pass, call *ast.CallExpr, callee *types.Func, stack []ast.Node) {
+	if !callee.Exported() {
+		return
+	}
+	calleePkg := funcPkgPath(callee)
+	if calleePkg == pass.Pkg.Path || !isInternalEfesPackage(pass.Pkg, calleePkg) {
+		return
+	}
+	if !ctxflowPackages[lastPathElement(calleePkg)] {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || firstParamIsContext(sig) {
+		return // already the Context variant
+	}
+	variant := contextVariant(callee)
+	if variant == nil {
+		return
+	}
+	if !contextInScope(pass, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s drops the in-scope ctx; call %s and pass it", lastPathElement(calleePkg), callee.Name(), variant.Name())
+}
+
+// isInternalEfesPackage reports whether path is an internal package of
+// the same module as pkg.
+func isInternalEfesPackage(pkg *Package, path string) bool {
+	i := strings.Index(pkg.Path, "/internal/")
+	modPath := pkg.Path
+	if i >= 0 {
+		modPath = pkg.Path[:i]
+	}
+	return strings.HasPrefix(path, modPath+"/internal/")
+}
+
+// contextInScope reports whether any enclosing function declares a
+// context.Context parameter.
+func contextInScope(pass *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if hasContextParam(pass.Pkg.Info, fn.Type) {
+				return true
+			}
+		case *ast.FuncLit:
+			if hasContextParam(pass.Pkg.Info, fn.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// outermostFuncDecl returns the outermost enclosing function declaration.
+func outermostFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for _, n := range stack {
+		if decl, ok := n.(*ast.FuncDecl); ok {
+			return decl
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package lint
+
+// detorder: deterministic-output guard. EFES guarantees byte-identical
+// reports, CSV, and JSON across runs and worker counts (DESIGN.md §6-7);
+// Go map iteration order is deliberately randomized, so a `range` over a
+// map may not feed an output path or an order-sensitive computation
+// without an intervening sort. The analyzer flags, inside the body of a
+// range-over-map:
+//
+//   - compound assignment (`+=` etc.) to a float- or string-typed
+//     accumulator declared outside the loop: floating-point addition does
+//     not commute bit-for-bit and string concatenation not at all, so the
+//     result depends on iteration order;
+//   - `append` to a slice declared outside the loop that is not passed to
+//     a sort.* / slices.Sort* call later in the same function: the
+//     element order leaks the map order;
+//   - direct writes (fmt.Fprint*/Print*, Write*/Encode methods): the
+//     output order is the map order;
+//   - `return` statements whose results mention the iteration variables:
+//     which entry is returned (or named in an error) depends on the
+//     map order.
+//
+// Integer counters, map-to-map copies, min/max folds, and other
+// commutative aggregations pass. An intentional order-dependence is
+// suppressed with //lint:ignore detorder <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var analyzerDetorder = &Analyzer{
+	Name: "detorder",
+	Doc:  "range over a map must not feed output or order-sensitive accumulation without sorting",
+	Run:  runDetorder,
+}
+
+func runDetorder(pass *Pass) {
+	info := pass.Pkg.Info
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		walkWithFuncStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || !isMapType(tv.Type) {
+				return
+			}
+			var encl ast.Node // innermost enclosing function
+			if len(stack) > 0 {
+				encl = stack[len(stack)-1]
+			}
+			checkMapRangeBody(pass, rs, encl, reported)
+		})
+	}
+}
+
+// checkMapRangeBody inspects one range-over-map body for order-sensitive
+// effects.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, encl ast.Node, reported map[token.Pos]bool) {
+	info := pass.Pkg.Info
+	mapType := info.Types[rs.X].Type
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	rangeVars := rangeVarObjects(info, rs)
+	var inspect func(n ast.Node, inFuncLit bool)
+	inspect = func(n ast.Node, inFuncLit bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Effects inside a closure defined in the loop body still run
+			// per iteration, but its return statements leave the closure,
+			// not the loop.
+			for _, child := range childNodes(n) {
+				inspect(child, true)
+			}
+			return
+		case *ast.AssignStmt:
+			checkAccumulation(pass, n, rs, mapType, report)
+			checkAppend(pass, n, rs, encl, mapType, report)
+		case *ast.CallExpr:
+			if sink := outputSinkName(info, n); sink != "" {
+				report(n.Pos(), "%s inside range over %s writes output in map iteration order; iterate sorted keys", sink, mapType)
+			}
+		case *ast.ReturnStmt:
+			if inFuncLit {
+				break
+			}
+			for _, res := range n.Results {
+				for _, obj := range rangeVars {
+					if usesObject(info, res, obj) {
+						report(n.Pos(), "return inside range over %s depends on which entry is visited first; iterate sorted keys", mapType)
+						return
+					}
+				}
+			}
+		}
+		for _, child := range childNodes(n) {
+			inspect(child, inFuncLit)
+		}
+	}
+	inspect(rs.Body, false)
+}
+
+// rangeVarObjects resolves the key/value iteration variables of a range
+// statement to their objects.
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out = append(out, obj)
+		} else if obj := info.Uses[id]; obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// checkAccumulation flags `x += e` (and -=, *=, /=) on float or string
+// accumulators declared outside the loop.
+func checkAccumulation(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt, mapType types.Type, report func(token.Pos, string, ...any)) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil || obj.Pos() >= rs.Pos() {
+		return // loop-local: each iteration independent
+	}
+	kind := ""
+	switch {
+	case isFloat(obj.Type()):
+		kind = "floating-point"
+	case isString(obj.Type()):
+		kind = "string"
+	default:
+		return // integer / bool accumulation commutes
+	}
+	report(as.Pos(), "%s accumulation into %q inside range over %s depends on map iteration order; iterate sorted keys", kind, id.Name, mapType)
+}
+
+// checkAppend flags `x = append(x, ...)` on slices declared outside the
+// loop when no sort call covering x follows the loop in the same
+// function.
+func checkAppend(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt, encl ast.Node, mapType types.Type, report func(token.Pos, string, ...any)) {
+	info := pass.Pkg.Info
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "append" || info.Uses[fid] != types.Universe.Lookup("append") {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var obj types.Object
+		if as.Tok == token.DEFINE {
+			obj = info.Defs[id]
+		} else {
+			obj = info.Uses[id]
+		}
+		if obj == nil || obj.Pos() >= rs.Pos() {
+			continue // loop-local slice
+		}
+		if sortedAfter(info, encl, rs, obj) {
+			continue
+		}
+		report(as.Pos(), "append to %q inside range over %s leaks map iteration order; sort %q afterwards or iterate sorted keys", id.Name, mapType, id.Name)
+	}
+}
+
+// sortedAfter reports whether a sort.* or slices.* call mentioning obj
+// appears after the loop within the enclosing function.
+func sortedAfter(info *types.Info, encl ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			return true
+		}
+		switch funcPkgPath(f) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// outputSinkName classifies a call as an output sink: a non-empty return
+// names the sink for the diagnostic.
+func outputSinkName(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	name := f.Name()
+	if funcPkgPath(f) == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if strings.HasPrefix(name, "Write") || name == "Encode" {
+		return recvTypeString(sig) + "." + name
+	}
+	return ""
+}
+
+// recvTypeString renders a method receiver type for diagnostics.
+func recvTypeString(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,173 @@
+package lint
+
+// errcache: memoized-error guard. The profiler's contract (DESIGN.md §7)
+// is that errors are never cached: a cancelled context, an injected
+// fault, or a transient read failure must not poison a cache entry that
+// later callers will be served. Structs that act as cache slots carry an
+//
+//	//efes:cache-entry
+//
+// marker on their type declaration; the analyzer flags any assignment or
+// composite literal that stores a non-nil error-typed value into a field
+// of a marked struct.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var analyzerErrcache = &Analyzer{
+	Name: "errcache",
+	Doc:  "no error values stored into //efes:cache-entry structs (errors are never memoized)",
+	Run:  runErrcache,
+}
+
+const cacheEntryMarker = "efes:cache-entry"
+
+func runErrcache(pass *Pass) {
+	marked := markedCacheEntryTypes(pass)
+	if len(marked) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkErrcacheAssign(pass, n, marked)
+			case *ast.CompositeLit:
+				checkErrcacheLiteral(pass, n, marked)
+			}
+			return true
+		})
+	}
+}
+
+// markedCacheEntryTypes collects the named struct types whose declaration
+// carries the //efes:cache-entry marker.
+func markedCacheEntryTypes(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !commentHasMarker(gd.Doc) && !commentHasMarker(ts.Doc) && !commentHasMarker(ts.Comment) {
+					continue
+				}
+				if tn, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func commentHasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, cacheEntryMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// markedFieldBase resolves a selector expression to the marked struct
+// type it selects a field of, if any.
+func markedFieldBase(pass *Pass, sel *ast.SelectorExpr, marked map[*types.TypeName]bool) (fieldType types.Type, ok bool) {
+	s, found := pass.Pkg.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	t := s.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || !marked[named.Obj()] {
+		return nil, false
+	}
+	return s.Obj().Type(), true
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// checkErrcacheAssign flags assignments whose left side is an error field
+// of a marked struct, unless every corresponding right side is nil.
+func checkErrcacheAssign(pass *Pass, as *ast.AssignStmt, marked map[*types.TypeName]bool) {
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		ft, ok := markedFieldBase(pass, sel, marked)
+		if !ok || !isErrorType(ft) {
+			continue
+		}
+		// A positionally matching nil literal is an explicit clear; a
+		// multi-value call (n:1 assignment) or any non-nil value is a
+		// memoized error.
+		if len(as.Rhs) == len(as.Lhs) && isNilExpr(pass, as.Rhs[i]) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error value stored into cache entry field %s; errors must never be memoized (return them instead and drop the entry)", sel.Sel.Name)
+	}
+}
+
+// checkErrcacheLiteral flags composite literals of marked types that set
+// an error field to a non-nil value.
+func checkErrcacheLiteral(pass *Pass, lit *ast.CompositeLit, marked map[*types.TypeName]bool) {
+	tv, ok := pass.Pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || !marked[named.Obj()] {
+		return
+	}
+	st, isStruct := named.Underlying().(*types.Struct)
+	if !isStruct {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			key, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				fld := st.Field(j)
+				if fld.Name() == key.Name && isErrorType(fld.Type()) && !isNilExpr(pass, kv.Value) {
+					pass.Reportf(kv.Pos(), "error value stored into cache entry field %s via composite literal; errors must never be memoized", key.Name)
+				}
+			}
+			continue
+		}
+		if i < st.NumFields() && isErrorType(st.Field(i).Type()) && !isNilExpr(pass, elt) {
+			pass.Reportf(elt.Pos(), "error value stored into cache entry field %s via composite literal; errors must never be memoized", st.Field(i).Name())
+		}
+	}
+}

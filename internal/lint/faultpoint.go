@@ -1,0 +1,118 @@
+package lint
+
+// faultpoint: fault-injection registry guard. The resilience test suite
+// arms faults against exact point-name strings; a typo'd point at either
+// end (the Fire call in production code or the Enable call in a test)
+// silently never fires and the test silently stops testing anything. The
+// analyzer checks every string literal reaching the faultinject API
+// against faultinject.Points(), the registry of armed points. Entries
+// ending in "*" are prefixes: a literal (or the constant prefix of a
+// `"prefix:" + expr` concatenation) must fall under one of them.
+// Entirely dynamic point expressions cannot be checked statically and are
+// covered by the runtime registry test in internal/faultinject instead.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"efes/internal/faultinject"
+)
+
+var analyzerFaultpoint = &Analyzer{
+	Name: "faultpoint",
+	Doc:  "fault point strings must match the faultinject.Points() registry",
+	Run:  runFaultpoint,
+}
+
+// faultinjectFuncs are the API entry points whose first argument is a
+// point name.
+var faultinjectFuncs = map[string]bool{
+	"Fire": true, "Enable": true, "Calls": true, "Fired": true,
+}
+
+func runFaultpoint(pass *Pass) {
+	info := pass.Pkg.Info
+	registry := faultinject.Points()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || !faultinjectFuncs[callee.Name()] {
+				return true
+			}
+			if lastPathElement(funcPkgPath(callee)) != "faultinject" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			checkPointArg(pass, info, call.Args[0], registry)
+			return true
+		})
+	}
+}
+
+// checkPointArg validates one point-name argument against the registry.
+func checkPointArg(pass *Pass, info *types.Info, arg ast.Expr, registry []string) {
+	if val, ok := constStringValue(info, arg); ok {
+		if !pointMatches(val, registry) {
+			pass.Reportf(arg.Pos(), "fault point %q is not in faultinject.Points() (%s); a typo'd point never fires", val, strings.Join(registry, ", "))
+		}
+		return
+	}
+	// "prefix:" + dynamic: the constant prefix must fall under a
+	// registered wildcard entry.
+	if bin, ok := ast.Unparen(arg).(*ast.BinaryExpr); ok {
+		if prefix, ok := constStringValue(info, bin.X); ok {
+			if !prefixMatches(prefix, registry) {
+				pass.Reportf(arg.Pos(), "fault point prefix %q matches no wildcard entry of faultinject.Points() (%s)", prefix, strings.Join(registry, ", "))
+			}
+		}
+	}
+}
+
+// constStringValue extracts a compile-time string constant.
+func constStringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// pointMatches reports whether a complete point name is registered.
+func pointMatches(point string, registry []string) bool {
+	for _, entry := range registry {
+		if prefix, ok := strings.CutSuffix(entry, "*"); ok {
+			if strings.HasPrefix(point, prefix) && len(point) > len(prefix) {
+				return true
+			}
+		} else if point == entry {
+			return true
+		}
+	}
+	return false
+}
+
+// prefixMatches reports whether a constant prefix of a dynamic point name
+// is covered by a wildcard registry entry.
+func prefixMatches(prefix string, registry []string) bool {
+	for _, entry := range registry {
+		p, ok := strings.CutSuffix(entry, "*")
+		if !ok {
+			continue
+		}
+		// Either the literal already reaches past the wildcard prefix, or
+		// it is a (shorter) prefix of it — in which case the dynamic rest
+		// may or may not complete it, which the runtime test covers.
+		if strings.HasPrefix(prefix, p) || strings.HasPrefix(p, prefix) {
+			return true
+		}
+	}
+	return false
+}

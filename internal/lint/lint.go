@@ -1,0 +1,219 @@
+// Package lint is efeslint: a custom static-analysis pass, built only on
+// the standard library's go/ast, go/parser, go/token, and go/types, that
+// enforces EFES's cross-cutting invariants — deterministic output, context
+// propagation, registered fault points, no wall-clock or unseeded
+// randomness in deterministic packages, and no memoized errors in the
+// profiler cache. See DESIGN.md §8 for each rule's rationale.
+//
+// Diagnostics are reported as
+//
+//	file:line:col [rule] message
+//
+// and can be suppressed at the offending line (or the line above it) with
+//
+//	//lint:ignore <rule> <reason>
+//
+// where the reason is mandatory: an unexplained suppression is itself a
+// diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule is the reporting analyzer's name.
+	Rule string
+	// Message describes the violation and the expected fix.
+	Message string
+}
+
+// String renders the diagnostic in the file:line:col [rule] message shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named lint rule.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the rule enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	// Fset is the file set shared by every loaded package.
+	Fset *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns every registered analyzer, sorted by name.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		analyzerCtxflow,
+		analyzerDetorder,
+		analyzerErrcache,
+		analyzerFaultpoint,
+		analyzerNonewtime,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// AnalyzerByName returns the named analyzer, if registered.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run applies the analyzers to the given packages and returns the
+// surviving (unsuppressed) diagnostics sorted by position, with file
+// names relative to relTo when possible.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, relTo string) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Fset: fset, Pkg: pkg, analyzer: a, diags: &diags})
+		}
+		diags = append(diags, checkIgnoreDirectives(fset, pkg)...)
+	}
+	diags = suppress(fset, pkgs, diags)
+	for i := range diags {
+		if rel, err := filepath.Rel(relTo, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line   int
+	rules  map[string]bool
+	reason string
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// parseIgnores extracts the lint:ignore directives of one file, keyed by
+// the line they end on (a directive covers its own line and the next).
+func parseIgnores(fset *token.FileSet, f *ast.File) map[int]ignoreDirective {
+	out := make(map[int]ignoreDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			ruleList, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			d := ignoreDirective{
+				line:   fset.Position(c.End()).Line,
+				rules:  make(map[string]bool),
+				reason: strings.TrimSpace(reason),
+			}
+			for _, r := range strings.Split(ruleList, ",") {
+				d.rules[strings.TrimSpace(r)] = true
+			}
+			out[d.line] = d
+		}
+	}
+	return out
+}
+
+// checkIgnoreDirectives reports malformed suppressions: an ignore without
+// a reason, or naming an unknown rule.
+func checkIgnoreDirectives(fset *token.FileSet, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				ruleList, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{Pos: pos, Rule: "ignorecheck",
+						Message: "lint:ignore directive needs a reason: //lint:ignore <rule> <reason>"})
+				}
+				for _, r := range strings.Split(ruleList, ",") {
+					if _, ok := AnalyzerByName(strings.TrimSpace(r)); !ok {
+						diags = append(diags, Diagnostic{Pos: pos, Rule: "ignorecheck",
+							Message: fmt.Sprintf("lint:ignore names unknown rule %q", strings.TrimSpace(r))})
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// suppress drops diagnostics covered by a well-formed ignore directive on
+// the same line or the line above.
+func suppress(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	type fileKey struct{ file string }
+	ignores := make(map[fileKey]map[int]ignoreDirective)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := fset.Position(f.Pos()).Filename
+			ignores[fileKey{name}] = parseIgnores(fset, f)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		m := ignores[fileKey{d.Pos.Filename}]
+		covered := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if dir, ok := m[line]; ok && dir.reason != "" && dir.rules[d.Rule] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, d)
+		}
+	}
+	return out
+}

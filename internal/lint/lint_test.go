@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.txt from the current corpus findings")
+
+// corpusDirs lists the self-test packages, one per rule (plus the
+// ignorecheck cases embedded in the detorder corpus).
+func corpusDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("testdata", "src", e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no corpus packages under testdata/src")
+	}
+	return dirs
+}
+
+func loadWithCorpus(t *testing.T) *Module {
+	t.Helper()
+	mod, err := Load(".", corpusDirs(t)...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return mod
+}
+
+// TestCorpusMatchesGolden runs every analyzer over the known-bad corpus
+// and compares the diagnostics line-for-line with testdata/golden.txt.
+// This pins each rule's findings AND the suppression behavior (the
+// corpus contains a reasoned //lint:ignore whose line must be absent).
+func TestCorpusMatchesGolden(t *testing.T) {
+	mod := loadWithCorpus(t)
+	var corpus []*Package
+	for _, pkg := range mod.Pkgs {
+		if strings.Contains(pkg.Path, "/testdata/src/") {
+			corpus = append(corpus, pkg)
+		}
+	}
+	if len(corpus) != len(corpusDirs(t)) {
+		t.Fatalf("loaded %d corpus packages, want %d", len(corpus), len(corpusDirs(t)))
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod.Fset, corpus, Analyzers(), cwd)
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(filepath.ToSlash(d.String()))
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus diagnostics diverge from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Every analyzer must be exercised: each rule name appears at least
+	// once in the corpus findings.
+	for _, a := range Analyzers() {
+		if !strings.Contains(got, "["+a.Name+"]") {
+			t.Errorf("corpus has no %s finding; the rule is untested", a.Name)
+		}
+	}
+	if !strings.Contains(got, "[ignorecheck]") {
+		t.Error("corpus has no ignorecheck finding")
+	}
+	if strings.Contains(got, "reasoned suppression") {
+		t.Error("a well-formed suppression leaked into the findings")
+	}
+}
+
+// TestModuleIsClean is the self-application: the repository's own tree
+// must produce zero diagnostics (real violations are fixed or carry
+// reasoned suppressions).
+func TestModuleIsClean(t *testing.T) {
+	mod, err := Load(".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags := Run(mod.Fset, mod.Pkgs, Analyzers(), mod.Root)
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestRunIsDeterministic pins the output contract of the linter itself:
+// two runs over the same tree render byte-identical diagnostics.
+func TestRunIsDeterministic(t *testing.T) {
+	render := func() string {
+		mod := loadWithCorpus(t)
+		var b strings.Builder
+		for _, d := range Run(mod.Fset, mod.Pkgs, Analyzers(), mod.Root) {
+			b.WriteString(d.String())
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	first := render()
+	if second := render(); second != first {
+		t.Errorf("linter output not deterministic:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	all := Analyzers()
+	if len(all) < 5 {
+		t.Fatalf("registry holds %d analyzers, want at least 5", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Name < all[j].Name }) {
+		t.Error("Analyzers() not sorted by name")
+	}
+	for _, a := range all {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc line", a.Name)
+		}
+		if got, ok := AnalyzerByName(a.Name); !ok || got != a {
+			t.Errorf("AnalyzerByName(%s) failed", a.Name)
+		}
+	}
+	if _, ok := AnalyzerByName("nosuchrule"); ok {
+		t.Error("AnalyzerByName accepted an unknown rule")
+	}
+}

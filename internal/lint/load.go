@@ -1,0 +1,338 @@
+package lint
+
+// The package loader: a minimal, stdlib-only substitute for
+// golang.org/x/tools/go/packages. It discovers every package directory of
+// the module, parses the non-test sources, topologically sorts the
+// packages by their intra-module imports, and type-checks them with
+// go/types. Imports from outside the module (the standard library) are
+// satisfied from compiler export data located via `go list -export`, so
+// the loader needs the go command but no third-party code.
+//
+// Test files are deliberately excluded: the lint rules guard production
+// invariants (determinism, context flow, fault points), and tests are
+// exactly where wall-clock reads, context.Background, and ad-hoc map
+// iteration are legitimate.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory of the package.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's facts about every expression.
+	Info *types.Info
+}
+
+// Module is a loaded module: the shared file set plus every package,
+// in topological (dependencies-first) order.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset is the file set shared by all packages.
+	Fset *token.FileSet
+	// Pkgs are the loaded packages in dependencies-first order.
+	Pkgs []*Package
+}
+
+// FindModuleRoot walks upward from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// packageDirs finds every directory under root that contains non-test .go
+// files, skipping VCS metadata and testdata trees (testdata packages are
+// loaded only when named explicitly, via extra).
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the whole module rooted at (or above) dir,
+// plus any extra package directories (testdata corpora). The returned
+// packages are in dependencies-first order.
+func Load(dir string, extra ...string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range extra {
+		abs, err := filepath.Abs(e)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, abs)
+	}
+
+	fset := token.NewFileSet()
+	type rawPkg struct {
+		dir, path string
+		files     []*ast.File
+		imports   map[string]bool
+	}
+	raw := make(map[string]*rawPkg) // by import path
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		rp := &rawPkg{dir: d, path: path, imports: make(map[string]bool)}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(d, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			rp.files = append(rp.files, f)
+			for _, imp := range f.Imports {
+				rp.imports[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+		if len(rp.files) > 0 {
+			raw[path] = rp
+		}
+	}
+
+	order, err := topoSort(raw, func(p *rawPkg) []string {
+		var deps []string
+		for imp := range p.imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		return deps
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	im := &moduleImporter{
+		modPath: modPath,
+		local:   make(map[string]*types.Package),
+		std:     newStdImporter(root, fset),
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
+	for _, path := range order {
+		rp := raw[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: im}
+		tpkg, err := conf.Check(path, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+		}
+		im.local[path] = tpkg
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			Path: path, Dir: rp.dir, Files: rp.files, Types: tpkg, Info: info,
+		})
+	}
+	return mod, nil
+}
+
+// topoSort orders the packages dependencies-first; an import cycle among
+// module packages is an error (the go build would reject it too).
+func topoSort[P any](pkgs map[string]P, deps func(P) []string) ([]string, error) {
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range deps(pkgs[path]) {
+			if _, ok := pkgs[dep]; !ok {
+				continue // resolved from export data
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter satisfies intra-module imports from the already-checked
+// packages (the topological order guarantees they exist) and everything
+// else from compiler export data.
+type moduleImporter struct {
+	modPath string
+	local   map[string]*types.Package
+	std     types.Importer
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == im.modPath || strings.HasPrefix(path, im.modPath+"/") {
+		if p, ok := im.local[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or testdata import?)", path)
+	}
+	return im.std.Import(path)
+}
+
+// newStdImporter builds a gc-export-data importer whose lookup resolves
+// import paths to export files via `go list -export`. The transitive
+// closure of the module's dependencies is fetched in one batch up front;
+// anything missed (e.g. a testdata-only import) falls back to a per-path
+// go list call.
+func newStdImporter(root string, fset *token.FileSet) types.Importer {
+	exports := make(map[string]string)
+	out, err := goList(root, "-deps", "-export", "-f", "{{.ImportPath}} {{.Export}}", "./...")
+	if err == nil {
+		for _, line := range strings.Split(out, "\n") {
+			path, file, ok := strings.Cut(strings.TrimSpace(line), " ")
+			if ok && file != "" {
+				exports[path] = file
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			out, err := goList(root, "-export", "-f", "{{.Export}}", path)
+			if err != nil {
+				return nil, fmt.Errorf("lint: locate export data for %s: %w", path, err)
+			}
+			file = strings.TrimSpace(out)
+			if file == "" {
+				return nil, fmt.Errorf("lint: no export data for %s", path)
+			}
+			exports[path] = file
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func goList(root string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return "", fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, ee.Stderr)
+		}
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,67 @@
+package lint
+
+// nonewtime: wall-clock and randomness guard. The determinism contract
+// (byte-identical output across runs and worker counts) forbids reading
+// the wall clock or unseeded randomness anywhere estimation output is
+// computed. time.Now/Since/Until and the math/rand import are banned in
+// deterministic packages; the allowlist below names the deliberate
+// exceptions (seeded generators). Commands (package main) may time and
+// randomize freely — their output is presentation, not estimation — and
+// test files are not loaded by the linter at all. Scheduling primitives
+// (time.Sleep, time.After, timers) are not banned: they affect when work
+// happens, never what is computed.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var analyzerNonewtime = &Analyzer{
+	Name: "nonewtime",
+	Doc:  "no wall-clock reads or math/rand in deterministic packages",
+	Run:  runNonewtime,
+}
+
+// nonewtimeAllowed maps package-path suffixes (relative to the module
+// root) to the reason their use of seeded randomness is deterministic.
+var nonewtimeAllowed = map[string]string{
+	"internal/scenario":    "seeded scenario generators: rand.New(rand.NewSource(seed))",
+	"internal/experiments": "seeded practitioner noise: rand.New(rand.NewSource(seed))",
+}
+
+// bannedTimeFuncs are the wall-clock reads.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNonewtime(pass *Pass) {
+	if isPkgMain(pass.Pkg) {
+		return
+	}
+	for suffix := range nonewtimeAllowed {
+		if strings.HasSuffix(pass.Pkg.Path, suffix) {
+			return
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s; seed-driven randomness belongs in an allowlisted package", path, pass.Pkg.Path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			if funcPkgPath(callee) == "time" && bannedTimeFuncs[callee.Name()] {
+				pass.Reportf(call.Pos(), "time.%s() reads the wall clock in deterministic package %s; estimation output must not depend on it", callee.Name(), pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Package ctxflow is efeslint self-test input for the context-flow rule.
+package ctxflow
+
+import (
+	"context"
+
+	"efes/internal/profile"
+	"efes/internal/relational"
+)
+
+// Lookup holds a ctx yet calls the plain variant. BAD.
+func Lookup(ctx context.Context, p *profile.Profiler, db *relational.Database) error {
+	_, err := p.Column(db, "t", "c")
+	return err
+}
+
+// Detached severs cancellation with a fresh root context. BAD.
+func Detached(p *profile.Profiler, db *relational.Database) error {
+	_, err := p.ColumnContext(context.Background(), db, "t", "c")
+	return err
+}
+
+// Todo is no better than Background. BAD.
+func Todo() context.Context {
+	return context.TODO()
+}
+
+// Fetch is a compatibility shim: Background inside a function whose own
+// Context sibling exists is the documented pattern. GOOD.
+func Fetch(p *profile.Profiler, db *relational.Database) error {
+	return FetchContext(context.Background(), p, db)
+}
+
+// FetchContext is the shim's real implementation; it forwards the ctx it
+// was handed. GOOD.
+func FetchContext(ctx context.Context, p *profile.Profiler, db *relational.Database) error {
+	_, err := p.ColumnContext(ctx, db, "t", "c")
+	return err
+}

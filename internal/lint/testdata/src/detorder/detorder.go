@@ -1,0 +1,94 @@
+// Package detorder is efeslint self-test input. Every line marked BAD
+// below must appear in the corpus golden file; the GOOD patterns must
+// not.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sum folds floats in map order. BAD: float addition is not associative.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys leaks the map order through an unsorted append. BAD.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the fixed pattern: append, then sort. GOOD.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count is a commutative integer fold. GOOD.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Print writes entries in map order. BAD.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// First returns whichever entry iteration happened upon. BAD.
+func First(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true
+	}
+	return "", false
+}
+
+// Tolerated carries a well-formed suppression; it must NOT appear in the
+// golden file.
+func Tolerated(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//lint:ignore detorder corpus: a reasoned suppression hides the finding
+		t += v
+	}
+	return t
+}
+
+// reasonless exercises ignorecheck: a directive without a reason is
+// itself a finding. BAD.
+func reasonless(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//lint:ignore detorder
+		t += v
+	}
+	return t
+}
+
+// unknownRule names a rule that does not exist. BAD (ignorecheck), and
+// the detorder finding underneath survives.
+func unknownRule(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//lint:ignore nosuchrule the rule name is a typo
+		t += v
+	}
+	return t
+}

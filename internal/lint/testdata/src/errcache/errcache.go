@@ -1,0 +1,40 @@
+// Package errcache is efeslint self-test input for the memoized-error
+// rule.
+package errcache
+
+import "errors"
+
+// entry is a cache slot; the marker arms the errcache analyzer for it.
+//
+//efes:cache-entry
+type entry struct {
+	val int
+	err error
+}
+
+// plain is an unmarked struct: storing errors into it is fine. GOOD.
+type plain struct {
+	err error
+}
+
+// Memoize stores errors into the slot three ways. BAD (x3).
+func Memoize(compute func() (int, error)) *entry {
+	e := &entry{}
+	v, err := compute()
+	e.val, e.err = v, err
+	if err != nil {
+		return &entry{err: err}
+	}
+	return &entry{v, errors.New("positional")}
+}
+
+// Clear stores the explicit nil: that is a reset, not a memoized error.
+// GOOD.
+func Clear(e *entry) {
+	e.err = nil
+}
+
+// Unmarked stores into the unmarked struct. GOOD.
+func Unmarked() *plain {
+	return &plain{err: errors.New("not a cache slot")}
+}

@@ -1,0 +1,22 @@
+// Package faultpoint is efeslint self-test input for the fault-point
+// registry rule.
+package faultpoint
+
+import "efes/internal/faultinject"
+
+// Good points match the registry (wildcard prefix and exact entry).
+func Good(name string) error {
+	if err := faultinject.Fire("core:detector:" + name); err != nil {
+		return err
+	}
+	return faultinject.Fire("experiments:cell")
+}
+
+// Bad points would silently never fire. BAD (x3).
+func Bad(name string) error {
+	faultinject.Enable("profile:colunm", faultinject.Fault{})
+	if err := faultinject.Fire("bogus:point"); err != nil {
+		return err
+	}
+	return faultinject.Fire("core:bogus:" + name)
+}

@@ -1,0 +1,25 @@
+// Package nonewtime is efeslint self-test input for the wall-clock and
+// randomness rule.
+package nonewtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice. BAD (Now and Since).
+func Stamp() (int64, time.Duration) {
+	start := time.Now()
+	return start.Unix(), time.Since(start)
+}
+
+// Jitter depends on the banned math/rand import (flagged at the import,
+// not here).
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Pause is scheduling, not computation; Sleep is allowed. GOOD.
+func Pause() {
+	time.Sleep(time.Millisecond)
+}

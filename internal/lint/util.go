@@ -1,0 +1,200 @@
+package lint
+
+// Shared go/ast + go/types helpers for the analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the called *types.Func, or nil
+// for calls through function-typed variables, built-ins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the function's defining package,
+// or "" for builtins and error.Error.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloat reports whether t is a floating-point (or complex) type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isString reports whether t is a string type.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasContextParam reports whether the function type declares a parameter
+// of type context.Context.
+func hasContextParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsContext reports whether the signature's first parameter is
+// context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// contextVariant looks up the callee's Context-taking sibling: for a
+// package-level function F, a package-level FContext; for a method M on T,
+// a method MContext on (a pointer to) T. The sibling must take a
+// context.Context as its first parameter.
+func contextVariant(f *types.Func) *types.Func {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	want := f.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			m, ok := ms.At(i).Obj().(*types.Func)
+			if ok && m.Name() == want && firstParamIsContext(m.Type().(*types.Signature)) {
+				return m
+			}
+		}
+		return nil
+	}
+	if f.Pkg() == nil {
+		return nil
+	}
+	v, ok := f.Pkg().Scope().Lookup(want).(*types.Func)
+	if ok && firstParamIsContext(v.Type().(*types.Signature)) {
+		return v
+	}
+	return nil
+}
+
+// walkWithFuncStack traverses the file and calls visit for every node
+// together with the chain of enclosing function nodes (*ast.FuncDecl /
+// *ast.FuncLit), outermost first. The node itself is included in the
+// stack when it is a function node.
+func walkWithFuncStack(f *ast.File, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	var rec func(n ast.Node)
+	rec = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		isFunc := false
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			isFunc = true
+		}
+		if isFunc {
+			stack = append(stack, n)
+		}
+		visit(n, stack)
+		for _, child := range childNodes(n) {
+			rec(child)
+		}
+		if isFunc {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	rec(f)
+}
+
+// childNodes returns the direct AST children of n.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// usesObject reports whether any identifier inside n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPkgMain reports whether the package is a command.
+func isPkgMain(pkg *Package) bool { return pkg.Types.Name() == "main" }
+
+// lastPathElement returns the final element of an import path.
+func lastPathElement(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -236,8 +236,10 @@ func (m *FloodMatcher) selectPairs(sg, tg *schemaGraph, sigma map[pairKey]float6
 			continue
 		}
 		if sg.isTable[sg.nodes[k.i]] {
+			//lint:ignore detorder order(tablePairs) below sorts with full tie-breaking before use
 			tablePairs = append(tablePairs, scored{k, v})
 		} else {
+			//lint:ignore detorder order(columnPairs) below sorts with full tie-breaking before use
 			columnPairs = append(columnPairs, scored{k, v})
 		}
 	}

@@ -1,0 +1,169 @@
+package profile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"efes/internal/relational"
+)
+
+func TestConstancyBitIdenticalAcrossProfiles(t *testing.T) {
+	// A skewed distribution with many distinct values: its entropy is a
+	// float sum over the counts, which is only repeatable when the counts
+	// are visited in a fixed order. Profile the same column repeatedly and
+	// demand bit-identical constancy.
+	values := make([]relational.Value, 0, 120)
+	for i := 0; i < 40; i++ {
+		values = append(values, fmt.Sprintf("rare-%02d", i))
+	}
+	for i := 0; i < 40; i++ {
+		values = append(values, "common")
+	}
+	for i := 0; i < 20; i++ {
+		values = append(values, fmt.Sprintf("mid-%d", i%5))
+	}
+	first := Values("t", "c", relational.String, values)
+	for i := 0; i < 50; i++ {
+		again := Values("t", "c", relational.String, values)
+		if again.Constancy != first.Constancy {
+			t.Fatalf("profile %d: constancy %v != %v", i, again.Constancy, first.Constancy)
+		}
+	}
+}
+
+func discoveryDB(t *testing.T) *relational.Database {
+	t.Helper()
+	s := relational.NewSchema("db")
+	s.MustAddTable(relational.MustTable("artists",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	s.MustAddTable(relational.MustTable("albums",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "title", Type: relational.String},
+	))
+	s.MustAddTable(relational.MustTable("tracks",
+		relational.Column{Name: "id", Type: relational.Integer},
+		relational.Column{Name: "name", Type: relational.String},
+	))
+	db := relational.NewDatabase(s)
+	db.MustInsert("artists", int64(1), "a")
+	db.MustInsert("artists", int64(2), "b")
+	db.MustInsert("albums", int64(10), "x")
+	db.MustInsert("albums", int64(20), "y")
+	db.MustInsert("tracks", int64(100), "s")
+	db.MustInsert("tracks", int64(200), "u")
+	return db
+}
+
+func TestAugmentSchemaConstraintOrderDeterministic(t *testing.T) {
+	// Discovered primary keys live in a map keyed by table; AugmentSchema
+	// must insert them in sorted table order so the schema's constraint
+	// list — and every Validate() report derived from it — is identical
+	// across runs.
+	render := func() string {
+		db := discoveryDB(t)
+		d := Discover(db)
+		AugmentSchema(db, d)
+		out := ""
+		for _, c := range db.Schema.Constraints {
+			out += fmt.Sprintf("%v\n", c)
+		}
+		return out
+	}
+	first := render()
+	for i := 0; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d: constraint order changed:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+func TestProfilerDoesNotCacheErrors(t *testing.T) {
+	p := NewProfiler(2)
+	key := profileKey{table: "t", column: "c"}
+	boom := errors.New("transient failure")
+	calls := 0
+	compute := func() (*ColumnStats, int, error) {
+		calls++
+		if calls == 1 {
+			return nil, 0, boom
+		}
+		return &ColumnStats{Table: "t", Column: "c"}, 0, nil
+	}
+	if _, _, err := p.get(context.Background(), key, compute); !errors.Is(err, boom) {
+		t.Fatalf("first get: err = %v, want the transient failure", err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("failed computation left %d cache entries, want 0", p.Len())
+	}
+	cs, _, err := p.get(context.Background(), key, compute)
+	if err != nil {
+		t.Fatalf("second get after transient failure: %v", err)
+	}
+	if cs == nil || calls != 2 {
+		t.Fatalf("second get did not recompute (calls = %d)", calls)
+	}
+	if p.Len() != 1 {
+		t.Errorf("successful computation cached %d entries, want 1", p.Len())
+	}
+}
+
+func TestProfilerWaiterRetriesAfterFailedComputation(t *testing.T) {
+	p := NewProfiler(2)
+	key := profileKey{table: "t", column: "c"}
+	release := make(chan struct{})
+	firstErr := make(chan error, 1)
+	go func() {
+		_, _, err := p.get(context.Background(), key, func() (*ColumnStats, int, error) {
+			<-release
+			return nil, 0, errors.New("owner failed")
+		})
+		firstErr <- err
+	}()
+	// Wait until the owner has installed its in-flight entry, then start a
+	// waiter that piggybacks on it.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("owner never installed its cache entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterDone := make(chan *ColumnStats, 1)
+	go func() {
+		cs, _, err := p.get(context.Background(), key, func() (*ColumnStats, int, error) {
+			return &ColumnStats{Table: "t", Column: "c"}, 0, nil
+		})
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		waiterDone <- cs
+	}()
+	// Once the waiter is blocked on the entry (visible as a cache hit),
+	// let the owner fail.
+	for h, _ := p.Counters(); h == 0; h, _ = p.Counters() {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never reached the cache entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-firstErr; err == nil {
+		t.Error("owner should have received its computation error")
+	}
+	select {
+	case cs := <-waiterDone:
+		if cs == nil {
+			t.Error("waiter got nil stats")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not retry after the owner's failure")
+	}
+	if p.Len() != 1 {
+		t.Errorf("cache holds %d entries, want the waiter's successful one", p.Len())
+	}
+}

@@ -183,7 +183,17 @@ func keyNameScore(name string) int {
 func AugmentSchema(db *relational.Database, d *Discovery) int {
 	s := db.Schema
 	added := 0
-	for table, ref := range d.PrimaryKeys {
+	// Add discovered primary keys in sorted table order: constraints land
+	// in the schema's constraint list in insertion order, and Validate()
+	// reports violations in that order, so map-order insertion would leak
+	// into the report output.
+	tables := make([]string, 0, len(d.PrimaryKeys))
+	for table := range d.PrimaryKeys {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		ref := d.PrimaryKeys[table]
 		if _, has := s.PrimaryKeyOf(table); !has {
 			if s.AddConstraint(relational.PrimaryKey{Table: table, Columns: []string{ref.Column}}) == nil {
 				added++

@@ -27,12 +27,18 @@ type profileKey struct {
 
 // profileEntry is one cache slot. The ready channel implements in-flight
 // deduplication: the first goroutine to request a key computes it while
-// concurrent requesters block on ready instead of recomputing.
+// concurrent requesters block on ready instead of recomputing. The slot
+// deliberately has no error field — errors are never memoized (a failed
+// computation removes its entry and the waiters retry), so the struct
+// carries the efes:cache-entry marker that makes efeslint's errcache
+// analyzer reject any attempt to store an error in it.
+//
+//efes:cache-entry
 type profileEntry struct {
 	ready        chan struct{}
 	stats        *ColumnStats
 	incompatible int
-	err          error
+	ok           bool // false: the computation failed and the entry was dropped
 }
 
 // Profiler memoizes column profiles and fans whole-table and
@@ -69,37 +75,53 @@ func NewProfiler(workers int) *Profiler {
 func (p *Profiler) Workers() int { return p.workers }
 
 // get returns the cached entry for key, computing it via compute exactly
-// once. Concurrent requests for the same key wait for the first computation
-// instead of duplicating it, but stop waiting when their context is
-// cancelled. Context and injected-fault errors are returned to the caller
-// without being cached, so one cancelled or faulted lookup does not poison
-// the entry for later callers.
+// once on success. Concurrent requests for the same key wait for the
+// first computation instead of duplicating it, but stop waiting when
+// their context is cancelled. Errors — context cancellation, injected
+// faults, and compute failures alike — are returned to the caller and
+// never memoized: a failed computation removes its entry, so a transient
+// failure does not poison the cache for later callers. A waiter that
+// piggybacked on a computation that failed retries from the top (the
+// failing goroutine got the error; the waiter may well succeed).
 func (p *Profiler) get(ctx context.Context, key profileKey, compute func() (*ColumnStats, int, error)) (*ColumnStats, int, error) {
 	if err := faultinject.Fire("profile:column"); err != nil {
 		return nil, 0, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	p.mu.Lock()
-	e, ok := p.entries[key]
-	if ok {
-		p.mu.Unlock()
-		p.hits.Add(1)
-		select {
-		case <-e.ready:
-			return e.stats, e.incompatible, e.err
-		case <-ctx.Done():
-			return nil, 0, ctx.Err()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
 		}
+		p.mu.Lock()
+		e, ok := p.entries[key]
+		if ok {
+			p.mu.Unlock()
+			p.hits.Add(1)
+			select {
+			case <-e.ready:
+				if e.ok {
+					return e.stats, e.incompatible, nil
+				}
+				continue // the computation we waited for failed; retry
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
+		}
+		e = &profileEntry{ready: make(chan struct{})}
+		p.entries[key] = e
+		p.mu.Unlock()
+		p.misses.Add(1)
+		stats, incompatible, err := compute()
+		if err != nil {
+			p.mu.Lock()
+			delete(p.entries, key)
+			p.mu.Unlock()
+			close(e.ready) // wake waiters; e.ok stays false and they retry
+			return nil, 0, err
+		}
+		e.stats, e.incompatible, e.ok = stats, incompatible, true
+		close(e.ready)
+		return stats, incompatible, nil
 	}
-	e = &profileEntry{ready: make(chan struct{})}
-	p.entries[key] = e
-	p.mu.Unlock()
-	p.misses.Add(1)
-	e.stats, e.incompatible, e.err = compute()
-	close(e.ready)
-	return e.stats, e.incompatible, e.err
 }
 
 // Column returns the memoized profile of a column under its declared type

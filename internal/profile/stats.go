@@ -167,7 +167,8 @@ func Values(table, column string, typ relational.Type, values []relational.Value
 	if cs.Rows > 0 {
 		cs.Fill = float64(nonNull) / float64(cs.Rows)
 	}
-	cs.Constancy = constancy(counts, nonNull)
+	all := sortedCounts(counts)
+	cs.Constancy = constancy(all, nonNull)
 	cs.Patterns = sortedCounts(patterns)
 	if totalChars > 0 {
 		cs.CharHist = make(map[rune]float64, len(charCounts))
@@ -182,7 +183,6 @@ func Values(table, column string, typ relational.Type, values []relational.Value
 		cs.Min, cs.Max = minMax(numbers)
 		cs.NumHist = histogramOf(numbers, cs.Min, cs.Max)
 	}
-	all := sortedCounts(counts)
 	if len(all) > TopKSize {
 		cs.TopK = all[:TopKSize]
 	} else {
@@ -200,14 +200,17 @@ func Values(table, column string, typ relational.Type, values []relational.Value
 
 // constancy returns 1 - H/Hmax where H is the Shannon entropy of the value
 // distribution and Hmax = log2(#distinct). A constant column has
-// constancy 1; a column of all-distinct values has constancy 0.
-func constancy(counts map[string]int, nonNull int) float64 {
+// constancy 1; a column of all-distinct values has constancy 0. It takes
+// the counts as an ordered slice (sortedCounts) rather than the raw map:
+// the entropy is a float sum, and summing in map order would make the
+// profile — and every fit score derived from it — vary between runs.
+func constancy(counts []ValueCount, nonNull int) float64 {
 	if nonNull == 0 || len(counts) <= 1 {
 		return 1
 	}
 	h := 0.0
-	for _, n := range counts {
-		p := float64(n) / float64(nonNull)
+	for _, vc := range counts {
+		p := float64(vc.Count) / float64(nonNull)
 		h -= p * math.Log2(p)
 	}
 	hmax := math.Log2(float64(nonNull))

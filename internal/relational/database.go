@@ -68,12 +68,19 @@ func (db *Database) InsertMap(table string, values map[string]Value) error {
 		return fmt.Errorf("relational: insert into unknown table %s", table)
 	}
 	row := make([]Value, len(t.Columns))
-	for name, v := range values {
+	// Visit the columns in sorted order so that a tuple with several
+	// unknown columns always reports the same one.
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		idx := t.ColumnIndex(name)
 		if idx < 0 {
 			return fmt.Errorf("relational: insert into %s: unknown column %s", table, name)
 		}
-		row[idx] = v
+		row[idx] = values[name]
 	}
 	return db.Insert(table, row...)
 }

@@ -1,0 +1,28 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInsertMapReportsFirstUnknownColumnDeterministically(t *testing.T) {
+	table, err := NewTable("t", Column{Name: "a", Type: String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchema("s")
+	s.MustAddTable(table)
+	db := NewDatabase(s)
+	// Several unknown columns in one map: the error must always name the
+	// alphabetically first, not whichever map iteration happened upon.
+	values := map[string]Value{"zz": "1", "mm": "2", "bb": "3"}
+	for i := 0; i < 30; i++ {
+		err := db.InsertMap("t", values)
+		if err == nil {
+			t.Fatal("InsertMap accepted unknown columns")
+		}
+		if !strings.Contains(err.Error(), "unknown column bb") {
+			t.Fatalf("iteration %d: error %q, want the sorted-first column bb", i, err)
+		}
+	}
+}

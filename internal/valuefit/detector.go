@@ -446,12 +446,27 @@ func distributionIntersection(a, b []profile.ValueCount) float64 {
 
 // histConcentration is the Herfindahl concentration of a character
 // histogram: high when few characters dominate (a strong signature).
+// The frequencies are summed in rune order: floating-point addition is
+// not associative, so summing in map order would make the concentration
+// (and everything downstream of it) vary between runs.
 func histConcentration(hist map[rune]float64) float64 {
 	sum := 0.0
-	for _, f := range hist {
+	for _, r := range sortedRunes(hist) {
+		f := hist[r]
 		sum += f * f
 	}
 	return sum
+}
+
+// sortedRunes returns the histogram's keys in rune order, for
+// deterministic float summation.
+func sortedRunes(hist map[rune]float64) []rune {
+	runes := make([]rune, 0, len(hist))
+	for r := range hist {
+		runes = append(runes, r)
+	}
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	return runes
 }
 
 // charHistFit is the cosine similarity of the two character histograms.
@@ -467,11 +482,13 @@ func charHistFit(ss, ts *profile.ColumnStats) float64 {
 		return 0
 	}
 	dot, na, nb := 0.0, 0.0, 0.0
-	for r, f := range ss.CharHist {
+	for _, r := range sortedRunes(ss.CharHist) {
+		f := ss.CharHist[r]
 		dot += f * ts.CharHist[r]
 		na += f * f
 	}
-	for _, f := range ts.CharHist {
+	for _, r := range sortedRunes(ts.CharHist) {
+		f := ts.CharHist[r]
 		nb += f * f
 	}
 	if na == 0 || nb == 0 {

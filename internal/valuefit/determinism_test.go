@@ -1,0 +1,57 @@
+package valuefit
+
+import (
+	"sort"
+	"testing"
+
+	"efes/internal/profile"
+)
+
+// The character-histogram measures sum floats over map-keyed histograms;
+// the sums are pinned to rune order so they are bit-repeatable.
+
+func adversarialHist() map[rune]float64 {
+	// Magnitudes chosen so that summation order changes the result: the
+	// large term absorbs the small ones only when it is added first.
+	hist := map[rune]float64{'a': 1e8}
+	for r := 'b'; r <= 'z'; r++ {
+		hist[r] = 1e-8
+	}
+	return hist
+}
+
+func TestSortedRunesIsSorted(t *testing.T) {
+	runes := sortedRunes(adversarialHist())
+	if len(runes) != 26 {
+		t.Fatalf("got %d runes, want 26", len(runes))
+	}
+	if !sort.SliceIsSorted(runes, func(i, j int) bool { return runes[i] < runes[j] }) {
+		t.Errorf("sortedRunes not sorted: %v", runes)
+	}
+}
+
+func TestHistConcentrationBitRepeatable(t *testing.T) {
+	hist := adversarialHist()
+	first := histConcentration(hist)
+	for i := 0; i < 50; i++ {
+		if got := histConcentration(hist); got != first {
+			t.Fatalf("run %d: concentration %v != %v", i, got, first)
+		}
+	}
+}
+
+func TestCharHistFitBitRepeatable(t *testing.T) {
+	ss := &profile.ColumnStats{CharHist: adversarialHist()}
+	th := adversarialHist()
+	th['a'] = 0.5 // different shape, still overlapping support
+	ts := &profile.ColumnStats{CharHist: th}
+	first := charHistFit(ss, ts)
+	if first <= 0 || first > 1 {
+		t.Fatalf("fit = %v, want a positive cosine similarity", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got := charHistFit(ss, ts); got != first {
+			t.Fatalf("run %d: fit %v != %v", i, got, first)
+		}
+	}
+}
