@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	efeslint [-rules detorder,ctxflow,...] [-list] [packages]
+//	efeslint [-rules detorder,ctxflow,...] [-list] [-json] [packages]
 //
 // The package pattern is currently all-or-nothing: `./...` (the default)
 // analyzes every package of the module containing the working directory.
@@ -19,11 +19,14 @@
 //
 // efeslint exits 0 when no unsuppressed diagnostic was found, 1 when at
 // least one was reported, and 2 on usage or load errors. Diagnostics are
-// printed as `file:line:col [rule] message` and can be suppressed at the
+// printed as `file:line:col [rule] message` — or, with -json, as a JSON
+// array of {file, line, col, rule, message} objects on stdout (`[]` when
+// clean) so CI can annotate findings — and can be suppressed at the
 // offending line with `//lint:ignore <rule> <reason>`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +39,9 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [./...|dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [-json] [./...|dirs]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -117,12 +121,41 @@ func main() {
 	}
 
 	diags := lint.Run(mod.Fset, pkgs, analyzers, cwd)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		printJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "efeslint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// printJSON renders the diagnostics as a JSON array (empty but valid on a
+// clean run) for machine consumption.
+func printJSON(diags []lint.Diagnostic) {
+	type jsonDiag struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File: filepath.ToSlash(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+		os.Exit(2)
 	}
 }
 

@@ -142,6 +142,14 @@ func (f *Framework) attemptDetector(ctx context.Context, m Module, s *Scenario) 
 		mctx, cancel = context.WithTimeout(ctx, f.res.ModuleTimeout)
 		defer cancel()
 	}
+	// The goroutine below is deliberately detached — no WaitGroup joins
+	// it. Its leak-freedom proof (checked statically by efeslint's goleak
+	// rule) is the cap-1 buffer: exactly one of the three sends executes
+	// per attempt (the recover arm only fires when the normal sends were
+	// skipped by the panic), so the send completes even after the select
+	// below has abandoned the attempt, and the goroutine always runs to
+	// completion. Shrinking the buffer or adding a second dynamic send
+	// would turn the abandon path into a permanent goroutine leak.
 	ch := make(chan detectorOutcome, 1)
 	go func() {
 		defer func() {

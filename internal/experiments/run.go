@@ -332,6 +332,9 @@ func RunResilient(ctx context.Context, seed int64, workers int, res core.Resilie
 	var bibRaw, musicRaw *rawRun
 	var bibErr, musicErr error
 	if workers > 1 {
+		// The single Add(2) before both launches is the join proof the
+		// goleak rule checks for: each goroutine's deferred Done pairs
+		// with it, and wg.Wait below observes both exits.
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {

@@ -1,0 +1,814 @@
+package lint
+
+// The interprocedural layer: a static call graph over the type-checked
+// module with per-function summaries, shared by the goleak, lockcheck,
+// and transitive-ctxflow analyzers.
+//
+// Nodes are the module's declared functions and methods plus one node per
+// go-launched function literal (the launched body runs concurrently with
+// its parent, so its effects must not leak into the parent's summary).
+// Function literals that are not launched with `go` are folded into the
+// enclosing node: called synchronously or deferred, their effects happen
+// on the enclosing goroutine.
+//
+// Edges are resolved statically: direct calls and concrete method calls
+// through go/types, interface method calls through class-hierarchy
+// analysis (CHA) restricted to the module's own named types — every
+// in-module type implementing the interface contributes its method as a
+// possible target. Calls through plain function values stay unresolved
+// (no targets), which keeps the analyses sound-for-what-they-claim but
+// incomplete, the usual lint trade-off.
+//
+// Summaries are computed bottom-up over the strongly connected components
+// of the graph (Tarjan, callee-first), so recursion converges:
+//
+//   - blockWitness: one exemplar path from the function to a potentially
+//     blocking operation it can reach synchronously — an unguarded
+//     channel send/receive, a range over a channel, a select without a
+//     ctx/done arm or default, or a known blocking leaf call
+//     (sync.WaitGroup.Wait, network dials, file opens, subprocess waits).
+//     A send on a channel whose make() capacity is a compile-time
+//     constant >= 1 is treated as non-blocking (the "sufficiently
+//     buffered" discipline: at most cap sends per goroutine run), and
+//     every communication inside a select that has a default arm or a
+//     context.Done() arm is considered cancellable.
+//   - acquires: the set of mutexes the function may lock (directly or
+//     via callees), each with the acquisition site and call path — the
+//     input to lockcheck's cross-function lock-order cycle detection.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FuncNode is one function in the call graph: a declared function or
+// method, or a go-launched function literal.
+type FuncNode struct {
+	// Pkg is the package holding the function.
+	Pkg *Package
+	// Obj is the declared function object; nil for go-launched literals.
+	Obj *types.Func
+	// Decl is the declaration; nil for go-launched literals.
+	Decl *ast.FuncDecl
+	// Lit is the launched literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Parent is the enclosing node of a launched literal.
+	Parent *FuncNode
+	// Name is the display name used in witness paths, e.g.
+	// "profile.Profiler.get" or "core.Framework.attemptDetector$1".
+	Name string
+	// HasCtxParam reports a context.Context parameter on the function
+	// itself.
+	HasCtxParam bool
+	// CtxInScope reports a context.Context parameter on the function or
+	// any enclosing function (literals see the parent's ctx).
+	CtxInScope bool
+
+	// Calls are the synchronous call sites in source order.
+	Calls []*CallSite
+	// Gos are the go statements in source order.
+	Gos []*GoSite
+	// Blocking are the direct potentially-blocking operations in source
+	// order, excluding go-launched literal bodies.
+	Blocking []BlockOp
+	// LockOps are the mutex operations in source order.
+	LockOps []LockOp
+	// WgAdds and WgDones are sync.WaitGroup Add/Done sites.
+	WgAdds, WgDones []WgOp
+
+	index    int
+	litCount int
+	witness  *blockWitness
+	acquires map[types.Object]lockTrace
+	bailLock bool // a lock op on an untrackable expression was seen
+}
+
+// CallSite is one resolved synchronous call.
+type CallSite struct {
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Callee is the static callee (possibly an interface method or an
+	// out-of-module function); nil for calls through function values.
+	Callee *types.Func
+	// Targets are the in-module nodes the call may reach (one for static
+	// dispatch, all in-module implementers for an interface call).
+	Targets []*FuncNode
+	// ViaInterface marks a CHA-resolved interface dispatch.
+	ViaInterface bool
+	// PassesCtx reports whether any argument is a context.Context.
+	PassesCtx bool
+	// CtxInScope reports whether the call site has a ctx parameter in
+	// scope (on the enclosing function or an enclosing literal).
+	CtxInScope bool
+}
+
+// GoSite is one go statement.
+type GoSite struct {
+	// Stmt is the go statement.
+	Stmt *ast.GoStmt
+	// Body is the launched literal's node; nil when a named function is
+	// launched.
+	Body *FuncNode
+	// Targets are the launched named function's nodes (static or CHA).
+	Targets []*FuncNode
+}
+
+// BlockOp is one potentially-blocking operation.
+type BlockOp struct {
+	// Pos locates the operation.
+	Pos token.Pos
+	// Desc names it for diagnostics, e.g. `receive on "ch"` or
+	// "sync.WaitGroup.Wait".
+	Desc string
+}
+
+// Lock operation kinds.
+const (
+	opLock = iota
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// LockOp is one mutex operation.
+type LockOp struct {
+	// Pos locates the call.
+	Pos token.Pos
+	// Op is opLock, opUnlock, opRLock, or opRUnlock.
+	Op int
+	// Key identifies the mutex: the variable or field object of the
+	// receiver expression. Locks on untrackable expressions get Key nil.
+	Key types.Object
+	// Expr is the receiver expression rendered for diagnostics ("p.mu").
+	Expr string
+	// Deferred marks ops inside a defer statement (or a deferred
+	// literal).
+	Deferred bool
+}
+
+// WgOp is one sync.WaitGroup Add or Done call.
+type WgOp struct {
+	// Pos locates the call.
+	Pos token.Pos
+	// Obj identifies the WaitGroup variable or field.
+	Obj types.Object
+	// Deferred marks calls made from a defer (the joinable idiom for
+	// Done).
+	Deferred bool
+}
+
+// blockWitness is one path from a function to a blocking operation.
+type blockWitness struct {
+	op   BlockOp
+	path []*FuncNode // the function itself, then callees down to op's owner
+}
+
+// lockTrace records where (and through which calls) a lock is acquired.
+type lockTrace struct {
+	expr string
+	pos  token.Pos
+	path []*FuncNode
+}
+
+// CallGraph is the module-wide graph plus memoized analysis results.
+type CallGraph struct {
+	Fset  *token.FileSet
+	Nodes []*FuncNode
+
+	byObj      map[*types.Func]*FuncNode
+	namedTypes []*types.Named
+
+	lockDone  bool
+	lockDiags []graphDiag
+}
+
+// graphDiag is a diagnostic computed once per graph and emitted by the
+// pass whose package owns it.
+type graphDiag struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// buildCallGraph constructs the graph and its summaries for the given
+// packages (in their given, deterministic order).
+func buildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{Fset: fset, byObj: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok && !types.IsInterface(named) {
+					g.namedTypes = append(g.namedTypes, named)
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				hasCtx := hasContextParam(pkg.Info, fd.Type)
+				n := &FuncNode{
+					Pkg: pkg, Obj: obj, Decl: fd,
+					Name:        declDisplayName(pkg, fd),
+					HasCtxParam: hasCtx, CtxInScope: hasCtx,
+					index: len(g.Nodes),
+				}
+				g.Nodes = append(g.Nodes, n)
+				g.byObj[obj] = n
+			}
+		}
+	}
+	// Scan bodies only after every declared node exists, so call sites
+	// resolve forward references.
+	for _, n := range g.Nodes {
+		if n.Decl != nil {
+			g.scan(n, n.Decl.Body, false)
+		}
+	}
+	g.computeSummaries()
+	return g
+}
+
+// declDisplayName renders "pkg.Func" or "pkg.Type.Method".
+func declDisplayName(pkg *Package, fd *ast.FuncDecl) string {
+	name := pkg.Types.Name() + "."
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name += id.Name + "."
+		}
+	}
+	return name + fd.Name.Name
+}
+
+// scan walks one function body, attributing call sites, go statements,
+// blocking operations, and lock operations to node n. suppressChan marks
+// subtrees (select communication clauses) whose channel operations are
+// accounted to the select itself.
+func (g *CallGraph) scan(n *FuncNode, root ast.Node, suppressChan bool) {
+	g.scanRec(n, root, suppressChan, false)
+}
+
+func (g *CallGraph) scanRec(n *FuncNode, node ast.Node, suppressChan, deferred bool) {
+	if node == nil {
+		return
+	}
+	switch x := node.(type) {
+	case *ast.FuncLit:
+		// Synchronous (or deferred) literal: effects fold into n.
+		g.scanRec(n, x.Body, false, deferred)
+		return
+	case *ast.GoStmt:
+		for _, arg := range x.Call.Args {
+			g.scanRec(n, arg, false, deferred)
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			n.litCount++
+			child := &FuncNode{
+				Pkg: n.Pkg, Lit: lit, Parent: n,
+				Name:        fmt.Sprintf("%s$%d", n.Name, n.litCount),
+				HasCtxParam: hasContextParam(n.Pkg.Info, lit.Type),
+				index:       len(g.Nodes),
+			}
+			child.CtxInScope = child.HasCtxParam || n.CtxInScope
+			g.Nodes = append(g.Nodes, child)
+			n.Gos = append(n.Gos, &GoSite{Stmt: x, Body: child})
+			g.scanRec(child, lit.Body, false, false)
+			return
+		}
+		site := g.resolveCall(n, x.Call)
+		n.Gos = append(n.Gos, &GoSite{Stmt: x, Targets: site.Targets})
+		return
+	case *ast.DeferStmt:
+		for _, arg := range x.Call.Args {
+			g.scanRec(n, arg, false, deferred)
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			g.scanRec(n, lit.Body, false, true)
+			return
+		}
+		g.classifyCall(n, x.Call, true)
+		return
+	case *ast.CallExpr:
+		g.classifyCall(n, x, deferred)
+		for _, child := range childNodes(x) {
+			g.scanRec(n, child, suppressChan, deferred)
+		}
+		return
+	case *ast.SelectStmt:
+		if !selectGuarded(n.Pkg, x) {
+			n.Blocking = append(n.Blocking, BlockOp{Pos: x.Pos(), Desc: "select with no ctx/done arm or default"})
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			g.scanRec(n, cc.Comm, true, deferred)
+			for _, s := range cc.Body {
+				g.scanRec(n, s, false, deferred)
+			}
+		}
+		return
+	case *ast.SendStmt:
+		if !suppressChan && !g.chanConstBuffered(n, x.Chan) {
+			n.Blocking = append(n.Blocking, BlockOp{Pos: x.Pos(), Desc: fmt.Sprintf("send on %q", types.ExprString(x.Chan))})
+		}
+		g.scanRec(n, x.Chan, suppressChan, deferred)
+		g.scanRec(n, x.Value, suppressChan, deferred)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW && !suppressChan {
+			n.Blocking = append(n.Blocking, BlockOp{Pos: x.Pos(), Desc: fmt.Sprintf("receive on %q", types.ExprString(x.X))})
+		}
+		g.scanRec(n, x.X, suppressChan, deferred)
+		return
+	case *ast.RangeStmt:
+		if tv, ok := n.Pkg.Info.Types[x.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				n.Blocking = append(n.Blocking, BlockOp{Pos: x.Pos(), Desc: fmt.Sprintf("range over channel %q", types.ExprString(x.X))})
+			}
+		}
+		for _, child := range childNodes(x) {
+			g.scanRec(n, child, suppressChan, deferred)
+		}
+		return
+	}
+	for _, child := range childNodes(node) {
+		g.scanRec(n, child, suppressChan, deferred)
+	}
+}
+
+// classifyCall records one call expression: mutex op, WaitGroup op,
+// blocking leaf, or resolved call site.
+func (g *CallGraph) classifyCall(n *FuncNode, call *ast.CallExpr, deferred bool) {
+	info := n.Pkg.Info
+	callee := calleeFunc(info, call)
+	if callee != nil {
+		if op, ok := lockOpKind(callee); ok {
+			key, expr := receiverRef(info, call)
+			if key == nil {
+				n.bailLock = true
+			}
+			n.LockOps = append(n.LockOps, LockOp{Pos: call.Pos(), Op: op, Key: key, Expr: expr, Deferred: deferred})
+			return
+		}
+		if isMethodOn(callee, "sync", "WaitGroup") {
+			key, _ := receiverRef(info, call)
+			switch callee.Name() {
+			case "Add":
+				if key != nil {
+					n.WgAdds = append(n.WgAdds, WgOp{Pos: call.Pos(), Obj: key, Deferred: deferred})
+				}
+				return
+			case "Done":
+				if key != nil {
+					n.WgDones = append(n.WgDones, WgOp{Pos: call.Pos(), Obj: key, Deferred: deferred})
+				}
+				return
+			case "Wait":
+				n.Blocking = append(n.Blocking, BlockOp{Pos: call.Pos(), Desc: "sync.WaitGroup.Wait"})
+				return
+			}
+		}
+		if desc, ok := blockingLeaf(callee); ok {
+			n.Blocking = append(n.Blocking, BlockOp{Pos: call.Pos(), Desc: desc})
+			return
+		}
+	}
+	site := g.resolveCall(n, call)
+	if site.Callee != nil || len(site.Targets) > 0 {
+		n.Calls = append(n.Calls, site)
+	}
+}
+
+// resolveCall resolves a call to its in-module targets: the declared
+// function for static dispatch, every in-module implementer's method for
+// an interface dispatch.
+func (g *CallGraph) resolveCall(n *FuncNode, call *ast.CallExpr) *CallSite {
+	info := n.Pkg.Info
+	site := &CallSite{Call: call, Callee: calleeFunc(info, call), CtxInScope: n.CtxInScope}
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			site.PassesCtx = true
+			break
+		}
+	}
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := info.Selections[se]; ok && sel.Kind() == types.MethodVal {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				site.ViaInterface = true
+				site.Targets = g.implementersOf(iface, sel.Obj().(*types.Func))
+				return site
+			}
+		}
+	}
+	if site.Callee != nil {
+		if t, ok := g.byObj[site.Callee]; ok {
+			site.Targets = []*FuncNode{t}
+		}
+	}
+	return site
+}
+
+// implementersOf returns the nodes of method m on every in-module named
+// type implementing iface, in deterministic graph order.
+func (g *CallGraph) implementersOf(iface *types.Interface, m *types.Func) []*FuncNode {
+	var out []*FuncNode
+	seen := make(map[*FuncNode]bool)
+	for _, named := range g.namedTypes {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, m.Pkg(), m.Name())
+		impl, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node, ok := g.byObj[impl]; ok && !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].index < out[j].index })
+	return out
+}
+
+// NodeByObj returns the graph node of a declared function.
+func (g *CallGraph) NodeByObj(f *types.Func) *FuncNode { return g.byObj[f] }
+
+// ---- blocking / lock summaries ----
+
+// computeSummaries fills witness and acquires bottom-up over SCCs.
+func (g *CallGraph) computeSummaries() {
+	for _, scc := range g.sccs() {
+		// Within an SCC iterate to a fixpoint; summaries only grow
+		// monotonically (witness set once, acquires only gain keys), so
+		// len(scc)+1 rounds suffice.
+		for round := 0; round <= len(scc); round++ {
+			changed := false
+			for _, n := range scc {
+				if g.recompute(n) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// recompute refreshes one node's summary from its direct facts and its
+// callees' summaries; it reports whether anything changed.
+func (g *CallGraph) recompute(n *FuncNode) bool {
+	changed := false
+	if n.witness == nil {
+		if len(n.Blocking) > 0 {
+			n.witness = &blockWitness{op: n.Blocking[0], path: []*FuncNode{n}}
+			changed = true
+		} else {
+		search:
+			for _, site := range n.Calls {
+				for _, t := range site.Targets {
+					if t.witness != nil {
+						path := append([]*FuncNode{n}, t.witness.path...)
+						n.witness = &blockWitness{op: t.witness.op, path: path}
+						changed = true
+						break search
+					}
+				}
+			}
+		}
+	}
+	if n.acquires == nil {
+		n.acquires = make(map[types.Object]lockTrace)
+	}
+	for _, op := range n.LockOps {
+		if op.Key == nil || (op.Op != opLock && op.Op != opRLock) {
+			continue
+		}
+		if _, ok := n.acquires[op.Key]; !ok {
+			n.acquires[op.Key] = lockTrace{expr: op.Expr, pos: op.Pos, path: []*FuncNode{n}}
+			changed = true
+		}
+	}
+	for _, site := range n.Calls {
+		for _, t := range site.Targets {
+			for _, key := range sortedLockKeys(t.acquires) {
+				if _, ok := n.acquires[key]; !ok {
+					tr := t.acquires[key]
+					n.acquires[key] = lockTrace{expr: tr.expr, pos: tr.pos, path: append([]*FuncNode{n}, tr.path...)}
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// sortedLockKeys returns the map's keys ordered by declaration position,
+// so summary propagation and diagnostics are deterministic.
+func sortedLockKeys(m map[types.Object]lockTrace) []types.Object {
+	keys := make([]types.Object, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Pos() < keys[j].Pos() })
+	return keys
+}
+
+// sccs returns the graph's strongly connected components, callees first
+// (Tarjan's order), so summaries can be computed bottom-up.
+func (g *CallGraph) sccs() [][]*FuncNode {
+	n := len(g.Nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var out [][]*FuncNode
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, site := range g.Nodes[v].Calls {
+			for _, t := range site.Targets {
+				w := t.index
+				if index[w] < 0 {
+					strong(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, g.Nodes[w])
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// witnessString renders a blocking witness as the interprocedural path
+// "A → B → C → <op> at file:line" (file names shortened to their base so
+// diagnostics stay machine-independent).
+func (g *CallGraph) witnessString(w *blockWitness) string {
+	parts := make([]string, 0, len(w.path)+1)
+	for _, n := range w.path {
+		parts = append(parts, n.Name)
+	}
+	p := g.Fset.Position(w.op.Pos)
+	parts = append(parts, fmt.Sprintf("%s at %s:%d", w.op.Desc, filepath.Base(p.Filename), p.Line))
+	return strings.Join(parts, " → ")
+}
+
+// ---- classification helpers ----
+
+// lockOpKind reports whether f is a sync.Mutex / sync.RWMutex lock
+// operation and which one.
+func lockOpKind(f *types.Func) (int, bool) {
+	if !isMethodOn(f, "sync", "Mutex") && !isMethodOn(f, "sync", "RWMutex") {
+		return 0, false
+	}
+	switch f.Name() {
+	case "Lock":
+		return opLock, true
+	case "Unlock":
+		return opUnlock, true
+	case "RLock":
+		return opRLock, true
+	case "RUnlock":
+		return opRUnlock, true
+	}
+	return 0, false
+}
+
+// isMethodOn reports whether f is a method whose receiver's named type is
+// pkgPath.typeName (through a pointer or not, including promotion from an
+// embedded field).
+func isMethodOn(f *types.Func, pkgPath, typeName string) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// receiverRef resolves the receiver expression of a method call
+// ("p.mu.Lock()" → the mu field object) to the variable or field object
+// identifying the instance-independent lock, plus its rendering.
+func receiverRef(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	recv := ast.Unparen(se.X)
+	return refObject(info, recv), types.ExprString(recv)
+}
+
+// refObject resolves an identifier or field selection to its object.
+func refObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return obj
+		}
+	case *ast.StarExpr:
+		return refObject(info, e.X)
+	}
+	return nil
+}
+
+// blockingLeaf classifies calls into the standard library that block
+// indefinitely (or for I/O): the leaves of the ctxflow/goleak
+// reachability analyses. The table is representative, not exhaustive —
+// extend it alongside new dependencies.
+func blockingLeaf(f *types.Func) (string, bool) {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		for _, m := range [...]struct{ pkg, typ, name, desc string }{
+			{"sync", "Cond", "Wait", "sync.Cond.Wait"},
+			{"net/http", "Client", "Do", "net/http.Client.Do"},
+			{"os/exec", "Cmd", "Run", "os/exec.Cmd.Run"},
+			{"os/exec", "Cmd", "Wait", "os/exec.Cmd.Wait"},
+			{"os/exec", "Cmd", "Output", "os/exec.Cmd.Output"},
+			{"os/exec", "Cmd", "CombinedOutput", "os/exec.Cmd.CombinedOutput"},
+		} {
+			if f.Name() == m.name && isMethodOn(f, m.pkg, m.typ) {
+				return m.desc, true
+			}
+		}
+		return "", false
+	}
+	pkg := funcPkgPath(f)
+	for _, fn := range [...]struct{ pkg, name string }{
+		{"os", "Open"}, {"os", "OpenFile"}, {"os", "Create"},
+		{"os", "ReadFile"}, {"os", "WriteFile"},
+		{"io", "ReadAll"},
+		{"net", "Dial"}, {"net", "DialTimeout"}, {"net", "Listen"},
+		{"net/http", "Get"}, {"net/http", "Post"}, {"net/http", "PostForm"}, {"net/http", "Head"},
+	} {
+		if pkg == fn.pkg && f.Name() == fn.name {
+			return pkg + "." + f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// selectGuarded reports whether a select statement can always make
+// progress or be cancelled: it has a default arm or an arm receiving from
+// a context.Context.Done() channel.
+func selectGuarded(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default arm
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			continue
+		}
+		call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if f := calleeFunc(pkg.Info, call); f != nil && f.Name() == "Done" && funcPkgPath(f) == "context" {
+			return true
+		}
+	}
+	return false
+}
+
+// chanConstBuffered reports whether the channel expression resolves to a
+// variable assigned exactly once in the enclosing declared function, from
+// make(chan T, n) with a constant capacity n >= 1.
+func (g *CallGraph) chanConstBuffered(n *FuncNode, ch ast.Expr) bool {
+	obj := refObject(n.Pkg.Info, ch)
+	if obj == nil {
+		return false
+	}
+	root := n
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	if root.Decl == nil {
+		return false
+	}
+	info := n.Pkg.Info
+	buffered := false
+	assigned := 0
+	ast.Inspect(root.Decl, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+					continue
+				}
+				assigned++
+				if len(x.Rhs) == len(x.Lhs) && isBufferedMake(info, x.Rhs[i]) {
+					buffered = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range x.Names {
+				if info.Defs[id] != obj {
+					continue
+				}
+				if len(x.Values) == 0 {
+					continue
+				}
+				assigned++
+				if len(x.Values) == len(x.Names) && isBufferedMake(info, x.Values[i]) {
+					buffered = true
+				}
+			}
+		}
+		return true
+	})
+	return buffered && assigned == 1
+}
+
+// isBufferedMake reports make(chan T, n) with constant n >= 1.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || info.Uses[id] != types.Universe.Lookup("make") {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v >= 1
+}

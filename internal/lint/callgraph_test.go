@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// corpusGraph builds a call graph over the named corpus packages.
+func corpusGraph(t *testing.T, suffixes ...string) *CallGraph {
+	t.Helper()
+	mod := loadWithCorpus(t)
+	var pkgs []*Package
+	for _, pkg := range mod.Pkgs {
+		for _, suf := range suffixes {
+			if strings.HasSuffix(pkg.Path, suf) {
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+	if len(pkgs) != len(suffixes) {
+		t.Fatalf("found %d of %d corpus packages", len(pkgs), len(suffixes))
+	}
+	return buildCallGraph(mod.Fset, pkgs)
+}
+
+func findNode(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+// TestCallGraphInterfaceResolution pins the class-hierarchy analysis: a
+// go statement launching an interface method resolves to the method of
+// every in-module type implementing the interface.
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	g := corpusGraph(t, "/testdata/src/goleak")
+	dispatch := findNode(t, g, "goleak.Dispatch")
+	if len(dispatch.Gos) != 1 {
+		t.Fatalf("Dispatch has %d go sites, want 1", len(dispatch.Gos))
+	}
+	var got []string
+	for _, target := range dispatch.Gos[0].Targets {
+		got = append(got, target.Name)
+	}
+	sort.Strings(got)
+	want := []string{"goleak.chanWorker.run", "goleak.nopWorker.run"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("interface launch resolved to %v, want %v", got, want)
+	}
+}
+
+// TestCallGraphBlockingWitness pins the bottom-up summary: a function
+// whose only blocking operation sits two call hops down still carries a
+// witness path to it, and the path lists every hop.
+func TestCallGraphBlockingWitness(t *testing.T) {
+	g := corpusGraph(t, "/testdata/src/ctxflow")
+	indirect := findNode(t, g, "ctxflow.indirect")
+	if indirect.witness == nil {
+		t.Fatal("ctxflow.indirect has no blocking witness; expected the transitive wg.Wait")
+	}
+	ws := g.witnessString(indirect.witness)
+	for _, part := range []string{"ctxflow.indirect", "ctxflow.WaitAll", "sync.WaitGroup.Wait"} {
+		if !strings.Contains(ws, part) {
+			t.Errorf("witness %q misses %q", ws, part)
+		}
+	}
+}
+
+// TestCallGraphBufferedSendIsNonBlocking pins the sufficiently-buffered
+// heuristic: a goroutine whose only channel operation is a send into a
+// constant-capacity >= 1 channel has no blocking witness.
+func TestCallGraphBufferedSendIsNonBlocking(t *testing.T) {
+	g := corpusGraph(t, "/testdata/src/goleak")
+	buffered := findNode(t, g, "goleak.Buffered$1")
+	if buffered.witness != nil {
+		t.Errorf("buffered-send goroutine has witness %q, want none", g.witnessString(buffered.witness))
+	}
+	forget := findNode(t, g, "goleak.Forget$1")
+	if forget.witness == nil {
+		t.Error("unbuffered-send goroutine has no witness, want one")
+	}
+}
+
+// TestCallGraphWaitGroupPairs pins the wg Add/Done bookkeeping behind
+// goleak's join proof.
+func TestCallGraphWaitGroupPairs(t *testing.T) {
+	g := corpusGraph(t, "/testdata/src/goleak")
+	joined := findNode(t, g, "goleak.Joined")
+	if len(joined.WgAdds) != 1 {
+		t.Fatalf("Joined has %d WaitGroup Adds, want 1", len(joined.WgAdds))
+	}
+	body := findNode(t, g, "goleak.Joined$1")
+	if len(body.WgDones) != 1 || !body.WgDones[0].Deferred {
+		t.Fatalf("Joined's goroutine: WgDones=%v, want one deferred Done", body.WgDones)
+	}
+	if body.WgDones[0].Obj != joined.WgAdds[0].Obj {
+		t.Error("Add and Done resolve to different WaitGroup objects")
+	}
+}

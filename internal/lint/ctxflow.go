@@ -13,6 +13,13 @@ package lint
 //     documented pattern `func F(...) { return FContext(context.
 //     Background(), ...) }`).
 //
+//   - v2, transitive: with the call graph (callgraph.go), an in-scope ctx
+//     must reach every *blocking* leaf — a call that drops the ctx is
+//     reported not just at module boundaries but whenever the callee (or
+//     anything it reaches) can block and a Context variant exists to
+//     call instead. The diagnostic carries the interprocedural witness
+//     path to the blocking operation.
+//
 // Test files are not loaded by the linter, so tests are implicitly
 // allowed to use Background/TODO.
 
@@ -51,6 +58,77 @@ func runCtxflow(pass *Pass) {
 			checkPlainVariantCall(pass, call, callee, stack)
 		})
 	}
+	runCtxflowTransitive(pass)
+}
+
+// runCtxflowTransitive is the v2 rule: for every call site with a ctx in
+// scope that does not forward it, if the callee can reach a blocking
+// operation through the call graph and a Context variant exists, the
+// plain call silently severs cancellation from that blocking op.
+func runCtxflowTransitive(pass *Pass) {
+	for _, n := range pass.Graph.Nodes {
+		if n.Pkg != pass.Pkg || !n.CtxInScope {
+			continue
+		}
+		for _, site := range n.Calls {
+			if site.PassesCtx {
+				continue
+			}
+			checkTransitiveSite(pass, n, site)
+		}
+	}
+}
+
+// checkTransitiveSite reports (at most once) a ctx-dropping call whose
+// target transitively blocks.
+func checkTransitiveSite(pass *Pass, n *FuncNode, site *CallSite) {
+	callee := site.Callee
+	if callee == nil {
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && firstParamIsContext(sig) {
+		// The ctx slot is filled by something else (Background is
+		// checkBackground's concern, a different ctx is fine).
+		return
+	}
+	if coveredByFirstHop(pass, callee) {
+		return // the first-hop rule already reports this exact call
+	}
+	for _, t := range site.Targets {
+		if t == n || t.witness == nil {
+			continue
+		}
+		variant := contextVariant(callee)
+		if variant == nil && t.Obj != nil {
+			variant = contextVariant(t.Obj) // interface call: variant on the implementer
+		}
+		if variant == nil {
+			continue // nothing better to call; not actionable
+		}
+		pass.Reportf(site.Call.Pos(),
+			"call to %s drops the in-scope ctx before a blocking operation (%s); call %s and pass the ctx",
+			callee.Name(), pass.Graph.witnessString(t.witness), variant.Name())
+		return
+	}
+}
+
+// coveredByFirstHop mirrors checkPlainVariantCall's conditions, so the
+// transitive rule never duplicates a first-hop diagnostic.
+func coveredByFirstHop(pass *Pass, callee *types.Func) bool {
+	if !callee.Exported() {
+		return false
+	}
+	calleePkg := funcPkgPath(callee)
+	if calleePkg == pass.Pkg.Path || !isInternalEfesPackage(pass.Pkg, calleePkg) {
+		return false
+	}
+	if !ctxflowPackages[lastPathElement(calleePkg)] {
+		return false
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && firstParamIsContext(sig) {
+		return false
+	}
+	return contextVariant(callee) != nil
 }
 
 // checkBackground flags context.Background()/TODO() outside package main

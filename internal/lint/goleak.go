@@ -1,0 +1,96 @@
+package lint
+
+// goleak: goroutine-leak guard. The concurrency layer (DESIGN.md §6–7)
+// leans on goroutines for the profiler worker pool, the parallel
+// evaluation grid, and the resilient detector attempts; a goroutine with
+// no join-or-cancel path outlives its purpose silently — leaked memory
+// under load at best, a deadlocked Wait at worst. Every `go` statement
+// must therefore carry a static proof of termination or joinability:
+//
+//   - a matched WaitGroup pair — `wg.Add` in the launcher before the go
+//     statement and `defer wg.Done()` in the launched body — so some
+//     caller's Wait observes the exit; or
+//   - no potentially-blocking operation reachable in the body at all
+//     (interprocedurally, through the call graph): every channel send is
+//     on a sufficiently-buffered channel, every receive/send sits in a
+//     select with a ctx/done arm or default, and no known blocking leaf
+//     (WaitGroup.Wait, network dial, file open, subprocess wait) is
+//     reached — such a body always runs to completion.
+//
+// Anything else is reported with the interprocedural witness path to the
+// first blocking operation the body can reach. Launches of functions the
+// call graph cannot resolve (function values, out-of-module callees) are
+// not reported: no proof either way.
+
+var analyzerGoleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement needs a join-or-cancel path (WaitGroup pair, buffered send, ctx-guarded ops)",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *Pass) {
+	for _, n := range pass.Graph.Nodes {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		for _, site := range n.Gos {
+			checkGoSite(pass, n, site)
+		}
+	}
+}
+
+// checkGoSite verifies one go statement's join-or-cancel proof.
+func checkGoSite(pass *Pass, launcher *FuncNode, site *GoSite) {
+	if site.Body != nil {
+		if hasWgPair(launcher, site, site.Body) || site.Body.witness == nil {
+			return
+		}
+		pass.Reportf(site.Stmt.Pos(),
+			"goroutine has no join-or-cancel path; it can block at %s — add a WaitGroup.Add/defer Done pair, buffer the channel, or select on ctx.Done()",
+			pass.Graph.witnessString(site.Body.witness))
+		return
+	}
+	// A named function (or method) is launched. Unresolvable launches
+	// carry no proof obligation we can check.
+	for _, t := range site.Targets {
+		if hasWgPair(launcher, site, t) || t.witness == nil {
+			continue
+		}
+		pass.Reportf(site.Stmt.Pos(),
+			"goroutine launching %s has no join-or-cancel path; it can block at %s — add a WaitGroup.Add/defer Done pair or a ctx-guarded select",
+			t.Name, pass.Graph.witnessString(t.witness))
+	}
+}
+
+// hasWgPair reports the matched-WaitGroup idiom: an Add on some WaitGroup
+// in the launcher before the go statement, and a deferred Done in the
+// launched body on the same WaitGroup. An Add of any constant (wg.Add(2)
+// covering two launches) counts. For launched named functions the
+// WaitGroup usually arrives as a parameter, so a deferred Done on any
+// WaitGroup is accepted there.
+func hasWgPair(launcher *FuncNode, site *GoSite, body *FuncNode) bool {
+	added := make(map[any]bool)
+	anyAdd := false
+	for l := launcher; l != nil; l = l.Parent {
+		for _, add := range l.WgAdds {
+			if add.Pos < site.Stmt.Pos() {
+				added[add.Obj] = true
+				anyAdd = true
+			}
+		}
+	}
+	for _, done := range body.WgDones {
+		if !done.Deferred {
+			continue
+		}
+		if added[done.Obj] {
+			return true
+		}
+		if body.Lit == nil && anyAdd {
+			// Named launch: the body's WaitGroup object is its own
+			// parameter or field, not the launcher's variable.
+			return true
+		}
+	}
+	return false
+}

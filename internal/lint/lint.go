@@ -57,6 +57,9 @@ type Pass struct {
 	Fset *token.FileSet
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Graph is the interprocedural call graph over every package of the
+	// run (callgraph.go), shared by goleak, lockcheck, and ctxflow v2.
+	Graph *CallGraph
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
@@ -78,6 +81,8 @@ func Analyzers() []*Analyzer {
 		analyzerDetorder,
 		analyzerErrcache,
 		analyzerFaultpoint,
+		analyzerGoleak,
+		analyzerLockcheck,
 		analyzerNonewtime,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
@@ -98,10 +103,14 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 // surviving (unsuppressed) diagnostics sorted by position, with file
 // names relative to relTo when possible.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, relTo string) []Diagnostic {
+	// The call graph spans every package of the run, so interprocedural
+	// witnesses cross package boundaries; analyses over a package subset
+	// (the corpus self-test) simply see a subset graph.
+	graph := buildCallGraph(fset, pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Fset: fset, Pkg: pkg, analyzer: a, diags: &diags})
+			a.Run(&Pass{Fset: fset, Pkg: pkg, Graph: graph, analyzer: a, diags: &diags})
 		}
 		diags = append(diags, checkIgnoreDirectives(fset, pkg)...)
 	}

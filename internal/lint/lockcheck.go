@@ -1,0 +1,819 @@
+package lint
+
+// lockcheck: lock-discipline guard. The profiler cache and the fault
+// registry guard shared state with sync.Mutex/RWMutex; a lock leaked on
+// one early-return path or an inconsistent acquisition order across
+// goroutines is exactly the class of bug the race detector only finds
+// when the scheduler cooperates. Three checks:
+//
+//   - pairing: a path-sensitive walk of every function proves each
+//     Lock/RLock is released on every path (directly or by a registered
+//     defer), flags Unlock without a matching Lock, and flags a second
+//     Lock of a mutex already held (self-deadlock);
+//   - copies: a mutex must never be copied — value receivers, by-value
+//     parameters, and assignments that copy a lock-containing value are
+//     reported (locks protect the original, the copy guards nothing);
+//   - ordering: using the call graph's transitive acquisition summaries,
+//     a global lock-order graph is built (lock A held while B is
+//     acquired, directly or through callees) and every cycle is reported
+//     as a potential deadlock with the full witness path.
+//
+// The pairing walk is an abstract interpretation over lock-hold states:
+// branches fork the state, merges deduplicate, loops are unrolled twice,
+// and functions using goto, labeled branches, or locks on untrackable
+// expressions are skipped (no proof either way). The state count per
+// function is capped; beyond the cap extra paths are dropped.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var analyzerLockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "locks released on all paths, never copied, and acquired in a consistent global order",
+	Run:  runLockcheck,
+}
+
+func runLockcheck(pass *Pass) {
+	for _, n := range pass.Graph.Nodes {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		checkLockPairing(pass, n)
+	}
+	for _, f := range pass.Pkg.Files {
+		checkLockCopies(pass, f)
+	}
+	for _, d := range pass.Graph.lockOrderDiags() {
+		if d.pkg == pass.Pkg {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+// ---- pairing: path-sensitive hold-state interpretation ----
+
+// maxLockStates bounds the abstract states tracked per function.
+const maxLockStates = 64
+
+// lkKey identifies one abstract lock: the mutex variable/field object and
+// whether the read side (RLock) is meant.
+type lkKey struct {
+	obj  types.Object
+	read bool
+}
+
+// heldInfo describes one held lock: how often, where first acquired, and
+// the receiver rendering for diagnostics.
+type heldInfo struct {
+	count int
+	pos   token.Pos
+	expr  string
+}
+
+// lkState is one abstract execution state: the held locks and the
+// deferred lock operations registered so far (applied at function exit).
+type lkState struct {
+	held   map[lkKey]heldInfo
+	defers []LockOp
+}
+
+func (s lkState) clone() lkState {
+	held := make(map[lkKey]heldInfo, len(s.held))
+	for k, v := range s.held {
+		held[k] = v
+	}
+	return lkState{held: held, defers: append([]LockOp(nil), s.defers...)}
+}
+
+// sig renders a canonical signature for state deduplication.
+func (s lkState) sig() string {
+	keys := make([]lkKey, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].obj.Pos() != keys[j].obj.Pos() {
+			return keys[i].obj.Pos() < keys[j].obj.Pos()
+		}
+		return !keys[i].read && keys[j].read
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:%t:%d|", k.obj.Pos(), k.read, s.held[k].count)
+	}
+	b.WriteByte('#')
+	for _, d := range s.defers {
+		fmt.Fprintf(&b, "%d:%d|", d.Op, d.Pos)
+	}
+	return b.String()
+}
+
+// flowOut is the outcome of interpreting a statement sequence: states
+// that fell through, broke out, or continued.
+type flowOut struct {
+	fall, brk, cont []lkState
+}
+
+// lockInterp is the per-function interpreter.
+type lockInterp struct {
+	pass     *Pass
+	node     *FuncNode
+	bailed   bool
+	reported map[string]bool
+}
+
+// checkLockPairing interprets one function body.
+func checkLockPairing(pass *Pass, n *FuncNode) {
+	var body *ast.BlockStmt
+	switch {
+	case n.Decl != nil:
+		body = n.Decl.Body
+	case n.Lit != nil:
+		body = n.Lit.Body
+	}
+	if body == nil || len(n.LockOps) == 0 {
+		return
+	}
+	if n.bailLock {
+		return // a lock on an untrackable expression: no proof either way
+	}
+	it := &lockInterp{pass: pass, node: n, reported: make(map[string]bool)}
+	out := it.execStmts(body.List, []lkState{{held: map[lkKey]heldInfo{}}})
+	if it.bailed {
+		return
+	}
+	for _, s := range out.fall {
+		it.finalize(s, body.End())
+	}
+}
+
+// reportOnce emits a diagnostic once per (position, message).
+func (it *lockInterp) reportOnce(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if it.reported[key] {
+		return
+	}
+	it.reported[key] = true
+	it.pass.Reportf(pos, "%s", msg)
+}
+
+// finalize checks one state at a function exit: deferred operations run
+// (in reverse registration order), then nothing may remain held.
+func (it *lockInterp) finalize(s lkState, exit token.Pos) {
+	if it.bailed {
+		return
+	}
+	final := s.clone()
+	for i := len(final.defers) - 1; i >= 0; i-- {
+		it.apply(&final, final.defers[i], true)
+	}
+	keys := make([]lkKey, 0, len(final.held))
+	for k := range final.held {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return final.held[keys[i]].pos < final.held[keys[j]].pos })
+	p := it.pass.Fset.Position(exit)
+	for _, k := range keys {
+		h := final.held[k]
+		it.reportOnce(h.pos, "%s locked here is not released on every path (still held at exit at %s:%d); unlock before returning or use defer",
+			lockName(h.expr, k.read), filepath.Base(p.Filename), p.Line)
+	}
+}
+
+// lockName renders "p.mu" or "p.mu (read)" for diagnostics.
+func lockName(expr string, read bool) string {
+	if read {
+		return expr + " (read)"
+	}
+	return expr
+}
+
+// apply executes one lock operation on a state. atExit suppresses the
+// unlock-without-lock report for deferred operations (a deferred unlock
+// of a conditionally-held lock is a runtime concern the pairing check
+// cannot decide).
+func (it *lockInterp) apply(s *lkState, op LockOp, atExit bool) {
+	key := lkKey{obj: op.Key, read: op.Op == opRLock || op.Op == opRUnlock}
+	switch op.Op {
+	case opLock, opRLock:
+		if op.Op == opLock {
+			if h, ok := s.held[lkKey{obj: op.Key}]; ok && h.count > 0 {
+				it.reportOnce(op.Pos, "%s.Lock while already holding it (self-deadlock); release it first", op.Expr)
+			} else if h, ok := s.held[lkKey{obj: op.Key, read: true}]; ok && h.count > 0 {
+				it.reportOnce(op.Pos, "%s.Lock while holding its read lock (self-deadlock); RUnlock first", op.Expr)
+			}
+		}
+		h := s.held[key]
+		if h.count == 0 {
+			h.pos, h.expr = op.Pos, op.Expr
+		}
+		h.count++
+		s.held[key] = h
+	case opUnlock, opRUnlock:
+		h := s.held[key]
+		if h.count == 0 {
+			if !atExit {
+				it.reportOnce(op.Pos, "%s.%s without a matching %s on this path", op.Expr, unlockVerb(op.Op), lockVerb(op.Op))
+			}
+			return
+		}
+		h.count--
+		if h.count == 0 {
+			delete(s.held, key)
+		} else {
+			s.held[key] = h
+		}
+	}
+}
+
+func unlockVerb(op int) string {
+	if op == opRUnlock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func lockVerb(op int) string {
+	if op == opRUnlock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// capStates deduplicates states by signature and truncates to the budget.
+func capStates(states []lkState) []lkState {
+	seen := make(map[string]bool, len(states))
+	out := states[:0]
+	for _, s := range states {
+		sig := s.sig()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, s)
+		if len(out) >= maxLockStates {
+			break
+		}
+	}
+	return out
+}
+
+func cloneAll(states []lkState) []lkState {
+	out := make([]lkState, len(states))
+	for i, s := range states {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+// execStmts interprets a statement list over the incoming states.
+func (it *lockInterp) execStmts(list []ast.Stmt, in []lkState) flowOut {
+	cur := in
+	var out flowOut
+	for _, s := range list {
+		if it.bailed || len(cur) == 0 {
+			break
+		}
+		r := it.execStmt(s, cur)
+		out.brk = append(out.brk, r.brk...)
+		out.cont = append(out.cont, r.cont...)
+		cur = capStates(r.fall)
+	}
+	out.fall = cur
+	return out
+}
+
+// execStmt interprets one statement.
+func (it *lockInterp) execStmt(stmt ast.Stmt, in []lkState) flowOut {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		it.applyStmtLocks(in, s)
+		for _, st := range in {
+			it.finalize(st, s.Pos())
+		}
+		return flowOut{}
+	case *ast.BranchStmt:
+		if s.Label != nil || s.Tok == token.GOTO {
+			it.bailed = true
+			return flowOut{}
+		}
+		switch s.Tok {
+		case token.BREAK:
+			return flowOut{brk: in}
+		case token.CONTINUE:
+			return flowOut{cont: in}
+		}
+		return flowOut{fall: in} // fallthrough: approximated as fall
+	case *ast.DeferStmt:
+		it.registerDefer(in, s)
+		return flowOut{fall: in}
+	case *ast.GoStmt:
+		return flowOut{fall: in} // launched body is its own node
+	case *ast.BlockStmt:
+		return it.execStmts(s.List, in)
+	case *ast.LabeledStmt:
+		return it.execStmt(s.Stmt, in)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			it.applyStmtLocks(in, s.Init)
+		}
+		it.applyExprLocks(in, s.Cond)
+		thenOut := it.execStmts(s.Body.List, cloneAll(in))
+		var elseOut flowOut
+		if s.Else != nil {
+			elseOut = it.execStmt(s.Else, cloneAll(in))
+		} else {
+			elseOut = flowOut{fall: in}
+		}
+		return joinOuts(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			it.applyStmtLocks(in, s.Init)
+		}
+		return it.execLoop(s.Body, in, s.Cond != nil)
+	case *ast.RangeStmt:
+		return it.execLoop(s.Body, in, true)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			it.applyStmtLocks(in, s.Init)
+		}
+		return it.execClauses(s.Body, in, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			it.applyStmtLocks(in, s.Init)
+		}
+		return it.execClauses(s.Body, in, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		// Exactly one arm runs (a select never falls through past all
+		// arms), so the incoming states join only through the clauses.
+		if len(s.Body.List) == 0 {
+			return flowOut{fall: in}
+		}
+		return it.execClauses(s.Body, in, true)
+	default:
+		it.applyStmtLocks(in, stmt)
+		return flowOut{fall: in}
+	}
+}
+
+// execLoop interprets a loop body by unrolling it twice; mayskip adds the
+// zero-iteration path.
+func (it *lockInterp) execLoop(body *ast.BlockStmt, in []lkState, mayskip bool) flowOut {
+	var fall []lkState
+	if mayskip {
+		fall = append(fall, cloneAll(in)...)
+	}
+	r1 := it.execStmts(body.List, cloneAll(in))
+	after1 := append(append([]lkState{}, r1.fall...), r1.cont...)
+	fall = append(fall, after1...)
+	fall = append(fall, r1.brk...)
+	r2 := it.execStmts(body.List, cloneAll(capStates(after1)))
+	fall = append(fall, r2.fall...)
+	fall = append(fall, r2.cont...)
+	fall = append(fall, r2.brk...)
+	return flowOut{fall: capStates(fall)}
+}
+
+// execClauses interprets switch/select clause bodies. A break inside a
+// clause exits the statement, so clause brk joins fall. When the clause
+// set is not exhaustive (no default), the incoming states fall through
+// unchanged as well.
+func (it *lockInterp) execClauses(body *ast.BlockStmt, in []lkState, exhaustive bool) flowOut {
+	var out flowOut
+	if !exhaustive {
+		out.fall = append(out.fall, cloneAll(in)...)
+	}
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				it.applyStmtLocks(in, cc.Comm)
+			}
+			list = cc.Body
+		}
+		r := it.execStmts(list, cloneAll(in))
+		out.fall = append(out.fall, r.fall...)
+		out.fall = append(out.fall, r.brk...)
+		out.cont = append(out.cont, r.cont...)
+	}
+	out.fall = capStates(out.fall)
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func joinOuts(a, b flowOut) flowOut {
+	return flowOut{
+		fall: capStates(append(a.fall, b.fall...)),
+		brk:  append(a.brk, b.brk...),
+		cont: append(a.cont, b.cont...),
+	}
+}
+
+// registerDefer records the lock operations a defer statement will run at
+// function exit (a direct deferred call or the ops of a deferred
+// literal's body, in order).
+func (it *lockInterp) registerDefer(states []lkState, s *ast.DeferStmt) {
+	var ops []LockOp
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ops = it.collectLockOps(lit.Body)
+	} else if op, ok := it.lockOpOf(s.Call); ok {
+		ops = []LockOp{op}
+	}
+	for i := range states {
+		states[i].defers = append(states[i].defers, ops...)
+	}
+}
+
+// applyStmtLocks applies, in source order, the lock operations appearing
+// anywhere inside a statement (assignments, conditions, send values…),
+// excluding nested function literals and go/defer statements.
+func (it *lockInterp) applyStmtLocks(states []lkState, stmt ast.Stmt) {
+	for _, op := range it.collectLockOps(stmt) {
+		for i := range states {
+			it.apply(&states[i], op, false)
+		}
+	}
+}
+
+func (it *lockInterp) applyExprLocks(states []lkState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	for _, op := range it.collectLockOps(e) {
+		for i := range states {
+			it.apply(&states[i], op, false)
+		}
+	}
+}
+
+// collectLockOps gathers the lock operations in a subtree in source
+// order, not descending into function literals or go/defer statements.
+func (it *lockInterp) collectLockOps(root ast.Node) []LockOp {
+	var ops []LockOp
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := it.lockOpOf(x); ok {
+				ops = append(ops, op)
+				return false
+			}
+		}
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Pos < ops[j].Pos })
+	return ops
+}
+
+// lockOpOf classifies one call as a lock operation.
+func (it *lockInterp) lockOpOf(call *ast.CallExpr) (LockOp, bool) {
+	callee := calleeFunc(it.pass.Pkg.Info, call)
+	if callee == nil {
+		return LockOp{}, false
+	}
+	op, ok := lockOpKind(callee)
+	if !ok {
+		return LockOp{}, false
+	}
+	key, expr := receiverRef(it.pass.Pkg.Info, call)
+	if key == nil {
+		it.bailed = true
+		return LockOp{}, false
+	}
+	return LockOp{Pos: call.Pos(), Op: op, Key: key, Expr: expr}, true
+}
+
+// ---- copies: a lock must never travel by value ----
+
+// checkLockCopies reports value receivers, by-value parameters, and
+// copying assignments involving lock-containing types.
+func checkLockCopies(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Recv != nil {
+				checkByValueFields(pass, x.Recv, "receiver")
+			}
+			if x.Type.Params != nil {
+				checkByValueFields(pass, x.Type.Params, "parameter")
+			}
+		case *ast.FuncLit:
+			if x.Type.Params != nil {
+				checkByValueFields(pass, x.Type.Params, "parameter")
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for _, rhs := range x.Rhs {
+				if !copiesValue(rhs) {
+					continue
+				}
+				tv, ok := info.Types[rhs]
+				if !ok || !containsLock(tv.Type, nil) {
+					continue
+				}
+				pass.Reportf(x.Pos(), "assignment copies %s, which contains a lock; locks protect the original, the copy guards nothing — keep a pointer instead",
+					types.ExprString(rhs))
+			}
+		}
+		return true
+	})
+}
+
+// checkByValueFields reports lock-containing non-pointer receiver or
+// parameter types.
+func checkByValueFields(pass *Pass, fields *ast.FieldList, kind string) {
+	info := pass.Pkg.Info
+	for _, field := range fields.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if !containsLock(tv.Type, nil) {
+			continue
+		}
+		pass.Reportf(field.Pos(), "%s of type %s is passed by value but contains a lock; use a pointer", kind, tv.Type.String())
+	}
+}
+
+// copiesValue reports expressions that copy an existing value (as opposed
+// to creating a fresh one or taking an address).
+func copiesValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// containsLock reports whether a type embeds (transitively, through
+// structs, arrays, and named types) one of sync's lock-bearing types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// ---- ordering: global lock-order cycle detection ----
+
+// lockEdge records "from held while to acquired" with its witness.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
+	pkg      *Package
+	render   string
+}
+
+// edgeKey identifies one lock-order edge.
+type edgeKey struct{ from, to types.Object }
+
+// lockOrderDiags computes (once per graph) the lock-order cycles and
+// returns them as package-attributed diagnostics.
+func (g *CallGraph) lockOrderDiags() []graphDiag {
+	if g.lockDone {
+		return g.lockDiags
+	}
+	g.lockDone = true
+
+	edges := make(map[edgeKey]lockEdge)
+	var order []edgeKey
+	addEdge := func(e lockEdge) {
+		k := edgeKey{e.from, e.to}
+		if _, ok := edges[k]; ok {
+			return
+		}
+		edges[k] = e
+		order = append(order, k)
+	}
+
+	for _, n := range g.Nodes {
+		g.collectOrderEdges(n, addEdge)
+	}
+
+	// Build the adjacency over lock objects and find its SCCs; any SCC
+	// with two or more locks holds at least one acquisition-order cycle.
+	diags := g.cyclesFromEdges(edges, order)
+	g.lockDiags = diags
+	return diags
+}
+
+// collectOrderEdges replays one function's lock operations and call sites
+// in source order, flow-insensitively, recording which locks are held
+// when another is acquired (directly or transitively through a callee).
+func (g *CallGraph) collectOrderEdges(n *FuncNode, addEdge func(lockEdge)) {
+	type item struct {
+		pos  token.Pos
+		op   *LockOp
+		site *CallSite
+	}
+	items := make([]item, 0, len(n.LockOps)+len(n.Calls))
+	for i := range n.LockOps {
+		items = append(items, item{pos: n.LockOps[i].Pos, op: &n.LockOps[i]})
+	}
+	for _, site := range n.Calls {
+		items = append(items, item{pos: site.Call.Pos(), site: site})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].pos < items[j].pos })
+
+	type heldLock struct {
+		key  types.Object
+		expr string
+	}
+	var held []heldLock
+	posStr := func(p token.Pos) string {
+		pp := g.Fset.Position(p)
+		return fmt.Sprintf("%s:%d", filepath.Base(pp.Filename), pp.Line)
+	}
+	for _, ite := range items {
+		switch {
+		case ite.op != nil:
+			op := ite.op
+			if op.Key == nil || op.Deferred {
+				continue // deferred ops run at exit; untracked keys are unusable
+			}
+			switch op.Op {
+			case opLock, opRLock:
+				for _, h := range held {
+					if h.key == op.Key {
+						continue
+					}
+					addEdge(lockEdge{from: h.key, to: op.Key, pos: op.Pos, pkg: n.Pkg,
+						render: fmt.Sprintf("%s → %s in %s at %s", h.expr, op.Expr, n.Name, posStr(op.Pos))})
+				}
+				held = append(held, heldLock{key: op.Key, expr: op.Expr})
+			case opUnlock, opRUnlock:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].key == op.Key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		case ite.site != nil && len(held) > 0:
+			for _, t := range ite.site.Targets {
+				for _, key := range sortedLockKeys(t.acquires) {
+					tr := t.acquires[key]
+					for _, h := range held {
+						if h.key == key {
+							continue
+						}
+						via := make([]string, 0, len(tr.path))
+						for _, pn := range tr.path {
+							via = append(via, pn.Name)
+						}
+						addEdge(lockEdge{from: h.key, to: key, pos: ite.site.Call.Pos(), pkg: n.Pkg,
+							render: fmt.Sprintf("%s → %s in %s via %s at %s", h.expr, tr.expr, n.Name, strings.Join(via, " → "), posStr(ite.site.Call.Pos()))})
+					}
+				}
+			}
+		}
+	}
+}
+
+// cyclesFromEdges finds lock-order cycles (SCCs of size ≥ 2 in the edge
+// graph) and renders one diagnostic per cycle listing every edge.
+func (g *CallGraph) cyclesFromEdges(edges map[edgeKey]lockEdge, order []edgeKey) []graphDiag {
+	// Index the lock objects deterministically.
+	objIndex := make(map[types.Object]int)
+	var objs []types.Object
+	for _, k := range order {
+		for _, o := range [2]types.Object{k.from, k.to} {
+			if _, ok := objIndex[o]; !ok {
+				objIndex[o] = len(objs)
+				objs = append(objs, o)
+			}
+		}
+	}
+	adj := make([][]int, len(objs))
+	for _, k := range order {
+		adj[objIndex[k.from]] = append(adj[objIndex[k.from]], objIndex[k.to])
+	}
+
+	// Tarjan over the lock objects.
+	index := make([]int, len(objs))
+	low := make([]int, len(objs))
+	onStack := make([]bool, len(objs))
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	var sccs [][]int
+	var strong func(v int)
+	strong = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for v := range objs {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+
+	var diags []graphDiag
+	for _, scc := range sccs {
+		inSCC := make(map[int]bool, len(scc))
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		// List the cycle's edges in first-seen order; anchor the
+		// diagnostic at the first of them.
+		var parts []string
+		var anchor *lockEdge
+		for _, k := range order {
+			if !inSCC[objIndex[k.from]] || !inSCC[objIndex[k.to]] {
+				continue
+			}
+			e := edges[k]
+			if anchor == nil {
+				anchor = &e
+			}
+			parts = append(parts, e.render)
+		}
+		if anchor == nil {
+			continue
+		}
+		diags = append(diags, graphDiag{pkg: anchor.pkg, pos: anchor.pos,
+			msg: fmt.Sprintf("inconsistent lock acquisition order (potential deadlock): %s", strings.Join(parts, "; "))})
+	}
+	return diags
+}

@@ -1,0 +1,45 @@
+// transitive.go is efeslint self-test input for the v2 (interprocedural)
+// half of the context-flow rule: an in-scope ctx must reach every
+// blocking leaf through the call graph, not just the first hop.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+// WaitAll blocks until the group drains; WaitAllContext is its
+// cancellable sibling.
+func WaitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// WaitAllContext polls the group without outliving the ctx.
+func WaitAllContext(ctx context.Context, wg *sync.WaitGroup) {
+	select {
+	case <-ctx.Done():
+	default:
+		wg.Wait()
+	}
+}
+
+// indirect hides the blocking wait one call hop down.
+func indirect(wg *sync.WaitGroup) {
+	WaitAll(wg)
+}
+
+// indirectContext is the cancellable sibling of indirect.
+func indirectContext(ctx context.Context, wg *sync.WaitGroup) {
+	WaitAllContext(ctx, wg)
+}
+
+// Transitive holds a ctx yet reaches wg.Wait through indirect without
+// forwarding it; a first-hop check cannot see this. BAD.
+func Transitive(ctx context.Context, wg *sync.WaitGroup) {
+	indirect(wg)
+}
+
+// Forwarded passes the ctx all the way down. GOOD.
+func Forwarded(ctx context.Context, wg *sync.WaitGroup) {
+	indirectContext(ctx, wg)
+}

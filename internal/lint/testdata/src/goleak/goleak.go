@@ -1,0 +1,101 @@
+// Package goleak is efeslint self-test input for the goroutine-leak rule.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Forget launches a goroutine that blocks on an unbuffered send with no
+// join-or-cancel path. BAD.
+func Forget() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+// relay blocks receiving from in before it can forward.
+func relay(in, out chan int) {
+	out <- <-in
+}
+
+// ForgetDeep leaks through a call hop: the launched body has no channel
+// operation of its own, but relay blocks. BAD.
+func ForgetDeep(a, b chan int) {
+	go func() {
+		relay(a, b)
+	}()
+}
+
+// drain blocks receiving.
+func drain(ch chan int) int { return <-ch }
+
+// Detached launches a named blocking function with no join path. BAD.
+func Detached(ch chan int) {
+	go drain(ch)
+}
+
+// Joined is the WaitGroup discipline: Add before launch, deferred Done
+// inside. GOOD.
+func Joined(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+}
+
+func compute() int { return 7 }
+
+// Buffered sends its single result into a sufficiently-buffered channel,
+// so the goroutine always terminates. GOOD.
+func Buffered() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+// Guarded selects on ctx.Done at its only blocking operation. GOOD.
+func Guarded(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// worker is dispatched through an interface: class-hierarchy analysis
+// must resolve run() to every in-package implementer.
+type worker interface{ run(chan int) }
+
+// chanWorker blocks on its feed channel.
+type chanWorker struct{}
+
+func (chanWorker) run(ch chan int) { <-ch }
+
+// nopWorker never blocks.
+type nopWorker struct{}
+
+func (nopWorker) run(chan int) {}
+
+// Dispatch launches an interface method; the chanWorker implementer can
+// block with no join path. BAD (via chanWorker.run).
+func Dispatch(w worker, ch chan int) {
+	go w.run(ch)
+}
+
+// Condoned leaks knowingly; a reasoned suppression silences the finding.
+// GOOD (suppressed).
+func Condoned(ch chan int) {
+	//lint:ignore goleak reasoned suppression: lifetime bounded by the test harness
+	go func() {
+		ch <- 1
+	}()
+}

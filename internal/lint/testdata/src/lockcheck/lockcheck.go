@@ -1,0 +1,108 @@
+// Package lockcheck is efeslint self-test input for the lock-discipline
+// rule.
+package lockcheck
+
+import "sync"
+
+// Box guards a counter.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LeakOnError returns early with the lock still held. BAD.
+func (b *Box) LeakOnError(fail bool) int {
+	b.mu.Lock()
+	if fail {
+		return -1
+	}
+	b.n++
+	b.mu.Unlock()
+	return b.n
+}
+
+// UnlockTwice releases a lock it no longer holds. BAD.
+func (b *Box) UnlockTwice() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// DoubleLock acquires a mutex it already holds: self-deadlock. BAD.
+func (b *Box) DoubleLock() {
+	b.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// ByValue copies the mutex through its value receiver. BAD.
+func (b Box) ByValue() int {
+	return b.n
+}
+
+// CopyParam copies a lock-containing struct by value. BAD.
+func CopyParam(b Box) int {
+	return b.n
+}
+
+// CopyAssign copies the mutex by dereferencing assignment. BAD.
+func CopyAssign(b *Box) int {
+	c := *b
+	return c.n
+}
+
+// Disciplined uses the defer idiom. GOOD.
+func (b *Box) Disciplined() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Branchy releases on every path without defer. GOOD.
+func (b *Box) Branchy(flag bool) int {
+	b.mu.Lock()
+	if flag {
+		n := b.n
+		b.mu.Unlock()
+		return n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// pair holds two locks that different entry points acquire in opposite
+// orders — only visible across function boundaries.
+type pair struct {
+	a, b sync.Mutex
+	x, y int
+}
+
+// TakeAB holds a while its callee acquires b. BAD half of the cycle.
+func (p *pair) TakeAB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.addB()
+}
+
+func (p *pair) addB() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.y++
+}
+
+// TakeBA holds b while its callee acquires a: with TakeAB this is a
+// potential deadlock. BAD half of the cycle.
+func (p *pair) TakeBA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.addA()
+}
+
+func (p *pair) addA() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.x++
+}
