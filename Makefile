@@ -4,7 +4,7 @@
 # (fault injection, deadlines, graceful degradation) runs a second,
 # focused pass so a fault-harness regression is reported by name, and
 # efeslint enforces the cross-cutting invariants (DESIGN.md §8).
-.PHONY: verify build test bench faults lint
+.PHONY: verify build test bench bench-smoke faults lint
 
 verify:
 	go build ./...
@@ -29,5 +29,15 @@ build:
 test:
 	go test ./...
 
+# Full benchmark run, captured as machine-readable JSON (cmd/benchjson).
+# Appends to BENCH_5.json so before/after runs can live side by side:
+#   make bench LABEL=after
+LABEL ?= current
 bench:
-	go test -bench=. -benchmem .
+	go run ./cmd/benchjson -bench . -label $(LABEL) -append -out BENCH_5.json
+
+# Compile-and-smoke: every benchmark runs exactly one iteration. Keeps
+# bench-only code (bench_test.go, LargeExampleConfig) from bitrotting
+# without paying for a full measurement run; wired into CI.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x .

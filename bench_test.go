@@ -12,6 +12,7 @@ package efes_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"efes"
@@ -417,6 +418,81 @@ func BenchmarkEstimateParallel(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(vm.Profiler.HitRate(), "cache-hit-rate")
+}
+
+// largeExample lazily builds the LargeExampleConfig scenario, shared by
+// the *Large benchmarks below. Lazy (sync.Once, not a package var) so
+// that plain `go test` runs and the CI bench smoke pass don't pay the
+// generation cost.
+var largeExample = sync.OnceValue(func() *core.Scenario {
+	return scenario.MusicExample(scenario.LargeExampleConfig())
+})
+
+// BenchmarkValueFitLarge runs the value fit detector at LargeExampleConfig
+// scale: profiling-dominated (every corresponding attribute pair needs the
+// raw source, coerced source, and target profile).
+func BenchmarkValueFitLarge(b *testing.B) {
+	scn := largeExample()
+	m := valuefit.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AssessComplexity(scn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherLarge discovers correspondences at LargeExampleConfig
+// scale: dominated by per-column instance profiles (distinct values and
+// dominant patterns).
+func BenchmarkMatcherLarge(b *testing.B) {
+	scn := largeExample()
+	m := match.NewMatcher()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := m.Match(scn.Sources[0].DB, scn.Target); len(set.All) == 0 {
+			b.Fatal("no correspondences")
+		}
+	}
+}
+
+// BenchmarkDiscoveryLarge reverse-engineers constraints at
+// LargeExampleConfig scale: dominated by distinct-set construction and the
+// pairwise inclusion-dependency checks.
+func BenchmarkDiscoveryLarge(b *testing.B) {
+	db := largeExample().Sources[0].DB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := profile.Discover(db); len(d.PrimaryKeys) == 0 {
+			b.Fatal("no keys discovered")
+		}
+	}
+}
+
+// BenchmarkProfileDatabaseLarge profiles every column of the large source
+// with a fresh single-worker profiler per iteration (pure kernel cost, no
+// cross-iteration memoization of the stats themselves).
+func BenchmarkProfileDatabaseLarge(b *testing.B) {
+	db := largeExample().Sources[0].DB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.NewProfiler(1).ProfileDatabase(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullEstimateLarge runs the complete two-phase pipeline at
+// LargeExampleConfig scale.
+func BenchmarkFullEstimateLarge(b *testing.B) {
+	scn := largeExample()
+	fw := benchFramework()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Estimate(scn, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkExperimentsParallelGrid evaluates the Figure 6/7 grid with a

@@ -1,0 +1,163 @@
+// Command benchjson runs the repository's Table/Figure benchmarks and
+// writes the results as machine-readable JSON (ns/op, B/op, allocs/op and
+// any custom metrics per benchmark), the perf trajectory the ROADMAP
+// expects. It shells out to `go test -bench` so the numbers are exactly
+// what the standard benchmark harness reports.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regex] [-benchtime d] [-count n]
+//	    [-pkg ./...] [-label name] [-append] [-out BENCH_5.json]
+//
+// With -append, the run is merged into an existing output file under its
+// label, so before/after pairs land in one document:
+//
+//	go run ./cmd/benchjson -label before -out BENCH_5.json
+//	... apply the optimization ...
+//	go run ./cmd/benchjson -label after -append -out BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values (e.g. cache-hit-rate).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is the result of one benchmark invocation.
+type Run struct {
+	Go         string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	BenchArgs  []string    `json:"bench_args"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// procSuffix strips the trailing -<GOMAXPROCS> so names are stable keys.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "value for go test -benchtime (empty: harness default)")
+	count := flag.Int("count", 1, "value for go test -count")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	label := flag.String("label", "run", "label for this run in the output document")
+	appendRun := flag.Bool("append", false, "merge into an existing output file instead of overwriting it")
+	out := flag.String("out", "BENCH_5.json", "output file")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+
+	run, err := runBench(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+	doc := make(map[string]*Run)
+	if *appendRun {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: existing %s is not a benchjson document: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	doc[*label] = run
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s as %q\n", len(run.Benchmarks), *out, *label)
+}
+
+// runBench executes `go <args>`, tees its output to stdout, and parses the
+// benchmark result lines.
+func runBench(args []string) (*Run, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	run := &Run{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), BenchArgs: args}
+	sc := bufio.NewScanner(io.TeeReader(stdout, os.Stdout))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			run.Benchmarks = append(run.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return run, nil
+}
+
+// parseLine parses one `BenchmarkX-8 N value unit [value unit]...` line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: procSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}

@@ -147,6 +147,28 @@ func FromDatabase(g *Graph, db *relational.Database) (*Instance, error) {
 			if edge == nil {
 				return nil, fmt.Errorf("csg: graph lacks edge %s -> %s", t.Name, an.ID)
 			}
+			if c.Type == relational.String {
+				// Columnar fast path: dictionary codes replace the
+				// per-row rendering and hash-set dedup; first-occurrence
+				// element order is preserved because codes are scanned in
+				// row order.
+				if vec := db.Vector(t.Name, c.Name); vec != nil {
+					dict, codes, nulls := vec.Dict(), vec.Codes(), vec.Nulls()
+					seen := make([]bool, len(dict))
+					for i, code := range codes {
+						if nulls.Get(i) {
+							continue
+						}
+						val := dict[code]
+						if !seen[code] {
+							seen[code] = true
+							in.AddElement(an, val)
+						}
+						in.AddLink(edge, tupleID(t.Name, i), val)
+					}
+					continue
+				}
+			}
 			seen := make(map[string]struct{})
 			for i, row := range rows {
 				v := row[ci]

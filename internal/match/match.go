@@ -232,18 +232,24 @@ func (c columnCache) get(m *Matcher, db *relational.Database, table, column stri
 }
 
 // profileColumn computes one column's instance profile (nil when the
-// column's values cannot be read).
+// column's values cannot be read). It reads the memoized sorted distinct
+// rendering off the columnar substrate — the same strings, in the same
+// order, that DistinctValues used to materialize per call.
 func (m *Matcher) profileColumn(db *relational.Database, table, column string) *instanceProfile {
-	vs, _, err := db.DistinctValues(table, column)
-	if err != nil || len(vs) == 0 {
+	vec := db.Vector(table, column)
+	if vec == nil {
+		return nil
+	}
+	vs := vec.SortedDistinct()
+	if len(vs) == 0 {
 		return nil
 	}
 	if m.SampleSize > 0 && len(vs) > m.SampleSize {
 		vs = vs[:m.SampleSize]
 	}
 	set := make(map[string]struct{}, len(vs))
-	for _, v := range vs {
-		set[relational.FormatValue(v)] = struct{}{}
+	for _, s := range vs {
+		set[s] = struct{}{}
 	}
 	return &instanceProfile{set: set, pattern: dominantPattern(vs)}
 }
@@ -430,10 +436,10 @@ func instanceSimilarity(sp, tp *instanceProfile) float64 {
 	return 0.6*overlap + 0.4*patternScore
 }
 
-func dominantPattern(vs []relational.Value) string {
+func dominantPattern(vs []string) string {
 	counts := make(map[string]int)
-	for _, v := range vs {
-		counts[profile.Pattern(relational.FormatValue(v))]++
+	for _, s := range vs {
+		counts[profile.Pattern(s)]++
 	}
 	best, bestN := "", 0
 	for p, n := range counts {

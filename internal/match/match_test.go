@@ -265,11 +265,11 @@ func TestAccuracy(t *testing.T) {
 }
 
 func TestDominantPattern(t *testing.T) {
-	vs := []relational.Value{"4:43", "6:55", "3:26"}
+	vs := []string{"4:43", "6:55", "3:26"}
 	if got := dominantPattern(vs); got != "9:9" {
 		t.Errorf("dominant pattern = %q", got)
 	}
-	mixed := []relational.Value{"4:43", "abc", "x-y", "12"}
+	mixed := []string{"4:43", "abc", "x-y", "12"}
 	if got := dominantPattern(mixed); got != "" {
 		t.Errorf("no dominant pattern expected, got %q", got)
 	}

@@ -41,39 +41,32 @@ const MinRowsForDiscovery = 1
 func Discover(db *relational.Database) *Discovery {
 	d := &Discovery{PrimaryKeys: make(map[string]relational.ColumnRef)}
 	type colInfo struct {
-		ref      relational.ColumnRef
-		typ      relational.Type
-		distinct map[string]struct{}
-		rows     int
+		ref relational.ColumnRef
+		typ relational.Type
+		// distinct is the column's sorted distinct rendering
+		// (ColumnVector.SortedDistinct): lexicographically ordered and
+		// duplicate-free, the substrate of the inclusion merge-joins.
+		distinct []string
 		unique   bool
 		notNull  bool
 	}
 	var cols []*colInfo
 	for _, t := range db.Schema.Tables() {
-		rows := db.Rows(t.Name)
-		if len(rows) < MinRowsForDiscovery {
+		if db.NumRows(t.Name) < MinRowsForDiscovery {
 			continue
 		}
+		vecs := db.Vectors(t.Name)
 		for ci, c := range t.Columns {
-			info := &colInfo{
+			vec := vecs[ci]
+			nonNull := vec.Len() - vec.NullCount()
+			distinct := vec.SortedDistinct()
+			cols = append(cols, &colInfo{
 				ref:      relational.ColumnRef{Table: t.Name, Column: c.Name},
 				typ:      c.Type,
-				distinct: make(map[string]struct{}),
-				rows:     len(rows),
-				notNull:  true,
-			}
-			nonNull := 0
-			for _, row := range rows {
-				v := row[ci]
-				if v == nil {
-					info.notNull = false
-					continue
-				}
-				nonNull++
-				info.distinct[relational.FormatValue(v)] = struct{}{}
-			}
-			info.unique = nonNull > 0 && len(info.distinct) == nonNull
-			cols = append(cols, info)
+				distinct: distinct,
+				unique:   nonNull > 0 && len(distinct) == nonNull,
+				notNull:  vec.NullCount() == 0,
+			})
 		}
 	}
 	for _, info := range cols {
@@ -114,7 +107,7 @@ func Discover(db *relational.Database) *Discovery {
 			if dep.ref.Table == ref.ref.Table && dep.ref.Column == ref.ref.Column {
 				continue
 			}
-			if containsAll(ref.distinct, dep.distinct) {
+			if containsAllSorted(ref.distinct, dep.distinct) {
 				d.Inclusions = append(d.Inclusions, Inclusion{Dependent: dep.ref, Referenced: ref.ref})
 			}
 		}
@@ -129,14 +122,29 @@ func Discover(db *relational.Database) *Discovery {
 	return d
 }
 
-func containsAll(super map[string]struct{}, sub map[string]struct{}) bool {
+// containsAllSorted reports whether every element of sub also appears in
+// super. Both slices are lexicographically sorted and duplicate-free, so
+// a single linear merge (with endpoint quick-rejects) decides inclusion —
+// no hash probes, and disjoint ranges reject in O(1).
+func containsAllSorted(super, sub []string) bool {
 	if len(sub) > len(super) {
 		return false
 	}
-	for k := range sub {
-		if _, ok := super[k]; !ok {
+	if len(sub) == 0 {
+		return true
+	}
+	if sub[0] < super[0] || sub[len(sub)-1] > super[len(super)-1] {
+		return false
+	}
+	j := 0
+	for _, s := range sub {
+		for j < len(super) && super[j] < s {
+			j++
+		}
+		if j >= len(super) || super[j] != s {
 			return false
 		}
+		j++
 	}
 	return true
 }

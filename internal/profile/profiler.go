@@ -144,6 +144,9 @@ func (p *Profiler) ColumnContext(ctx context.Context, db *relational.Database, t
 	}
 	key := profileKey{db: db, table: table, column: column, typ: col.Type}
 	cs, _, err := p.get(ctx, key, func() (*ColumnStats, int, error) {
+		if vec := db.Vector(table, column); vec != nil {
+			return FromVector(table, column, vec), 0, nil
+		}
 		values, err := db.Column(table, column)
 		if err != nil {
 			return nil, 0, err
@@ -167,6 +170,10 @@ func (p *Profiler) ColumnCoerced(db *relational.Database, table, column string, 
 func (p *Profiler) ColumnCoercedContext(ctx context.Context, db *relational.Database, table, column string, typ relational.Type) (*ColumnStats, int, error) {
 	key := profileKey{db: db, table: table, column: column, typ: typ, coerced: true}
 	return p.get(ctx, key, func() (*ColumnStats, int, error) {
+		if vec := db.Vector(table, column); vec != nil {
+			cs, incompatible := FromVectorCoerced(table, column, vec, typ)
+			return cs, incompatible, nil
+		}
 		values, err := db.Column(table, column)
 		if err != nil {
 			return nil, 0, err

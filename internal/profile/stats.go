@@ -9,6 +9,7 @@ package profile
 import (
 	"math"
 	"sort"
+	"strings"
 	"unicode"
 
 	"efes/internal/relational"
@@ -107,9 +108,13 @@ type ColumnStats struct {
 	TopKCoverage float64
 }
 
-// Column profiles one column of a database instance.
+// Column profiles one column of a database instance via the fused
+// columnar kernels (bit-identical to the row path, see kernels.go).
 func Column(db *relational.Database, table, column string) (*ColumnStats, error) {
-	values, err := db.Column(table, column)
+	if vec := db.Vector(table, column); vec != nil {
+		return FromVector(table, column, vec), nil
+	}
+	values, err := db.Column(table, column) // unknown table/column: error
 	if err != nil {
 		return nil, err
 	}
@@ -130,9 +135,9 @@ func MustColumn(db *relational.Database, table, column string) *ColumnStats {
 // is exported so that detectors can profile derived (virtual) columns.
 func Values(table, column string, typ relational.Type, values []relational.Value) *ColumnStats {
 	cs := &ColumnStats{Table: table, Column: column, Type: typ, Rows: len(values)}
-	counts := make(map[string]int)
-	patterns := make(map[string]int)
-	charCounts := make(map[rune]int)
+	counts := make(map[string]int, len(values)/4+1)
+	patterns := make(map[string]int, 8)
+	charCounts := make(map[rune]int, 64)
 	totalChars := 0
 	var lengths, numbers []float64
 	for _, v := range values {
@@ -299,7 +304,8 @@ func histogramOf(xs []float64, lo, hi float64) Histogram {
 // other character is kept literally. E.g. "4:43" -> "9:9",
 // "Sweet Home Alabama" -> "a a a", "215900" -> "9".
 func Pattern(s string) string {
-	out := make([]rune, 0, len(s))
+	var b strings.Builder
+	b.Grow(len(s))
 	var last rune
 	for _, r := range s {
 		var c rune
@@ -316,8 +322,8 @@ func Pattern(s string) string {
 		if (c == '9' || c == 'a' || c == ' ') && c == last {
 			continue // compress runs of the same class
 		}
-		out = append(out, c)
+		b.WriteRune(c)
 		last = c
 	}
-	return string(out)
+	return b.String()
 }

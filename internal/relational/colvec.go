@@ -1,0 +1,504 @@
+package relational
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file implements the columnar substrate of the store. Each table
+// keeps one ColumnVector per column: a typed vector with a null bitmap,
+// and — for string columns — dictionary encoding (interned codes into an
+// append-ordered dictionary with per-code occurrence counts). The row API
+// (Rows, Column, ...) remains the compatibility view; the vectors are what
+// the profiling kernels, the schema matcher, and the discovery merge-joins
+// scan.
+//
+// Vectors are materialized lazily on first access (so bulk loading pays no
+// per-insert overhead) and maintained incrementally by Insert, Update, and
+// Delete afterwards. As with the row view, concurrent readers are safe but
+// mutation must not race with reads.
+
+// Bitmap is a fixed-purpose bitset over row indexes.
+type Bitmap struct {
+	words []uint64
+}
+
+// Get reports whether bit i is set. Indexes beyond the bitmap are unset.
+func (b *Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b.words) && b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// set sets bit i, growing the bitmap as needed.
+func (b *Bitmap) set(i int) {
+	w := i >> 6
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (uint(i) & 63)
+}
+
+// clear unsets bit i.
+func (b *Bitmap) clear(i int) {
+	w := i >> 6
+	if w < len(b.words) {
+		b.words[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// ColumnVector is the columnar representation of one column: a typed
+// vector with a null bitmap. String columns are dictionary-encoded: each
+// row stores a code into an append-ordered dictionary of interned strings,
+// with per-code occurrence counts maintained incrementally.
+//
+// The slices returned by the accessors are owned by the vector: they must
+// not be mutated and are valid until the next mutation of the database.
+type ColumnVector struct {
+	typ    Type
+	length int
+
+	nulls     Bitmap
+	nullCount int
+
+	// String columns (dictionary encoding).
+	codes  []int32
+	dict   []string
+	counts []int
+	lookup map[string]int32
+
+	// Other types: one slot per row, zero-valued where NULL.
+	ints   []int64
+	floats []float64
+	bools  []bool
+	times  []time.Time
+
+	// memoized SortedDistinct result; nil after any mutation. The mutex
+	// only guards memo (re)computation: readers may share a vector, and
+	// the first one builds the memo for all.
+	memoMu sync.Mutex
+	memo   []string
+}
+
+func newColumnVector(t Type) *ColumnVector {
+	v := &ColumnVector{typ: t}
+	if t == String {
+		v.lookup = make(map[string]int32)
+	}
+	return v
+}
+
+// Type returns the column's declared type.
+func (v *ColumnVector) Type() Type { return v.typ }
+
+// Len returns the number of rows (including NULLs).
+func (v *ColumnVector) Len() int { return v.length }
+
+// NullCount returns the number of NULL rows.
+func (v *ColumnVector) NullCount() int { return v.nullCount }
+
+// Null reports whether row i is NULL.
+func (v *ColumnVector) Null(i int) bool { return v.nulls.Get(i) }
+
+// Nulls returns the null bitmap (read-only view).
+func (v *ColumnVector) Nulls() *Bitmap { return &v.nulls }
+
+// Codes returns the per-row dictionary codes of a string column (nil for
+// other types). The code of a NULL row is meaningless; consult Null.
+func (v *ColumnVector) Codes() []int32 { return v.codes }
+
+// Dict returns the dictionary of a string column in append (first
+// occurrence) order. After deletes or updates, entries whose count dropped
+// to zero linger; consumers must skip codes with Counts()[c] == 0.
+func (v *ColumnVector) Dict() []string { return v.dict }
+
+// Counts returns the per-code occurrence counts, parallel to Dict.
+func (v *ColumnVector) Counts() []int { return v.counts }
+
+// Ints returns the typed vector of an integer column (nil otherwise).
+func (v *ColumnVector) Ints() []int64 { return v.ints }
+
+// Floats returns the typed vector of a float column (nil otherwise).
+func (v *ColumnVector) Floats() []float64 { return v.floats }
+
+// Bools returns the typed vector of a boolean column (nil otherwise).
+func (v *ColumnVector) Bools() []bool { return v.bools }
+
+// Times returns the typed vector of a timestamp column (nil otherwise).
+func (v *ColumnVector) Times() []time.Time { return v.times }
+
+// Value materializes the cell of row i as a row-API Value.
+func (v *ColumnVector) Value(i int) Value {
+	if v.nulls.Get(i) {
+		return nil
+	}
+	switch v.typ {
+	case String:
+		return v.dict[v.codes[i]]
+	case Integer:
+		return v.ints[i]
+	case Float:
+		return v.floats[i]
+	case Bool:
+		return v.bools[i]
+	case Time:
+		return v.times[i]
+	}
+	return nil
+}
+
+// canonNaN is the single bit pattern all NaNs are mapped to when floats
+// are keyed by bits: FormatValue renders every NaN as "NaN", so distinct
+// NaN payloads must collapse exactly as they do under string keys.
+var canonNaN = math.Float64bits(math.NaN())
+
+// floatKey returns the distinct-value key of a float: its bit pattern with
+// NaNs canonicalized. Unlike keying a map by float64 (where 0 == -0 and
+// NaN never matches itself), this reproduces FormatValue key semantics
+// bit-for-bit: -0 and 0 stay distinct ("-0" vs "0"), NaNs collapse.
+func floatKey(x float64) uint64 {
+	if math.IsNaN(x) {
+		return canonNaN
+	}
+	return math.Float64bits(x)
+}
+
+// SortedDistinct returns the distinct non-NULL values of the column,
+// rendered with FormatValue and sorted lexicographically. The result is
+// memoized until the next mutation; it is the substrate of the
+// inclusion-dependency merge-joins and the matcher's instance profiles.
+// The returned slice must not be mutated.
+func (v *ColumnVector) SortedDistinct() []string {
+	v.memoMu.Lock()
+	defer v.memoMu.Unlock()
+	if v.memo != nil {
+		return v.memo
+	}
+	v.memo = v.computeSortedDistinct()
+	return v.memo
+}
+
+// computeSortedDistinct builds the sorted distinct rendering. For every
+// type the rendering collapses values exactly as FormatValue map keys do.
+func (v *ColumnVector) computeSortedDistinct() []string {
+	switch v.typ {
+	case String:
+		out := make([]string, 0, len(v.dict))
+		for c, s := range v.dict {
+			if v.counts[c] > 0 {
+				out = append(out, s)
+			}
+		}
+		sort.Strings(out)
+		return out
+	case Integer:
+		seen := make(map[int64]struct{})
+		for i, x := range v.ints {
+			if !v.nulls.Get(i) {
+				seen[x] = struct{}{}
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for x := range seen {
+			out = append(out, strconv.FormatInt(x, 10))
+		}
+		sort.Strings(out)
+		return out
+	case Float:
+		seen := make(map[uint64]struct{})
+		for i, x := range v.floats {
+			if !v.nulls.Get(i) {
+				seen[floatKey(x)] = struct{}{}
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for b := range seen {
+			out = append(out, FormatValue(math.Float64frombits(b)))
+		}
+		sort.Strings(out)
+		return out
+	case Bool:
+		var hasTrue, hasFalse bool
+		for i, x := range v.bools {
+			if v.nulls.Get(i) {
+				continue
+			}
+			if x {
+				hasTrue = true
+			} else {
+				hasFalse = true
+			}
+		}
+		out := make([]string, 0, 2)
+		if hasFalse {
+			out = append(out, "false")
+		}
+		if hasTrue {
+			out = append(out, "true")
+		}
+		return out
+	default: // Time: collapse by rendering (RFC3339 drops sub-second detail)
+		seen := make(map[string]struct{})
+		for i, x := range v.times {
+			if !v.nulls.Get(i) {
+				seen[FormatValue(x)] = struct{}{}
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for s := range seen {
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+}
+
+// invalidate drops the distinct memo after a mutation.
+func (v *ColumnVector) invalidate() {
+	v.memoMu.Lock()
+	v.memo = nil
+	v.memoMu.Unlock()
+}
+
+// intern returns the dictionary code of s, adding it with count 0 when
+// unseen. The caller adjusts counts.
+func (v *ColumnVector) intern(s string) int32 {
+	if c, ok := v.lookup[s]; ok {
+		return c
+	}
+	c := int32(len(v.dict))
+	v.dict = append(v.dict, s)
+	v.counts = append(v.counts, 0)
+	v.lookup[s] = c
+	return c
+}
+
+// appendValue appends one canonical (already coerced) cell.
+func (v *ColumnVector) appendValue(val Value) {
+	i := v.length
+	v.length++
+	if val == nil {
+		v.nulls.set(i)
+		v.nullCount++
+		v.appendZero()
+		v.invalidate()
+		return
+	}
+	switch v.typ {
+	case String:
+		c := v.intern(val.(string))
+		v.codes = append(v.codes, c)
+		v.counts[c]++
+	case Integer:
+		v.ints = append(v.ints, val.(int64))
+	case Float:
+		v.floats = append(v.floats, val.(float64))
+	case Bool:
+		v.bools = append(v.bools, val.(bool))
+	case Time:
+		v.times = append(v.times, val.(time.Time))
+	}
+	v.invalidate()
+}
+
+// appendZero appends the zero slot that keeps typed storage positionally
+// aligned with the row index for a NULL cell.
+func (v *ColumnVector) appendZero() {
+	switch v.typ {
+	case String:
+		v.codes = append(v.codes, 0)
+	case Integer:
+		v.ints = append(v.ints, 0)
+	case Float:
+		v.floats = append(v.floats, 0)
+	case Bool:
+		v.bools = append(v.bools, false)
+	case Time:
+		v.times = append(v.times, time.Time{})
+	}
+}
+
+// setValue overwrites the cell of row i with a canonical value.
+func (v *ColumnVector) setValue(i int, val Value) {
+	if v.nulls.Get(i) {
+		v.nulls.clear(i)
+		v.nullCount--
+	} else if v.typ == String {
+		v.counts[v.codes[i]]--
+	}
+	if val == nil {
+		v.nulls.set(i)
+		v.nullCount++
+		v.setZero(i)
+		v.invalidate()
+		return
+	}
+	switch v.typ {
+	case String:
+		c := v.intern(val.(string))
+		v.codes[i] = c
+		v.counts[c]++
+	case Integer:
+		v.ints[i] = val.(int64)
+	case Float:
+		v.floats[i] = val.(float64)
+	case Bool:
+		v.bools[i] = val.(bool)
+	case Time:
+		v.times[i] = val.(time.Time)
+	}
+	v.invalidate()
+}
+
+// setZero zeroes the typed slot of row i.
+func (v *ColumnVector) setZero(i int) {
+	switch v.typ {
+	case String:
+		v.codes[i] = 0
+	case Integer:
+		v.ints[i] = 0
+	case Float:
+		v.floats[i] = 0
+	case Bool:
+		v.bools[i] = false
+	case Time:
+		v.times[i] = time.Time{}
+	}
+}
+
+// deleteRows compacts the vector, removing the rows in drop (indexes
+// relative to the pre-delete length; out-of-range entries are ignored,
+// matching Database.Delete).
+func (v *ColumnVector) deleteRows(drop map[int]struct{}) {
+	w := 0
+	var nulls Bitmap
+	nullCount := 0
+	for i := 0; i < v.length; i++ {
+		if _, gone := drop[i]; gone {
+			if v.nulls.Get(i) {
+				// dropped NULL: nothing to unaccount beyond the bitmap
+			} else if v.typ == String {
+				v.counts[v.codes[i]]--
+			}
+			continue
+		}
+		if v.nulls.Get(i) {
+			nulls.set(w)
+			nullCount++
+		}
+		if w != i {
+			switch v.typ {
+			case String:
+				v.codes[w] = v.codes[i]
+			case Integer:
+				v.ints[w] = v.ints[i]
+			case Float:
+				v.floats[w] = v.floats[i]
+			case Bool:
+				v.bools[w] = v.bools[i]
+			case Time:
+				v.times[w] = v.times[i]
+			}
+		}
+		w++
+	}
+	switch v.typ {
+	case String:
+		v.codes = v.codes[:w]
+	case Integer:
+		v.ints = v.ints[:w]
+	case Float:
+		v.floats = v.floats[:w]
+	case Bool:
+		v.bools = v.bools[:w]
+	case Time:
+		v.times = v.times[:w]
+	}
+	v.length = w
+	v.nulls = nulls
+	v.nullCount = nullCount
+	v.invalidate()
+}
+
+// Vector returns the columnar view of one column, materializing the
+// table's vectors from the row store on first access. It returns nil for
+// unknown tables or columns. The returned vector is maintained
+// incrementally by subsequent Insert/Update/Delete calls; like the row
+// view, it must not be read concurrently with mutation.
+func (db *Database) Vector(table, column string) *ColumnVector {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return nil
+	}
+	idx := t.ColumnIndex(column)
+	if idx < 0 {
+		return nil
+	}
+	db.vecMu.Lock()
+	defer db.vecMu.Unlock()
+	return db.vectorsLocked(t)[idx]
+}
+
+// Vectors returns the columnar view of every column of a table in
+// declaration order, or nil for unknown tables.
+func (db *Database) Vectors(table string) []*ColumnVector {
+	t := db.Schema.Table(table)
+	if t == nil {
+		return nil
+	}
+	db.vecMu.Lock()
+	defer db.vecMu.Unlock()
+	return db.vectorsLocked(t)
+}
+
+// vectorsLocked returns (building if necessary) the vectors of a table.
+// Callers hold vecMu.
+func (db *Database) vectorsLocked(t *Table) []*ColumnVector {
+	if vs, ok := db.vecs[t.Name]; ok {
+		return vs
+	}
+	vs := make([]*ColumnVector, len(t.Columns))
+	for i, c := range t.Columns {
+		vs[i] = newColumnVector(c.Type)
+	}
+	for _, row := range db.rows[t.Name] {
+		for i := range vs {
+			vs[i].appendValue(row[i])
+		}
+	}
+	db.vecs[t.Name] = vs
+	return vs
+}
+
+// vecInsert appends a row to the table's vectors if they are materialized.
+func (db *Database) vecInsert(table string, row Row) {
+	db.vecMu.Lock()
+	defer db.vecMu.Unlock()
+	if vs, ok := db.vecs[table]; ok {
+		for i := range vs {
+			vs[i].appendValue(row[i])
+		}
+	}
+}
+
+// vecUpdate mirrors an Update into the materialized vectors.
+func (db *Database) vecUpdate(table string, rowIndex, colIndex int, val Value) {
+	db.vecMu.Lock()
+	defer db.vecMu.Unlock()
+	if vs, ok := db.vecs[table]; ok {
+		vs[colIndex].setValue(rowIndex, val)
+	}
+}
+
+// vecDelete mirrors a Delete into the materialized vectors.
+func (db *Database) vecDelete(table string, drop map[int]struct{}) {
+	db.vecMu.Lock()
+	defer db.vecMu.Unlock()
+	if vs, ok := db.vecs[table]; ok {
+		for i := range vs {
+			vs[i].deleteRows(drop)
+		}
+	}
+}

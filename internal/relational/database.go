@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Row is a single tuple; its length always equals the number of columns of
@@ -23,11 +24,18 @@ type Database struct {
 	Schema *Schema
 
 	rows map[string][]Row
+
+	// vecs holds the lazily materialized columnar view of each table
+	// (see colvec.go). vecMu guards the map and first-access builds:
+	// concurrent profiling readers may trigger materialization, which
+	// turns a read into a write.
+	vecMu sync.Mutex
+	vecs  map[string][]*ColumnVector
 }
 
 // NewDatabase creates an empty instance of the given schema.
 func NewDatabase(s *Schema) *Database {
-	return &Database{Schema: s, rows: make(map[string][]Row)}
+	return &Database{Schema: s, rows: make(map[string][]Row), vecs: make(map[string][]*ColumnVector)}
 }
 
 // Insert appends a tuple to the named table after type-checking every
@@ -50,6 +58,7 @@ func (db *Database) Insert(table string, values ...Value) error {
 		row[i] = cv
 	}
 	db.rows[table] = append(db.rows[table], row)
+	db.vecInsert(table, row)
 	return nil
 }
 
@@ -196,6 +205,7 @@ func (db *Database) Delete(table string, rowIndexes ...int) {
 		}
 	}
 	db.rows[table] = dst
+	db.vecDelete(table, drop)
 }
 
 // Update sets column of the row at rowIndex to v (after coercion).
@@ -216,6 +226,7 @@ func (db *Database) Update(table string, rowIndex int, column string, v Value) e
 		return err
 	}
 	db.rows[table][rowIndex][idx] = cv
+	db.vecUpdate(table, rowIndex, idx, cv)
 	return nil
 }
 

@@ -73,6 +73,23 @@ func SmallExampleConfig() ExampleConfig {
 	}
 }
 
+// LargeExampleConfig is a profiling-heavy variant of the running example:
+// large enough that column profiling, matching, and discovery dominate the
+// runtime (the BENCH_5.json trajectory is measured at this scale), small
+// enough that a full benchmark suite stays interactive.
+func LargeExampleConfig() ExampleConfig {
+	return ExampleConfig{
+		Albums:               2000,
+		AlbumsNoArtist:       50,
+		AlbumsMultiArtist:    200,
+		ArtistsWithoutAlbums: 50,
+		Songs:                30000,
+		DistinctLengths:      27000,
+		TargetRecords:        500,
+		Seed:                 7,
+	}
+}
+
 // MusicExampleTarget builds the target schema of Figure 2a: records(id PK,
 // title NN, artist NN, genre) and tracks(record FK NN, title NN,
 // duration).
