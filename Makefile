@@ -30,14 +30,22 @@ test:
 	go test ./...
 
 # Full benchmark run, captured as machine-readable JSON (cmd/benchjson).
-# Appends to BENCH_5.json so before/after runs can live side by side:
+# Appends to BENCH_6.json so before/after runs can live side by side:
 #   make bench LABEL=after
 LABEL ?= current
 bench:
-	go run ./cmd/benchjson -bench . -label $(LABEL) -append -out BENCH_5.json
+	go run ./cmd/benchjson -bench . -label $(LABEL) -append -out BENCH_6.json
 
-# Compile-and-smoke: every benchmark runs exactly one iteration. Keeps
-# bench-only code (bench_test.go, LargeExampleConfig) from bitrotting
-# without paying for a full measurement run; wired into CI.
+# Compile-and-smoke: every benchmark runs exactly one iteration (-short
+# skips the XLarge pair, whose million-tuple scenario generation alone
+# takes tens of seconds). Keeps bench-only code (bench_test.go,
+# LargeExampleConfig) from bitrotting without paying for a full
+# measurement run; wired into CI. The second step is the perf regression
+# gate: FullEstimateLarge must stay under its ceiling (the interned CSG
+# instance brought it from ~800ms to <50ms on the reference machine;
+# 250ms leaves headroom for slow CI hardware while still catching a
+# return to the string-instance regime).
 bench-smoke:
-	go test -run '^$$' -bench . -benchtime 1x .
+	go test -short -run '^$$' -bench . -benchtime 1x .
+	go run ./cmd/benchjson -bench '^BenchmarkFullEstimateLarge$$' -benchtime 3x \
+		-out '' -assert BenchmarkFullEstimateLarge=250ms

@@ -281,7 +281,7 @@ func BenchmarkConstraintValidation(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation runs the module ablation study (DESIGN.md §10): the
+// BenchmarkAblation runs the module ablation study (DESIGN.md §12): the
 // full evaluation for five framework configurations.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -486,6 +486,48 @@ func BenchmarkProfileDatabaseLarge(b *testing.B) {
 // LargeExampleConfig scale.
 func BenchmarkFullEstimateLarge(b *testing.B) {
 	scn := largeExample()
+	fw := benchFramework()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Estimate(scn, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// xlargeExample lazily builds the XLargeExampleConfig scenario (~1M
+// songs). Like largeExample, lazy so only the XLarge benchmarks pay the
+// generation cost.
+var xlargeExample = sync.OnceValue(func() *core.Scenario {
+	return scenario.MusicExample(scenario.XLargeExampleConfig())
+})
+
+// BenchmarkStructureXLarge runs the structure conflict detector at
+// XLargeExampleConfig scale: CSG conversion and violation counting over a
+// million-tuple instance, the workload the interned integer-ID instance
+// representation targets.
+func BenchmarkStructureXLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("XLarge scenario generation is expensive; skipped under -short")
+	}
+	scn := xlargeExample()
+	m := structure.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AssessComplexity(scn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullEstimateXLarge runs the complete two-phase pipeline at
+// XLargeExampleConfig scale (~1M songs) — the "single-digit seconds on a
+// million tuples" scaling claim.
+func BenchmarkFullEstimateXLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("XLarge scenario generation is expensive; skipped under -short")
+	}
+	scn := xlargeExample()
 	fw := benchFramework()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

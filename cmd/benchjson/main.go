@@ -7,14 +7,21 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regex] [-benchtime d] [-count n]
-//	    [-pkg ./...] [-label name] [-append] [-out BENCH_5.json]
+//	    [-pkg ./...] [-label name] [-append] [-out BENCH_6.json]
+//	    [-assert Name=maxDur,...]
 //
 // With -append, the run is merged into an existing output file under its
 // label, so before/after pairs land in one document:
 //
-//	go run ./cmd/benchjson -label before -out BENCH_5.json
+//	go run ./cmd/benchjson -label before -out BENCH_6.json
 //	... apply the optimization ...
-//	go run ./cmd/benchjson -label after -append -out BENCH_5.json
+//	go run ./cmd/benchjson -label after -append -out BENCH_6.json
+//
+// With -assert, named benchmarks are checked against per-op ceilings and
+// the command exits nonzero on a breach — the CI regression gate:
+//
+//	go run ./cmd/benchjson -bench FullEstimateLarge \
+//	    -assert BenchmarkFullEstimateLarge=250ms
 package main
 
 import (
@@ -27,8 +34,10 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -60,8 +69,15 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	label := flag.String("label", "run", "label for this run in the output document")
 	appendRun := flag.Bool("append", false, "merge into an existing output file instead of overwriting it")
-	out := flag.String("out", "BENCH_5.json", "output file")
+	out := flag.String("out", "BENCH_6.json", "output file")
+	assert := flag.String("assert", "", "comma-separated Name=maxDur ceilings (e.g. BenchmarkFullEstimateLarge=250ms); exit nonzero on breach")
 	flag.Parse()
+
+	ceilings, err := parseAsserts(*assert)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
 	if *benchtime != "" {
@@ -87,17 +103,79 @@ func main() {
 			}
 		}
 	}
-	doc[*label] = run
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	if *out != "" { // -out '' asserts without recording (the CI gate)
+		doc[*label] = run
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s as %q\n", len(run.Benchmarks), *out, *label)
+	}
+	if !checkAsserts(run, ceilings) {
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+}
+
+// parseAsserts parses the -assert flag: comma-separated Name=maxDur pairs,
+// the duration in time.ParseDuration syntax.
+func parseAsserts(s string) (map[string]time.Duration, error) {
+	ceilings := make(map[string]time.Duration)
+	if s == "" {
+		return ceilings, nil
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s as %q\n", len(run.Benchmarks), *out, *label)
+	for _, pair := range strings.Split(s, ",") {
+		name, dur, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-assert entry %q is not Name=maxDur", pair)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return nil, fmt.Errorf("-assert entry %q: %v", pair, err)
+		}
+		ceilings[name] = d
+	}
+	return ceilings, nil
+}
+
+// checkAsserts verifies every ceiling against the run. A ceiling whose
+// benchmark did not run is itself a failure — a renamed or accidentally
+// filtered-out benchmark must not silently pass the regression gate.
+func checkAsserts(run *Run, ceilings map[string]time.Duration) bool {
+	if len(ceilings) == 0 {
+		return true
+	}
+	byName := make(map[string]Benchmark, len(run.Benchmarks))
+	for _, b := range run.Benchmarks {
+		byName[b.Name] = b
+	}
+	names := make([]string, 0, len(ceilings))
+	for name := range ceilings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		max := ceilings[name]
+		b, ran := byName[name]
+		switch {
+		case !ran:
+			fmt.Fprintf(os.Stderr, "benchjson: assert %s: benchmark did not run\n", name)
+			ok = false
+		case time.Duration(b.NsPerOp) > max:
+			fmt.Fprintf(os.Stderr, "benchjson: assert %s: %s/op exceeds ceiling %s\n",
+				name, time.Duration(b.NsPerOp).Round(time.Microsecond), max)
+			ok = false
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: assert %s: %s/op within ceiling %s\n",
+				name, time.Duration(b.NsPerOp).Round(time.Microsecond), max)
+		}
+	}
+	return ok
 }
 
 // runBench executes `go <args>`, tees its output to stdout, and parses the

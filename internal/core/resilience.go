@@ -150,7 +150,15 @@ func (f *Framework) attemptDetector(ctx context.Context, m Module, s *Scenario) 
 	// below has abandoned the attempt, and the goroutine always runs to
 	// completion. Shrinking the buffer or adding a second dynamic send
 	// would turn the abandon path into a permanent goroutine leak.
+	//
+	// The one transitive wait the analyzer flags — csg.findRoundParallel's
+	// WaitGroup.Wait — is bounded: every branch it joins is Add/defer-Done
+	// paired, runs a finite depth-limited DFS under a step budget, and
+	// polls mctx every 1024 visits, so when the select below abandons the
+	// attempt the deferred cancel unblocks the branches and the Wait (and
+	// with it this goroutine) still terminates promptly.
 	ch := make(chan detectorOutcome, 1)
+	//lint:ignore goleak findRoundParallel's Wait is bounded (branches are Add/defer-Done paired, budget-limited, and poll mctx), so the detached attempt always runs to completion; the cap-1 buffered send then never blocks
 	go func() {
 		defer func() {
 			if v := recover(); v != nil {
@@ -165,6 +173,7 @@ func (f *Framework) attemptDetector(ctx context.Context, m Module, s *Scenario) 
 		if cm, ok := m.(ContextModule); ok {
 			o.rep, o.err = cm.AssessComplexityContext(mctx, s)
 		} else {
+			//lint:ignore ctxflow this branch only runs for modules whose dynamic type has no Context variant — the type assertion above already routes every ContextModule through AssessComplexityContext(mctx)
 			o.rep, o.err = m.AssessComplexity(s)
 		}
 		ch <- o

@@ -85,6 +85,20 @@ func (c Card) StrictSubsetOf(d Card) bool {
 // Equal reports whether two cardinalities denote the same set.
 func (c Card) Equal(d Card) bool { return c == d }
 
+// Intersect returns the cardinality admitting exactly the link counts
+// admitted by both c and d (interval intersection; empty when the
+// intervals do not overlap).
+func (c Card) Intersect(d Card) Card {
+	if c.IsEmpty() || d.IsEmpty() {
+		return CardEmpty
+	}
+	lo, hi := maxInt64(c.Lo, d.Lo), minInt64(c.Hi, d.Hi)
+	if lo > hi {
+		return CardEmpty
+	}
+	return Interval(lo, hi)
+}
+
 // Unbounded reports whether the cardinality has no upper bound.
 func (c Card) Unbounded() bool { return c.nonEmpty && c.Hi == Inf }
 

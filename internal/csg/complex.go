@@ -3,6 +3,7 @@ package csg
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -11,6 +12,20 @@ import (
 // ('⋈'), and collateral ('∥') operators of §4.1 both at the cardinality
 // level (card.go) and at the instance level, so that n-ary uniqueness and
 // n-ary foreign key constraints can be expressed and checked.
+
+// Source is the instance view the relationship evaluators read: elements
+// per node and links per atomic relationship, as rendered strings. Both
+// the string-based Instance and the interned integer-ID Interned instance
+// implement it, so every Rel evaluates against either representation.
+type Source interface {
+	// Elements returns the elements assigned to a node.
+	Elements(n *Node) []string
+	// NumElements returns the number of elements of a node.
+	NumElements(n *Node) int
+	// Links returns the targets linked to elem via the atomic
+	// relationship e.
+	Links(e *Edge, elem string) []string
+}
 
 // Rel is a relationship that can be evaluated against an instance: atomic
 // edges, compositions, unions, joins, and collaterals all implement it.
@@ -21,9 +36,9 @@ type Rel interface {
 	// operands (Lemmas 1-4).
 	InferredCard() Card
 	// Links returns the elements related to elem under the instance.
-	Links(in *Instance, elem string) []string
+	Links(in Source, elem string) []string
 	// Domain enumerates the domain elements under the instance.
-	Domain(in *Instance) []string
+	Domain(in Source) []string
 	// String renders the relationship term.
 	String() string
 }
@@ -39,8 +54,8 @@ func SplitPair(p string) (string, string, bool) {
 	if i < 0 {
 		return "", "", false
 	}
-	var n int
-	if _, err := fmt.Sscanf(p[:i], "%d", &n); err != nil {
+	n, err := strconv.Atoi(p[:i])
+	if err != nil || n < 0 {
 		return "", "", false
 	}
 	rest := p[i+1:]
@@ -60,7 +75,7 @@ type AtomicRel struct {
 func (a AtomicRel) InferredCard() Card { return a.P.InferredCard() }
 
 // Links implements Rel: distinct elements reachable along the path.
-func (a AtomicRel) Links(in *Instance, elem string) []string {
+func (a AtomicRel) Links(in Source, elem string) []string {
 	frontier := map[string]struct{}{elem: {}}
 	for _, e := range a.P {
 		next := make(map[string]struct{})
@@ -80,7 +95,7 @@ func (a AtomicRel) Links(in *Instance, elem string) []string {
 }
 
 // Domain implements Rel.
-func (a AtomicRel) Domain(in *Instance) []string {
+func (a AtomicRel) Domain(in Source) []string {
 	if !a.P.Valid() {
 		return nil
 	}
@@ -105,7 +120,7 @@ func (u UnionRel) InferredCard() Card {
 }
 
 // Links implements Rel.
-func (u UnionRel) Links(in *Instance, elem string) []string {
+func (u UnionRel) Links(in Source, elem string) []string {
 	seen := make(map[string]struct{})
 	var out []string
 	for _, r := range []Rel{u.A, u.B} {
@@ -120,7 +135,7 @@ func (u UnionRel) Links(in *Instance, elem string) []string {
 }
 
 // Domain implements Rel: the union of both domains.
-func (u UnionRel) Domain(in *Instance) []string {
+func (u UnionRel) Domain(in Source) []string {
 	seen := make(map[string]struct{})
 	var out []string
 	for _, r := range []Rel{u.A, u.B} {
@@ -156,7 +171,7 @@ func (j JoinRel) InverseCard() Card {
 
 // Links implements Rel: for a pair element (a,b), the common codomain
 // elements.
-func (j JoinRel) Links(in *Instance, elem string) []string {
+func (j JoinRel) Links(in Source, elem string) []string {
 	a, b, ok := SplitPair(elem)
 	if !ok {
 		return nil
@@ -177,7 +192,7 @@ func (j JoinRel) Links(in *Instance, elem string) []string {
 // Domain implements Rel: all pairs (a, b) of the operand domains that
 // share at least one codomain element... per Definition the domain is
 // A × B; pairs without common elements simply have zero links.
-func (j JoinRel) Domain(in *Instance) []string {
+func (j JoinRel) Domain(in Source) []string {
 	var out []string
 	for _, a := range j.A.Domain(in) {
 		for _, b := range j.B.Domain(in) {
@@ -203,7 +218,7 @@ func (c CollateralRel) InferredCard() Card {
 }
 
 // Links implements Rel.
-func (c CollateralRel) Links(in *Instance, elem string) []string {
+func (c CollateralRel) Links(in Source, elem string) []string {
 	a, b, ok := SplitPair(elem)
 	if !ok {
 		return nil
@@ -218,7 +233,7 @@ func (c CollateralRel) Links(in *Instance, elem string) []string {
 }
 
 // Domain implements Rel: the product of the operand domains.
-func (c CollateralRel) Domain(in *Instance) []string {
+func (c CollateralRel) Domain(in Source) []string {
 	var out []string
 	for _, a := range c.A.Domain(in) {
 		for _, b := range c.B.Domain(in) {
@@ -233,7 +248,7 @@ func (c CollateralRel) String() string { return "(" + c.A.String() + " ∥ " + c
 
 // RelLinkCounts computes the number of linked elements per domain element
 // of an arbitrary complex relationship.
-func RelLinkCounts(in *Instance, r Rel) map[string]int {
+func RelLinkCounts(in Source, r Rel) map[string]int {
 	out := make(map[string]int)
 	for _, elem := range r.Domain(in) {
 		out[elem] = len(r.Links(in, elem))
@@ -243,7 +258,7 @@ func RelLinkCounts(in *Instance, r Rel) map[string]int {
 
 // CountRelViolations counts the domain elements whose link count the
 // prescribed cardinality does not admit.
-func CountRelViolations(in *Instance, r Rel, prescribed Card) int {
+func CountRelViolations(in Source, r Rel, prescribed Card) int {
 	violations := 0
 	for _, n := range RelLinkCounts(in, r) {
 		if !prescribed.Contains(int64(n)) {
@@ -257,7 +272,7 @@ func CountRelViolations(in *Instance, r Rel, prescribed Card) int {
 // attributes of one table using the join of their inverse relationships:
 // the constraint holds iff every (value-a, value-b) pair encloses at most
 // one common tuple. It returns the number of violating pairs.
-func CheckNaryUnique(g *Graph, in *Instance, table string, attrA, attrB string) (int, error) {
+func CheckNaryUnique(g *Graph, in Source, table string, attrA, attrB string) (int, error) {
 	ea := g.EdgeBetween(AttributeNodeID(table, attrA), table)
 	eb := g.EdgeBetween(AttributeNodeID(table, attrB), table)
 	if ea == nil || eb == nil {

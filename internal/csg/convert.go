@@ -49,6 +49,12 @@ func FromSchema(s *relational.Schema) (*Graph, error) {
 			}
 		}
 	}
+	// Duplicate FK declarations (the same table.column → reftable.column
+	// pair declared twice, or repeated across composite keys) must not
+	// produce aliased equality edges: EdgeBetween returns only the first
+	// edge between two nodes, so a second identical edge would be
+	// populated by FromDatabase yet invisible to every lookup.
+	seenFK := make(map[[2]*Node]bool)
 	for _, fk := range s.ForeignKeys() {
 		for i := range fk.Columns {
 			from := g.Node(AttributeNodeID(fk.Table, fk.Columns[i]))
@@ -56,6 +62,10 @@ func FromSchema(s *relational.Schema) (*Graph, error) {
 			if from == nil || to == nil {
 				return nil, fmt.Errorf("csg: foreign key references missing node (%v)", fk)
 			}
+			if seenFK[[2]*Node{from, to}] {
+				continue
+			}
+			seenFK[[2]*Node{from, to}] = true
 			if _, err := g.Connect(from, to, CardOne, CardOpt, EqualityEdge); err != nil {
 				return nil, err
 			}
@@ -185,19 +195,18 @@ func FromDatabase(g *Graph, db *relational.Database) (*Instance, error) {
 		}
 	}
 	// Equality edges: link equal elements of the two attribute nodes.
+	// Each undirected relationship is processed exactly once, tracked by
+	// an explicit set. (Inferring "already processed" from links-map
+	// presence is wrong: a zero-overlap equality relationship adds no
+	// links, so its inverse direction would be scanned a second time —
+	// and the scheme breaks silently the moment any earlier step touches
+	// the links map.)
+	doneEq := make(map[*Edge]bool)
 	for _, e := range g.Edges() {
-		if e.Kind != EqualityEdge || e.Inverse.Kind != EqualityEdge {
+		if e.Kind != EqualityEdge || doneEq[e] || doneEq[e.Inverse] {
 			continue
 		}
-		// Process each undirected equality relationship once: pick the
-		// direction stored first (both are in Edges(); dedupe via
-		// pointer order on the links map).
-		if _, done := in.links[e]; done {
-			continue
-		}
-		if _, done := in.links[e.Inverse]; done {
-			continue
-		}
+		doneEq[e] = true
 		toSet := make(map[string]struct{}, len(in.elements[e.To]))
 		for _, v := range in.elements[e.To] {
 			toSet[v] = struct{}{}

@@ -3,6 +3,7 @@ package csg
 import (
 	"context"
 	"sort"
+	"sync"
 )
 
 // MaxPathLength bounds the path enumeration of the matcher. Real target
@@ -43,64 +44,174 @@ func FindPaths(g *Graph, from, to *Node, maxLen int) []Path {
 	return out
 }
 
+// pathSearch is the state of one depth-limited DFS traversal: a goroutine
+// confines one pathSearch, so branch traversals share nothing.
+type pathSearch struct {
+	ctx       context.Context
+	g         *Graph
+	to        *Node
+	limit     int
+	maxPaths  int
+	steps     int
+	cancelled bool
+	visited   map[*Node]bool
+	current   Path
+	out       []Path
+}
+
+// dfs extends the current path from n, collecting simple paths of exactly
+// s.limit edges ending at s.to. Every node visit costs one step; the
+// traversal aborts once the step budget or the path cap is exceeded, and
+// polls the context every 1024 visits.
+func (s *pathSearch) dfs(n *Node) {
+	s.steps++
+	if s.cancelled || len(s.out) >= s.maxPaths || s.steps > maxStepsPerRound {
+		return
+	}
+	if s.steps&1023 == 0 && s.ctx.Err() != nil {
+		s.cancelled = true
+		return
+	}
+	if len(s.current) > 0 && n == s.to {
+		if len(s.current) == s.limit {
+			cp := make(Path, len(s.current))
+			copy(cp, s.current)
+			s.out = append(s.out, cp)
+		}
+		return // extending past the target only yields less concise paths
+	}
+	if len(s.current) == s.limit {
+		return
+	}
+	for _, e := range s.g.OutEdges(n) {
+		if s.visited[e.To] {
+			continue
+		}
+		s.visited[e.To] = true
+		s.current = append(s.current, e)
+		s.dfs(e.To)
+		s.current = s.current[:len(s.current)-1]
+		s.visited[e.To] = false
+	}
+}
+
+// truncated reports whether the traversal was cut short by its step budget
+// or path cap (rather than running to exhaustion).
+func (s *pathSearch) truncated() bool {
+	return s.steps > maxStepsPerRound || len(s.out) >= s.maxPaths
+}
+
+// findRoundSequential runs one deepening round exactly as the original
+// single-threaded search: one traversal from the start node, in the
+// graph's edge-insertion order. prior is the number of paths found by
+// earlier rounds, which counts against the MaxPaths cap.
+func findRoundSequential(ctx context.Context, g *Graph, from, to *Node, limit, prior int) ([]Path, error) {
+	s := &pathSearch{ctx: ctx, g: g, to: to, limit: limit,
+		maxPaths: MaxPaths - prior, visited: map[*Node]bool{from: true}}
+	s.dfs(from)
+	if s.cancelled {
+		return nil, ctx.Err()
+	}
+	return s.out, nil
+}
+
+// findRoundParallel runs one deepening round with one traversal per start
+// edge, each in its own goroutine with fully private state. The merged
+// result is accepted only when no limit would have bound sequentially —
+// the root visit plus all branch visits fit the round's step budget and
+// prior plus all branch paths fit MaxPaths. Then every branch ran to
+// exhaustion, so concatenating them in edge order reproduces the
+// sequential enumeration exactly. Otherwise ok is false and the caller
+// reruns the round sequentially, reproducing the seed's deterministic
+// truncation (which depends on how the single traversal interleaves the
+// branches).
+func findRoundParallel(ctx context.Context, g *Graph, from, to *Node, limit, prior int) (paths []Path, ok bool, err error) {
+	edges := g.OutEdges(from)
+	branches := make([]*pathSearch, len(edges))
+	var wg sync.WaitGroup
+	for i, e := range edges {
+		if e.To == from {
+			continue // the sequential root loop skips self-loops the same way
+		}
+		s := &pathSearch{ctx: ctx, g: g, to: to, limit: limit,
+			maxPaths: MaxPaths - prior,
+			visited:  map[*Node]bool{from: true, e.To: true},
+			current:  Path{e}}
+		branches[i] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.dfs(e.To)
+		}()
+	}
+	wg.Wait()
+	totalSteps := 1 // the root visit of the sequential traversal
+	found := 0
+	for _, b := range branches {
+		if b == nil {
+			continue
+		}
+		if b.cancelled {
+			return nil, false, ctx.Err()
+		}
+		if b.truncated() {
+			return nil, false, nil // not exhaustive: let the sequential rerun decide
+		}
+		totalSteps += b.steps
+		found += len(b.out)
+	}
+	if totalSteps > maxStepsPerRound || prior+found > MaxPaths {
+		return nil, false, nil
+	}
+	for _, b := range branches {
+		if b != nil {
+			paths = append(paths, b.out...)
+		}
+	}
+	return paths, true, nil
+}
+
 // FindPathsContext is FindPaths with cancellation: the search checks the
 // context before every deepening round and every 1024 node visits, and
 // returns the context's error when cancelled (dense discovered graphs can
 // hold exponentially many paths, so path search is the structure
 // detector's long pole under a module deadline).
+//
+// Each deepening round fans out across the start node's edges, one
+// goroutine per branch; when a round's step budget or the MaxPaths cap
+// binds, the round is rerun sequentially, so results — including truncated
+// ones — are bit-identical to the single-threaded search.
 func FindPathsContext(ctx context.Context, g *Graph, from, to *Node, maxLen int) ([]Path, error) {
 	if from == nil || to == nil {
 		return nil, nil
 	}
-	steps := 0
-	cancelled := false
 	var out []Path
-	visited := map[*Node]bool{from: true}
-	var current Path
-	var dfs func(n *Node, limit int)
-	dfs = func(n *Node, limit int) {
-		steps++
-		if cancelled || len(out) >= MaxPaths || steps > maxStepsPerRound {
-			return
-		}
-		if steps&1023 == 0 && ctx.Err() != nil {
-			cancelled = true
-			return
-		}
-		if len(current) > 0 && n == to {
-			if len(current) == limit {
-				cp := make(Path, len(current))
-				copy(cp, current)
-				out = append(out, cp)
-			}
-			return // extending past the target only yields less concise paths
-		}
-		if len(current) == limit {
-			return
-		}
-		for _, e := range g.OutEdges(n) {
-			if visited[e.To] {
-				continue
-			}
-			visited[e.To] = true
-			current = append(current, e)
-			dfs(e.To, limit)
-			current = current[:len(current)-1]
-			visited[e.To] = false
-		}
-	}
 	for limit := 1; limit <= maxLen && len(out) < MaxPaths; limit++ {
 		if ctx.Err() != nil {
-			cancelled = true
-		}
-		if cancelled {
 			return nil, ctx.Err()
 		}
-		steps = 0 // fresh budget per deepening round
-		dfs(from, limit)
-	}
-	if cancelled {
-		return nil, ctx.Err()
+		var round []Path
+		if len(g.OutEdges(from)) > 1 {
+			var ok bool
+			var err error
+			round, ok, err = findRoundParallel(ctx, g, from, to, limit, len(out))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				round, err = findRoundSequential(ctx, g, from, to, limit, len(out))
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			var err error
+			round, err = findRoundSequential(ctx, g, from, to, limit, len(out))
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, round...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i]) != len(out[j]) {

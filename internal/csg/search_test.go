@@ -1,7 +1,9 @@
 package csg
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"testing"
 )
 
@@ -128,4 +130,68 @@ func TestFindPathsDeterministicUnderTruncation(t *testing.T) {
 	if a != b {
 		t.Errorf("truncated searches differ:\n%s\nvs\n%s", a, b)
 	}
+}
+
+// seqFindPaths is the reference enumeration: every deepening round runs
+// single-threaded. The parallel fan-out of FindPathsContext must be
+// indistinguishable from it.
+func seqFindPaths(t *testing.T, g *Graph, from, to *Node, maxLen int) []Path {
+	t.Helper()
+	var out []Path
+	for limit := 1; limit <= maxLen && len(out) < MaxPaths; limit++ {
+		round, err := findRoundSequential(context.Background(), g, from, to, limit, len(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, round...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// TestFindPathsParallelMatchesSequential compares the parallel round
+// fan-out against the single-threaded reference on graphs with many
+// branches, both with an unconstrained budget (parallel rounds accepted)
+// and a binding one (every round falls back to the sequential rerun).
+func TestFindPathsParallelMatchesSequential(t *testing.T) {
+	render := func(paths []Path) string {
+		s := ""
+		for _, p := range paths {
+			s += p.String() + "\n"
+		}
+		return s
+	}
+	check := func(g *Graph, from, to *Node, maxLen int) {
+		t.Helper()
+		want := render(seqFindPaths(t, g, from, to, maxLen))
+		got := render(FindPaths(g, from, to, maxLen))
+		if got != want {
+			t.Errorf("parallel result diverges from sequential for %s -> %s:\ngot\n%s\nwant\n%s",
+				from.ID, to.ID, got, want)
+		}
+	}
+	g, from, to := denseDecoyGraph(t, 12, 3, true)
+	check(g, from, to, 6)
+
+	src := MustFromSchema(figure2Source())
+	nodes := src.Nodes()
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				check(src, a, b, MaxPathLength)
+			}
+		}
+	}
+
+	// A binding budget forces the sequential fallback in every round; the
+	// results must still match the reference exactly.
+	defer func(old int) { maxStepsPerRound = old }(maxStepsPerRound)
+	maxStepsPerRound = 400
+	g2, from2, to2 := denseDecoyGraph(t, 20, 3, true)
+	check(g2, from2, to2, 6)
 }

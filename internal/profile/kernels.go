@@ -561,21 +561,10 @@ func boolToString(table, column string, vec *relational.ColumnVector) *ColumnSta
 	return cs
 }
 
-// canonNaN is the single bit pattern all NaNs collapse to when floats are
-// keyed by bits: the renderer maps every NaN payload to "NaN", so the
-// typed key space must collapse identically.
-var canonNaN = math.Float64bits(math.NaN())
-
 // floatKey keys a float for distinct counting: its bit pattern with NaNs
-// canonicalized. Unlike keying a map by float64 itself (where 0 == -0 and
-// NaN never equals itself), this mirrors FormatValue key semantics: -0
-// and 0 stay distinct, NaNs collapse.
-func floatKey(x float64) uint64 {
-	if math.IsNaN(x) {
-		return canonNaN
-	}
-	return math.Float64bits(x)
-}
+// canonicalized so that every NaN payload collapses to the single "NaN"
+// rendering. Shared with the columnar substrate (relational.FloatKey).
+func floatKey(x float64) uint64 { return relational.FloatKey(x) }
 
 // finishInts derives Distinct, Constancy and TopK from a typed integer
 // count map. Values are rendered only when the top-k heap needs them.

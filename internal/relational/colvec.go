@@ -154,11 +154,12 @@ func (v *ColumnVector) Value(i int) Value {
 // NaN payloads must collapse exactly as they do under string keys.
 var canonNaN = math.Float64bits(math.NaN())
 
-// floatKey returns the distinct-value key of a float: its bit pattern with
+// FloatKey returns the distinct-value key of a float: its bit pattern with
 // NaNs canonicalized. Unlike keying a map by float64 (where 0 == -0 and
 // NaN never matches itself), this reproduces FormatValue key semantics
-// bit-for-bit: -0 and 0 stay distinct ("-0" vs "0"), NaNs collapse.
-func floatKey(x float64) uint64 {
+// bit-for-bit: -0 and 0 stay distinct ("-0" vs "0"), NaNs collapse. It is
+// shared by the profiling kernels and the interned CSG instance builder.
+func FloatKey(x float64) uint64 {
 	if math.IsNaN(x) {
 		return canonNaN
 	}
@@ -210,7 +211,7 @@ func (v *ColumnVector) computeSortedDistinct() []string {
 		seen := make(map[uint64]struct{})
 		for i, x := range v.floats {
 			if !v.nulls.Get(i) {
-				seen[floatKey(x)] = struct{}{}
+				seen[FloatKey(x)] = struct{}{}
 			}
 		}
 		out := make([]string, 0, len(seen))

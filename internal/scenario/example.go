@@ -75,7 +75,7 @@ func SmallExampleConfig() ExampleConfig {
 
 // LargeExampleConfig is a profiling-heavy variant of the running example:
 // large enough that column profiling, matching, and discovery dominate the
-// runtime (the BENCH_5.json trajectory is measured at this scale), small
+// runtime (the BENCH_6.json trajectory is measured at this scale), small
 // enough that a full benchmark suite stays interactive.
 func LargeExampleConfig() ExampleConfig {
 	return ExampleConfig{
@@ -86,6 +86,23 @@ func LargeExampleConfig() ExampleConfig {
 		Songs:                30000,
 		DistinctLengths:      27000,
 		TargetRecords:        500,
+		Seed:                 7,
+	}
+}
+
+// XLargeExampleConfig is a stress-sized variant of the running example —
+// one million songs, fifty thousand albums — for measuring how the
+// interned CSG instance and the columnar substrate scale: a full estimate
+// at this size must stay in single-digit seconds.
+func XLargeExampleConfig() ExampleConfig {
+	return ExampleConfig{
+		Albums:               50000,
+		AlbumsNoArtist:       1000,
+		AlbumsMultiArtist:    5000,
+		ArtistsWithoutAlbums: 1000,
+		Songs:                1000000,
+		DistinctLengths:      900000,
+		TargetRecords:        5000,
 		Seed:                 7,
 	}
 }

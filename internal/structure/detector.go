@@ -170,7 +170,7 @@ func (m *Module) AssessComplexityContext(ctx context.Context, s *core.Scenario) 
 		if err != nil {
 			return nil, err
 		}
-		srcInst, err := csg.FromDatabase(srcGraph, src.DB)
+		srcInst, err := csg.FromDatabaseInterned(srcGraph, src.DB)
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +196,7 @@ func (m *Module) AssessComplexityContext(ctx context.Context, s *core.Scenario) 
 }
 
 func (m *Module) detectSource(ctx context.Context, report *Report, s *core.Scenario, srcName string,
-	targetGraph, srcGraph *csg.Graph, srcInst *csg.Instance, nodeMatch csg.NodeMatch) error {
+	targetGraph, srcGraph *csg.Graph, srcInst *csg.Interned, nodeMatch csg.NodeMatch) error {
 
 	for _, e := range targetGraph.Edges() {
 		if err := ctx.Err(); err != nil {
@@ -250,7 +250,7 @@ func (m *Module) detectSource(ctx context.Context, report *Report, s *core.Scena
 }
 
 func (m *Module) detectMatched(ctx context.Context, report *Report, srcName string, srcGraph *csg.Graph,
-	srcInst *csg.Instance, nodeMatch csg.NodeMatch, e *csg.Edge) error {
+	srcInst *csg.Interned, nodeMatch csg.NodeMatch, e *csg.Edge) error {
 
 	path, err := csg.MatchRelationshipContext(ctx, e, srcGraph, nodeMatch)
 	if err != nil {
@@ -262,7 +262,7 @@ func (m *Module) detectMatched(ctx context.Context, report *Report, srcName stri
 		// equality directly: a referencing value without an equal
 		// referenced value will dangle after integration.
 		if e.Kind == csg.EqualityEdge {
-			count := unequalValues(srcInst,
+			count := srcInst.UnequalValues(
 				srcGraph.Node(nodeMatch[e.From.ID]), srcGraph.Node(nodeMatch[e.To.ID]))
 			if count > 0 && e.Card.Lo >= 1 {
 				addConflict(report, &Conflict{
@@ -294,7 +294,7 @@ func (m *Module) detectMatched(ctx context.Context, report *Report, srcName stri
 	if inferred.SubsetOf(e.Card) {
 		return nil // statically safe: every source element fits
 	}
-	below, above, belowSamples, aboveSamples := violationSplit(srcInst, path, e.Card)
+	below, above, belowSamples, aboveSamples := srcInst.ViolationSplit(path, e.Card, maxSamples)
 	if below > 0 {
 		addConflict(report, &Conflict{
 			Source: srcName, Kind: classify(e, true),
@@ -318,36 +318,6 @@ func (m *Module) detectMatched(ctx context.Context, report *Report, srcName stri
 
 // maxSamples bounds the violating elements quoted per conflict.
 const maxSamples = 3
-
-// violationSplit counts source elements with too few (below) and too many
-// (above) links along the path, relative to the prescribed cardinality,
-// and collects up to maxSamples offending elements per class. Samples are
-// picked deterministically (smallest elements first).
-func violationSplit(in *csg.Instance, p csg.Path, prescribed csg.Card) (below, above int, belowSamples, aboveSamples []string) {
-	counts := in.LinkCounts(p)
-	elems := make([]string, 0, len(counts))
-	for elem := range counts {
-		elems = append(elems, elem)
-	}
-	sort.Strings(elems)
-	for _, elem := range elems {
-		v := int64(counts[elem])
-		switch {
-		case prescribed.Contains(v):
-		case prescribed.IsEmpty() || v < prescribed.Lo:
-			below++
-			if len(belowSamples) < maxSamples {
-				belowSamples = append(belowSamples, elem)
-			}
-		default:
-			above++
-			if len(aboveSamples) < maxSamples {
-				aboveSamples = append(aboveSamples, elem)
-			}
-		}
-	}
-	return below, above, belowSamples, aboveSamples
-}
 
 // classify maps a violated target relationship to its conflict class
 // (Table 4): the edge direction and kind determine what the violation
@@ -429,25 +399,6 @@ func isGeneratedKeyTarget(g *csg.Graph, e *csg.Edge) bool {
 	}
 	valueToTuple := g.EdgeBetween(e.To.ID, e.To.Table)
 	return valueToTuple != nil && valueToTuple.Card.Equal(csg.CardOne)
-}
-
-// unequalValues counts the elements of node from without an equal element
-// in node to.
-func unequalValues(in *csg.Instance, from, to *csg.Node) int {
-	if from == nil || to == nil {
-		return 0
-	}
-	set := make(map[string]struct{})
-	for _, v := range in.Elements(to) {
-		set[v] = struct{}{}
-	}
-	count := 0
-	for _, v := range in.Elements(from) {
-		if _, ok := set[v]; !ok {
-			count++
-		}
-	}
-	return count
 }
 
 // tableReceivesData reports whether the relationship belongs to a target

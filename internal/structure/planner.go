@@ -25,6 +25,13 @@ type Action struct {
 	// Cascade returns the follow-up conflicts the repair introduces on
 	// the virtual CSG instance (Figure 5), e.g. created tuples missing
 	// required values. A nil Cascade has no side effects.
+	//
+	// Contract: Cascade must derive the follow-up conflicts from the
+	// virtual graph and the conflict's Kind, TargetTable, and
+	// TargetAttribute only, copying Source and Count through. The planner
+	// memoizes expansions per (kind, table, attribute) and re-instantiates
+	// them with the triggering conflict's Source and Count, so a Cascade
+	// reading other fields would see zero values.
 	Cascade func(st *planState, c *Conflict) []*Conflict
 }
 
@@ -79,6 +86,35 @@ type planState struct {
 	graph    *csg.Graph
 	fixCount map[string]int
 	trace    []string
+	// cascades memoizes cascade expansions per (kind, table, attribute):
+	// on a cleaning loop the same repair is re-simulated up to MaxFixes
+	// times, and distinct sources trigger identical expansions, so the
+	// graph walk runs once per site instead of once per queue entry.
+	cascades map[string][]*Conflict
+}
+
+// cascade expands the action's side effects for conflict c, memoized per
+// (kind, table, attribute) and instantiated with c's Source and Count
+// (see the Action.Cascade contract).
+func (st *planState) cascade(action Action, c *Conflict) []*Conflict {
+	if action.Cascade == nil {
+		return nil
+	}
+	key := string(c.Kind) + "|" + c.TargetTable + "|" + c.TargetAttribute
+	tmpl, ok := st.cascades[key]
+	if !ok {
+		norm := &Conflict{Kind: c.Kind, TargetTable: c.TargetTable, TargetAttribute: c.TargetAttribute}
+		tmpl = action.Cascade(st, norm)
+		st.cascades[key] = tmpl
+	}
+	out := make([]*Conflict, len(tmpl))
+	for i, t := range tmpl {
+		next := *t
+		next.Source = c.Source
+		next.Count = c.Count
+		out[i] = &next
+	}
+	return out
 }
 
 // kindPriority orders conflict processing so that tasks creating new
@@ -101,29 +137,53 @@ func kindPriority(k ConflictKind) int {
 	}
 }
 
+// conflictLess is the planner's processing order: conflict class priority
+// first, then target relationship, then source name.
+func conflictLess(a, b *Conflict) bool {
+	if pa, pb := kindPriority(a.Kind), kindPriority(b.Kind); pa != pb {
+		return pa < pb
+	}
+	if a.TargetRel != b.TargetRel {
+		return a.TargetRel < b.TargetRel
+	}
+	return a.Source < b.Source
+}
+
+// postRepairCard is the cardinality the repair leaves behind: every
+// element's link count is forced into the prescribed interval, and counts
+// the source already delivers within it stay, so the post-repair actual is
+// the intersection of inferred and prescribed. A source delivering no
+// admissible count at all is repaired onto the prescribed interval itself.
+func postRepairCard(c *Conflict) csg.Card {
+	post := c.Inferred.Intersect(c.Prescribed)
+	if post.IsEmpty() {
+		return c.Prescribed
+	}
+	return post
+}
+
 // Plan derives the ordered repair task list for the reported conflicts at
 // the given quality, simulating side effects until the virtual CSG
 // instance is violation-free. It returns the tasks, the simulation trace
 // (Figure 5), and ErrCleaningLoop if the repairs cycle.
+//
+// The queue is sorted once and cascaded conflicts are inserted in priority
+// order behind their equal-key peers, which processes conflicts in exactly
+// the order the previous stable re-sort-per-iteration produced, without
+// the quadratic re-sorting.
 func (p *Planner) Plan(rep *Report, q effort.Quality) ([]effort.Task, []string, error) {
-	st := &planState{graph: rep.targetGraph, fixCount: make(map[string]int)}
+	st := &planState{
+		graph:    rep.targetGraph,
+		fixCount: make(map[string]int),
+		cascades: make(map[string][]*Conflict),
+	}
 	queue := make([]*Conflict, len(rep.Conflicts))
 	copy(queue, rep.Conflicts)
+	sort.SliceStable(queue, func(i, j int) bool { return conflictLess(queue[i], queue[j]) })
 
 	var tasks []effort.Task
-	for len(queue) > 0 {
-		sort.SliceStable(queue, func(i, j int) bool {
-			a, b := queue[i], queue[j]
-			if pa, pb := kindPriority(a.Kind), kindPriority(b.Kind); pa != pb {
-				return pa < pb
-			}
-			if a.TargetRel != b.TargetRel {
-				return a.TargetRel < b.TargetRel
-			}
-			return a.Source < b.Source
-		})
-		c := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
 		if c.Count == 0 {
 			continue
 		}
@@ -153,13 +213,20 @@ func (p *Planner) Plan(rep *Report, q effort.Quality) ([]effort.Task, []string, 
 		}
 		tasks = append(tasks, task)
 		st.trace = append(st.trace, fmt.Sprintf("%s on %s: fixes %d × %s (actual %s ⊄ prescribed %s → %s)",
-			action.Type, c.TargetRel, c.Count, c.Kind, c.Inferred, c.Prescribed, c.Prescribed))
-		if action.Cascade != nil {
-			for _, next := range action.Cascade(st, c) {
-				st.trace = append(st.trace, fmt.Sprintf("  side effect: %s on %s (%d elements)",
-					next.Kind, next.TargetRel, next.Count))
-				queue = append(queue, next)
-			}
+			action.Type, c.TargetRel, c.Count, c.Kind, c.Inferred, c.Prescribed, postRepairCard(c)))
+		for _, next := range st.cascade(action, c) {
+			st.trace = append(st.trace, fmt.Sprintf("  side effect: %s on %s (%d elements)",
+				next.Kind, next.TargetRel, next.Count))
+			// Upper-bound insertion into the unprocessed tail: the new
+			// conflict goes behind every already-queued equal-key one,
+			// matching the stable sort's treatment of appended items.
+			tail := queue[head+1:]
+			i := head + 1 + sort.Search(len(tail), func(k int) bool {
+				return conflictLess(next, tail[k])
+			})
+			queue = append(queue, nil)
+			copy(queue[i+1:], queue[i:])
+			queue[i] = next
 		}
 	}
 	return tasks, st.trace, nil

@@ -1,0 +1,208 @@
+package structure
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/csg"
+	"efes/internal/effort"
+	"efes/internal/scenario"
+)
+
+// seedPlan replays the planner loop of the original implementation: the
+// whole remaining queue is stably re-sorted on every iteration and cascaded
+// conflicts are appended at the tail, un-memoized. It is the order oracle
+// for Plan's sort-once-insert-sorted queue.
+func seedPlan(t *testing.T, p *Planner, rep *Report, q effort.Quality) []effort.Task {
+	t.Helper()
+	st := &planState{graph: rep.targetGraph, fixCount: make(map[string]int)}
+	queue := make([]*Conflict, len(rep.Conflicts))
+	copy(queue, rep.Conflicts)
+	var tasks []effort.Task
+	for len(queue) > 0 {
+		sort.SliceStable(queue, func(i, j int) bool { return conflictLess(queue[i], queue[j]) })
+		c := queue[0]
+		queue = queue[1:]
+		if c.Count == 0 {
+			continue
+		}
+		key := c.Source + "|" + c.TargetRel + "|" + string(c.Kind)
+		st.fixCount[key]++
+		if st.fixCount[key] > p.MaxFixes {
+			t.Fatalf("seed planner hit a cleaning loop on %s", c.TargetRel)
+		}
+		action := p.Catalog[c.Kind][q]
+		task := effort.Task{
+			Type:        action.Type,
+			Category:    effort.CategoryCleaningStructure,
+			Quality:     q,
+			Subject:     c.TargetRel,
+			Repetitions: c.Count,
+		}
+		if action.Params != nil {
+			task.Params = action.Params(c)
+		}
+		tasks = append(tasks, task)
+		if action.Cascade != nil {
+			queue = append(queue, action.Cascade(st, c)...)
+		}
+	}
+	return tasks
+}
+
+func TestPlanOrderMatchesSeedPlanner(t *testing.T) {
+	scenarios := map[string]*core.Scenario{
+		"music d1-d2":         scenario.MustMusicScenario("d1", "d2", 7),
+		"music m1-f2":         scenario.MustMusicScenario("m1", "f2", 7),
+		"bibliographic s1-s2": scenario.MustBibliographicScenario("s1", "s2", 7),
+		"bibliographic s3-s2": scenario.MustBibliographicScenario("s3", "s2", 7),
+	}
+	for name, scn := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			m, rep := assess(t, scn)
+			for _, q := range []effort.Quality{effort.LowEffort, effort.HighQuality} {
+				want := seedPlan(t, m.planner, rep, q)
+				got, err := m.PlanTasks(rep, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s task order diverges from the seed planner:\ngot  %v\nwant %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanOrderMatchesSeedWithFanOutCascades stresses the sorted insertion
+// with synthetic conflicts whose cascades land before, between, and after
+// the queued items (the interesting insertion positions).
+func TestPlanOrderMatchesSeedWithFanOutCascades(t *testing.T) {
+	g := csg.MustFromSchema(scenario.MusicExampleTarget())
+	conflicts := []*Conflict{
+		{Source: "s2", Kind: UniqueViolated, TargetTable: "records", TargetAttribute: "id",
+			TargetRel: "id -> records", Prescribed: csg.CardOne, Inferred: csg.CardMany, Count: 2},
+		{Source: "s1", Kind: DanglingValue, TargetTable: "tracks", TargetAttribute: "record",
+			TargetRel: "record -> records.id", Prescribed: csg.CardOne, Inferred: csg.CardOpt, Count: 3},
+		{Source: "s1", Kind: NotNullViolated, TargetTable: "records", TargetAttribute: "artist",
+			TargetRel: "records -> artist", Prescribed: csg.CardOne, Inferred: csg.CardAny, Count: 4},
+		{Source: "s2", Kind: DetachedValue, TargetTable: "records", TargetAttribute: "artist",
+			TargetRel: "artist -> records", Prescribed: csg.CardMany, Inferred: csg.CardAny, Count: 5},
+	}
+	rep := &Report{Conflicts: conflicts, targetGraph: g}
+	p := NewPlanner()
+	want := seedPlan(t, p, rep, effort.HighQuality)
+	got, _, err := p.Plan(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("task order diverges from the seed planner:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestFigure5TracePostRepairCard pins the repaired-cardinality arrow of the
+// Figure-5 trace: it renders the post-repair actual cardinality — the
+// intersection of inferred and prescribed — not the prescribed interval a
+// second time.
+func TestFigure5TracePostRepairCard(t *testing.T) {
+	p := NewPlanner()
+	rep := &Report{Conflicts: []*Conflict{{
+		Source: "src", Kind: NotNullViolated,
+		TargetTable: "records", TargetAttribute: "artist",
+		TargetRel:  "records -> artist",
+		Prescribed: csg.CardMany, // 1..*
+		Inferred:   csg.CardOpt,  // 0..1: intersect = 1, ≠ prescribed
+		Count:      2,
+	}}}
+	_, trace, err := p.Plan(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"Add values on records -> artist: fixes 2 × Not null violated (actual 0..1 ⊄ prescribed 1..* → 1)",
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("trace = %q, want %q", trace, want)
+	}
+}
+
+// TestFigure5TraceGolden pins the full running-example trace byte for byte
+// (the Figure-5 report surface).
+func TestFigure5TraceGolden(t *testing.T) {
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	m, rep := assess(t, scn)
+	_, trace, err := m.PlanWithTrace(rep, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"Add tuples on artist -> records: fixes 5 × Value w/o enclosing tuple (actual 0..* ⊄ prescribed 1..* → 1..*)",
+		"  side effect: Not null violated on records -> title (5 elements)",
+		"Add values on records -> artist: fixes 4 × Not null violated (actual 0..* ⊄ prescribed 1 → 1)",
+		"Add values on records -> title: fixes 5 × Not null violated (actual 0 ⊄ prescribed 1 → 1)",
+		"Aggregate values on records -> artist: fixes 6 × Multiple attribute values (actual 0..* ⊄ prescribed 1 → 1)",
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("Figure-5 trace diverged:\ngot  %#v\nwant %#v", trace, want)
+	}
+}
+
+// TestPostRepairCard spells out the intersection-with-fallback semantics.
+func TestPostRepairCard(t *testing.T) {
+	cases := []struct {
+		inferred, prescribed csg.Card
+		want                 string
+	}{
+		{csg.CardAny, csg.CardMany, "1..*"},        // 0..* ∩ 1..* = 1..*
+		{csg.CardAny, csg.CardOne, "1"},            // 0..* ∩ 1 = 1
+		{csg.CardOpt, csg.CardMany, "1"},           // 0..1 ∩ 1..* = 1
+		{csg.Exactly(0), csg.CardOne, "1"},         // disjoint: repaired onto prescribed
+		{csg.CardEmpty, csg.CardMany, "1..*"},      // no inferred card: prescribed
+		{csg.Interval(2, 5), csg.CardMany, "2..5"}, // 2..5 ∩ 1..* = 2..5
+	}
+	for _, c := range cases {
+		got := postRepairCard(&Conflict{Inferred: c.inferred, Prescribed: c.prescribed})
+		if got.String() != c.want {
+			t.Errorf("postRepairCard(%s, %s) = %s, want %s", c.inferred, c.prescribed, got, c.want)
+		}
+	}
+}
+
+// TestCascadeMemoInstantiation checks that memoized cascade expansions are
+// re-instantiated per conflict: distinct sources and counts yield distinct
+// follow-up conflicts from one graph walk.
+func TestCascadeMemoInstantiation(t *testing.T) {
+	g := csg.MustFromSchema(scenario.MusicExampleTarget())
+	st := &planState{graph: g, cascades: make(map[string][]*Conflict)}
+	action := NewPlanner().Catalog[DetachedValue][effort.HighQuality]
+	c1 := &Conflict{Source: "a", Kind: DetachedValue, TargetTable: "records", TargetAttribute: "artist", Count: 5}
+	c2 := &Conflict{Source: "b", Kind: DetachedValue, TargetTable: "records", TargetAttribute: "artist", Count: 9}
+	out1 := st.cascade(action, c1)
+	out2 := st.cascade(action, c2)
+	if len(st.cascades) != 1 {
+		t.Fatalf("memo entries = %d, want 1", len(st.cascades))
+	}
+	if len(out1) == 0 || len(out2) == 0 {
+		t.Fatalf("cascades empty: %v, %v", out1, out2)
+	}
+	for i := range out1 {
+		if out1[i].Source != "a" || out1[i].Count != 5 {
+			t.Errorf("out1[%d] = %+v, want source a count 5", i, out1[i])
+		}
+		if out2[i].Source != "b" || out2[i].Count != 9 {
+			t.Errorf("out2[%d] = %+v, want source b count 9", i, out2[i])
+		}
+		if out1[i] == out2[i] {
+			t.Error("instantiations must not share conflict pointers")
+		}
+	}
+	// The memoized expansion matches the direct call.
+	direct := action.Cascade(st, c1)
+	if fmt.Sprint(direct) != fmt.Sprint(out1) {
+		t.Errorf("memoized cascade %v != direct %v", out1, direct)
+	}
+}
