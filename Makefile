@@ -4,13 +4,14 @@
 # (fault injection, deadlines, graceful degradation) runs a second,
 # focused pass so a fault-harness regression is reported by name, and
 # efeslint enforces the cross-cutting invariants (DESIGN.md §8).
-.PHONY: verify build test bench bench-smoke faults lint
+.PHONY: verify build test bench bench-smoke faults lint efesd-smoke
 
 verify:
 	go build ./...
 	go vet ./...
 	go test -race ./...
 	go test -race -run 'Fault|Resilience' ./...
+	go test -race -run 'KillRestart|GracefulDrain' ./cmd/efesd/
 	go run ./cmd/efeslint ./...
 
 # efeslint: the in-tree static analyzer (internal/lint). Exits nonzero on
@@ -22,6 +23,14 @@ lint:
 # order- and state-dependent behavior in the harness (arming/Reset).
 faults:
 	go test -race -count=2 -run 'Fault|Resilience' ./...
+
+# Daemon crash-safety smoke: SIGKILL a real efesd mid-workload, restart
+# over the same cache directory, assert byte-identical warm answers with
+# zero recomputed profiles; plus the SIGTERM graceful drain. The child
+# is the production main() re-exec'd, so the flock release, the ready
+# line, and the signal handling are all the shipped code paths.
+efesd-smoke:
+	go test -race -run 'KillRestart|GracefulDrain' ./cmd/efesd/
 
 build:
 	go build ./...

@@ -281,7 +281,7 @@ func BenchmarkConstraintValidation(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation runs the module ablation study (DESIGN.md §12): the
+// BenchmarkAblation runs the module ablation study (DESIGN.md §13): the
 // full evaluation for five framework configurations.
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

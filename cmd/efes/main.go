@@ -4,7 +4,7 @@
 //	efes -target targetdir -source srcdir [-corr file] [-quality high] \
 //	     [-discover] [-augment] [-skill 1.0] [-criticality 1.0] \
 //	     [-mapping-tool] [-workers N] [-timeout 30s] [-module-timeout 10s] \
-//	     [-retries 2] [-best-effort|-fail-fast] [-csv file]
+//	     [-retries 2] [-best-effort|-fail-fast] [-csv file] [-cache-dir dir]
 //
 // Each database directory contains a schema.txt (the format written by
 // relational.Schema.String / SaveDir) and one <table>.csv per table. The
@@ -33,10 +33,14 @@ import (
 	"efes"
 	"efes/internal/core"
 	"efes/internal/effort"
+	"efes/internal/mapping"
 	"efes/internal/match"
+	"efes/internal/persist"
 	"efes/internal/profile"
 	"efes/internal/relational"
 	"efes/internal/report"
+	"efes/internal/structure"
+	"efes/internal/valuefit"
 )
 
 func main() {
@@ -61,6 +65,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per failed module detector")
 	bestEffort := flag.Bool("best-effort", false, "degrade on module failure: list it and fall back to the counting baseline")
 	failFast := flag.Bool("fail-fast", false, "abort on the first module failure (the default; rejects -best-effort)")
+	cacheDir := flag.String("cache-dir", "", "durable cache directory shared with efesd (profiles always; results with -json)")
 	flag.Parse()
 	if *bestEffort && *failFast {
 		fatal(fmt.Errorf("-best-effort and -fail-fast are mutually exclusive"))
@@ -136,26 +141,67 @@ func main() {
 		efes.AddSource(scn, filepath.Base(dir), src, corrs)
 	}
 
-	var calc *efes.Calculator
+	var cfg effort.Config
 	if *configFile != "" {
 		f, err := os.Open(*configFile)
 		if err != nil {
 			fatal(err)
 		}
-		cfg, err := effort.LoadConfig(f)
+		cfg, err = effort.LoadConfig(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
-		calc = cfg.Calculator()
 	} else {
-		settings := efes.DefaultSettings()
-		settings.SkillFactor = *skill
-		settings.Criticality = *criticality
-		settings.MappingTool = *mappingTool
-		calc = efes.NewCalculator(settings)
+		cfg = effort.DefaultConfig()
+		cfg.Settings.SkillFactor = *skill
+		cfg.Settings.Criticality = *criticality
+		cfg.Settings.MappingTool = *mappingTool
 	}
-	fw := efes.NewFrameworkWith(calc, efes.StandardModules()...).
+	calc := cfg.Calculator()
+
+	// The durable cache is shared with efesd: the same content-addressed
+	// keys, so a scenario profiled or estimated by either process warms
+	// the other. A cache that fails to open degrades to a cold run.
+	var cache *persist.Cache
+	if *cacheDir != "" {
+		c, err := persist.Open(*cacheDir, persist.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efes: warning: cache disabled: %v\n", err)
+		} else {
+			cache = c
+			defer cache.Close()
+		}
+	}
+	prof := profile.NewProfiler(*workers)
+	if cache != nil {
+		prof.SetStore(cache.Namespace("stats"))
+	}
+	vf := valuefit.New()
+	vf.Profiler = prof
+
+	// With -json and no side outputs, a warm result cache short-circuits
+	// the whole estimation: the stored bytes are the exact bytes a cold
+	// run would print (only non-degraded results are ever stored).
+	var resultKey string
+	if cache != nil && *jsonOut && *csvOut == "" && *htmlOut == "" {
+		scnHash, err := persist.ScenarioHash(scn)
+		if err != nil {
+			fatal(err)
+		}
+		fp, err := persist.ConfigFingerprint(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		resultKey = persist.ResultKey(scnHash, quality, fp)
+		if data, ok := cache.Get("results", resultKey); ok {
+			fmt.Fprintln(os.Stderr, "efes: result served from cache")
+			os.Stdout.Write(data)
+			return
+		}
+	}
+
+	fw := efes.NewFrameworkWith(calc, mapping.New(), structure.New(), vf).
 		SetWorkers(*workers).
 		SetResilience(efes.Resilience{
 			ModuleTimeout: *moduleTimeout,
@@ -214,7 +260,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(string(data))
+		data = append(data, '\n')
+		if resultKey != "" && !res.Degraded() {
+			cache.Put("results", resultKey, data)
+		}
+		os.Stdout.Write(data)
 		return
 	}
 	fmt.Print(res.Summary())

@@ -50,7 +50,9 @@ type Resilience struct {
 type ModuleFailure struct {
 	// Module is the failed module's name.
 	Module string
-	// Stage is the pipeline stage that failed: "assess" or "plan".
+	// Stage is the pipeline stage that failed: "assess", "plan", or
+	// "deadline" (the whole request's deadline expired before the
+	// pipeline finished — see FallbackResult).
 	Stage string
 	// Err is the final error (a recovered panic becomes a *PanicError).
 	Err error
@@ -112,6 +114,51 @@ func (f *Framework) SetResilience(r Resilience) *Framework {
 
 // ResiliencePolicy returns the configured resilience settings.
 func (f *Framework) ResiliencePolicy() Resilience { return f.res }
+
+// WithResilience returns a copy of the framework with the given policy,
+// sharing the modules, calculator, and fallback estimator of the
+// original. Unlike SetResilience it does not mutate the receiver, so a
+// framework shared across concurrent requests (e.g. by the efesd daemon)
+// can derive a per-request policy without a data race.
+func (f *Framework) WithResilience(r Resilience) *Framework {
+	g := *f
+	g.res = r
+	return &g
+}
+
+// FallbackResult builds the fully degraded Result for a request whose
+// overall deadline expired (or that failed wholesale for another reason)
+// before the pipeline could finish: every module is recorded as a
+// "deadline"-stage failure carrying the cause, and the estimate consists
+// purely of the fallback estimator's tasks, in module registration
+// order. EstimateContext deliberately surfaces the caller's cancellation
+// as an error instead of degrading (a half-cancelled run must not
+// masquerade as a clean one); FallbackResult is the explicit opt-in for
+// callers — like a best-effort service endpoint — that still owe their
+// client an answer. The output is deterministic as long as cause's
+// message is.
+func (f *Framework) FallbackResult(s *Scenario, q effort.Quality, cause error) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	est, err := f.calc.Price(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	failures := make([]ModuleFailure, 0, len(f.modules))
+	for _, m := range f.modules {
+		mf := ModuleFailure{Module: m.Name(), Stage: "deadline", Err: cause, Attempts: 1}
+		if f.fallback != nil {
+			fb := f.fallback.FallbackTasks(s, m.Name(), q)
+			for _, te := range fb {
+				mf.FallbackMinutes += te.Minutes
+			}
+			est.Tasks = append(est.Tasks, fb...)
+		}
+		failures = append(failures, mf)
+	}
+	return &Result{Scenario: s.Name, Estimate: est, Failures: failures}, nil
+}
 
 // SetFallback installs the estimator that replaces a failed module's
 // effort contribution in best-effort mode. Without a fallback a failed

@@ -291,3 +291,87 @@ func TestResilienceDegradedExportRoundTrip(t *testing.T) {
 		t.Errorf("CSV missing the failure row:\n%s", csvText)
 	}
 }
+
+func TestResilienceWithResilienceDoesNotMutateShared(t *testing.T) {
+	base := resilientFramework(core.Resilience{BestEffort: true})
+	derived := base.WithResilience(core.Resilience{
+		ModuleTimeout: 50 * time.Millisecond, Retries: 2, BestEffort: true,
+	})
+	if base.ResiliencePolicy().Retries != 0 || base.ResiliencePolicy().ModuleTimeout != 0 {
+		t.Errorf("WithResilience mutated the shared framework: %+v", base.ResiliencePolicy())
+	}
+	if got := derived.ResiliencePolicy(); got.Retries != 2 || got.ModuleTimeout != 50*time.Millisecond {
+		t.Errorf("derived policy = %+v", got)
+	}
+	if derived.Fallback() != base.Fallback() {
+		t.Error("derived framework must share the fallback estimator")
+	}
+	if len(derived.Modules()) != len(base.Modules()) {
+		t.Error("derived framework must share the module list")
+	}
+	// The derived copy is a working pipeline.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	res, err := derived.EstimateContext(context.Background(), scn, effort.HighQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded() {
+		t.Errorf("clean run degraded: %v", res.Failures)
+	}
+}
+
+func TestResilienceFallbackResultAllModulesDegraded(t *testing.T) {
+	fw := resilientFramework(core.Resilience{BestEffort: true})
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	cause := context.DeadlineExceeded
+	res, err := fw.FallbackResult(scn, effort.HighQuality, cause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded() || len(res.Failures) != len(fw.Modules()) {
+		t.Fatalf("failures = %d, want one per module (%d)", len(res.Failures), len(fw.Modules()))
+	}
+	for i, mf := range res.Failures {
+		if mf.Module != fw.Modules()[i].Name() {
+			t.Errorf("failure %d = %s, want registration order %s", i, mf.Module, fw.Modules()[i].Name())
+		}
+		if mf.Stage != "deadline" || mf.Attempts != 1 || !errors.Is(mf.Err, cause) {
+			t.Errorf("failure %d = %+v", i, mf)
+		}
+		if mf.FallbackMinutes <= 0 {
+			t.Errorf("failure %d has no fallback contribution", i)
+		}
+	}
+	if len(res.Reports) != 0 {
+		t.Errorf("reports = %d, want none (nothing ran)", len(res.Reports))
+	}
+	if res.TotalMinutes() <= 0 {
+		t.Error("fallback estimate must still be positive")
+	}
+	// Deterministic: two builds render byte-identically.
+	res2, err := fw.FallbackResult(scn, effort.HighQuality, cause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("FallbackResult output not byte-stable")
+	}
+	if res.Summary() != res2.Summary() {
+		t.Error("FallbackResult summary not byte-stable")
+	}
+}
+
+func TestResilienceFallbackResultValidatesScenario(t *testing.T) {
+	fw := resilientFramework(core.Resilience{BestEffort: true})
+	if _, err := fw.FallbackResult(&core.Scenario{Name: "empty"}, effort.HighQuality, context.DeadlineExceeded); err == nil {
+		t.Fatal("invalid scenario must be rejected")
+	}
+}

@@ -77,6 +77,10 @@ func Points() []string {
 		"core:detector:*",
 		"core:planner:*",
 		"experiments:cell",
+		"persist:corrupt",
+		"persist:lock",
+		"persist:read",
+		"persist:write",
 		"profile:column",
 	}
 }

@@ -1,0 +1,108 @@
+package lint
+
+// Build-constraint evaluation for the loader: the real go tool selects
+// files per GOOS/GOARCH before compiling, and a package that splits an
+// implementation across constrained files (persist's flock lock has a
+// unix and a !unix variant of the same functions) type-checks only
+// under that selection. The loader mirrors the two selection mechanisms
+// the module uses — `//go:build` lines and filename GOOS/GOARCH
+// suffixes — evaluated for the host platform, which is exactly what
+// `go build ./...` in `make verify` compiles.
+
+import (
+	"go/ast"
+	"go/build/constraint"
+	"runtime"
+	"strings"
+)
+
+// knownOS and knownArch mirror go/build's lists closely enough for
+// filename-suffix matching; an unlisted suffix is an ordinary name part.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "nacl": true, "netbsd": true,
+	"openbsd": true, "plan9": true, "solaris": true, "wasip1": true,
+	"windows": true, "zos": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS is the set of GOOS values that satisfy the `unix` build tag.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// tagSatisfied reports whether one build tag holds on the host platform.
+// Release tags (go1.x) are treated as satisfied: the toolchain running
+// the linter is at least the module's own go directive. Custom -tags are
+// not supported, so unknown tags are unset — same default as go build.
+func tagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	if strings.HasPrefix(tag, "go1") {
+		return true
+	}
+	return false
+}
+
+// filenameSelected applies the _GOOS, _GOARCH, and _GOOS_GOARCH filename
+// rules (build-tag names like `unix` have no filename form).
+func filenameSelected(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 {
+			if osPart := parts[len(parts)-2]; knownOS[osPart] {
+				return osPart == runtime.GOOS
+			}
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// constraintSelected evaluates the file's `//go:build` line, if any,
+// against the host platform. The line must precede the package clause;
+// a file without one is unconditionally selected.
+func constraintSelected(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparsable constraint excludes the file,
+				// matching go build's refusal to compile it.
+				return false
+			}
+			return expr.Eval(tagSatisfied)
+		}
+	}
+	return true
+}

@@ -11,7 +11,10 @@ package lint
 // Test files are deliberately excluded: the lint rules guard production
 // invariants (determinism, context flow, fault points), and tests are
 // exactly where wall-clock reads, context.Background, and ad-hoc map
-// iteration are legitimate.
+// iteration are legitimate. Build-constrained files (`//go:build` lines,
+// _GOOS/_GOARCH filename suffixes) are selected for the host platform —
+// see build.go — so platform-split implementations type-check exactly
+// as `go build` compiles them.
 
 import (
 	"fmt"
@@ -172,12 +175,17 @@ func Load(dir string, extra ...string) (*Module, error) {
 		}
 		rp := &rawPkg{dir: d, path: path, imports: make(map[string]bool)}
 		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") ||
+				strings.HasPrefix(e.Name(), ".") || strings.HasPrefix(e.Name(), "_") ||
+				!filenameSelected(e.Name()) {
 				continue
 			}
 			f, err := parser.ParseFile(fset, filepath.Join(d, e.Name()), nil, parser.ParseComments)
 			if err != nil {
 				return nil, err
+			}
+			if !constraintSelected(f) {
+				continue
 			}
 			rp.files = append(rp.files, f)
 			for _, imp := range f.Imports {

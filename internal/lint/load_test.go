@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestLoadSelectsBuildConstrainedFiles builds a tiny module whose
+// package splits one function across a unix and a !unix file (the
+// persist lock shape): loading must pick exactly the host's variant
+// instead of failing with a redeclaration.
+func TestLoadSelectsBuildConstrainedFiles(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, body string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module constrained\n\ngo 1.22\n")
+	write("pkg/pkg.go", "package pkg\n\nvar _ = impl\n")
+	write("pkg/lock_unix.go", "//go:build unix\n\npackage pkg\n\nfunc impl() int { return 1 }\n")
+	write("pkg/lock_other.go", "//go:build !unix\n\npackage pkg\n\nfunc impl() int { return 2 }\n")
+	// Filename-suffix selection: a wrong-GOOS file would redeclare impl.
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	write("pkg/lock2_"+otherOS+".go", "package pkg\n\nfunc impl() int { return 3 }\n")
+
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var files int
+	for _, p := range mod.Pkgs {
+		if p.Path == "constrained/pkg" {
+			files = len(p.Files)
+		}
+	}
+	if files != 2 {
+		t.Errorf("loaded %d files for the constrained package, want 2 (pkg.go + one lock variant)", files)
+	}
+}
+
+func TestFilenameSelected(t *testing.T) {
+	cases := map[string]bool{
+		"plain.go":                        true,
+		"lock_unix.go":                    true, // `unix` is a tag, not a GOOS
+		"x_" + runtime.GOOS + ".go":       true,
+		"x_windows_amd64.go":              runtime.GOOS == "windows" && runtime.GOARCH == "amd64",
+		"x_" + runtime.GOARCH + ".go":     true,
+		"x_plan9.go":                      runtime.GOOS == "plan9",
+		"x_" + runtime.GOOS + "_s390x.go": runtime.GOARCH == "s390x",
+	}
+	for name, want := range cases {
+		if got := filenameSelected(name); got != want {
+			t.Errorf("filenameSelected(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestConstraintSelected(t *testing.T) {
+	cases := map[string]bool{
+		"//go:build unix\n\npackage p\n":                 unixOS[runtime.GOOS],
+		"//go:build !unix\n\npackage p\n":                !unixOS[runtime.GOOS],
+		"//go:build go1.22\n\npackage p\n":               true,
+		"//go:build sometag\n\npackage p\n":              false,
+		"//go:build " + runtime.GOOS + "\n\npackage p\n": true,
+		"package p\n\n//go:build unix\n":                 true, // after package clause: not a constraint
+		"package p\n":                                    true,
+	}
+	fset := token.NewFileSet()
+	for src, want := range cases {
+		f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if got := constraintSelected(f); got != want {
+			t.Errorf("constraintSelected(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// acquireLock on platforms without flock falls back to opening the lock
+// file without exclusion: single-writer enforcement is advisory there
+// (documented limitation; every supported deployment target is unix).
+func acquireLock(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}
+
+// releaseLock closes the lock file.
+func releaseLock(f *os.File) error { return f.Close() }

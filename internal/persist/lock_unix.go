@@ -1,0 +1,35 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes a non-blocking exclusive flock on path. Advisory
+// file locks are released by the kernel when the holding process dies —
+// including by SIGKILL — so a crashed daemon never leaves a stale lock
+// that wedges its successor (the property an O_EXCL lockfile would not
+// have).
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("held by another process: %w", err)
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock and closes the lock file.
+func releaseLock(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

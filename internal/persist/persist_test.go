@@ -1,0 +1,312 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"efes/internal/core"
+	"efes/internal/effort"
+	"efes/internal/match"
+	"efes/internal/relational"
+	"efes/internal/scenario"
+)
+
+func open(t *testing.T, dir string, opts Options) *Cache {
+	t.Helper()
+	c, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPutGetRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	payload := []byte(`{"answer":42}`)
+	c.Put("stats", "k1", payload)
+	got, ok := c.Get("stats", "k1")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v; want payload", got, ok)
+	}
+	if _, ok := c.Get("stats", "other"); ok {
+		t.Error("miss expected for unknown key")
+	}
+	if _, ok := c.Get("result", "k1"); ok {
+		t.Error("namespaces must not alias")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v; want 1 entry, 1 hit, 2 misses", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process (new Cache over the same dir) is warm.
+	c2 := open(t, dir, Options{})
+	if got, ok := c2.Get("stats", "k1"); !ok || string(got) != string(payload) {
+		t.Fatalf("reopened Get = %q, %v; want warm hit", got, ok)
+	}
+	if st := c2.Stats(); st.Entries != 1 {
+		t.Errorf("reopened entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestNamespaceView(t *testing.T) {
+	c := open(t, t.TempDir(), Options{})
+	ns := c.Namespace("stats")
+	ns.Put("k", []byte("v"))
+	if got, ok := ns.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("NS.Get = %q, %v", got, ok)
+	}
+	if got, ok := c.Get("stats", "k"); !ok || string(got) != "v" {
+		t.Fatalf("Cache.Get through NS key = %q, %v", got, ok)
+	}
+}
+
+// entryPath returns the on-disk path of a key's entry.
+func entryPath(c *Cache, ns, key string) string {
+	return filepath.Join(c.Dir(), ns, fileName(key)+".ce")
+}
+
+func TestCorruptEntryIsQuarantinedAndRecomputable(t *testing.T) {
+	for name, damage := range map[string]func(path string) error{
+		"flipped-byte": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			data[0] ^= 0xFF
+			return os.WriteFile(path, data, 0o644)
+		},
+		"short-write": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		},
+		"empty-file": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+		"bad-magic": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			copy(data[len(data)-footerSize:], "NOTMAGIC")
+			return os.WriteFile(path, data, 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := open(t, t.TempDir(), Options{})
+			c.Put("stats", "k", []byte("payload"))
+			if err := damage(entryPath(c, "stats", "k")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("stats", "k"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			st := c.Stats()
+			if st.Quarantined != 1 {
+				t.Errorf("quarantined = %d, want 1", st.Quarantined)
+			}
+			if st.Entries != 0 {
+				t.Errorf("entries = %d, want 0 after quarantine", st.Entries)
+			}
+			// The damaged bytes are preserved for post-mortems.
+			q, err := os.ReadDir(filepath.Join(c.Dir(), "quarantine"))
+			if err != nil || len(q) != 1 {
+				t.Errorf("quarantine dir: %v, %d files; want 1", err, len(q))
+			}
+			// Recompute-and-repair: a fresh Put serves again.
+			c.Put("stats", "k", []byte("payload"))
+			if got, ok := c.Get("stats", "k"); !ok || string(got) != "payload" {
+				t.Errorf("repaired Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestOpenSweepsCrashLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	c.Put("stats", "k", []byte("v"))
+	c.Close()
+	// Simulate a crash mid-write: a temp file next to a good entry.
+	tmp := filepath.Join(dir, "stats", fileName("k")+".tmp999-1")
+	if err := os.WriteFile(tmp, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := open(t, dir, Options{})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("temp file survived reopen")
+	}
+	if got, ok := c2.Get("stats", "k"); !ok || string(got) != "v" {
+		t.Errorf("good entry lost in sweep: %q, %v", got, ok)
+	}
+}
+
+func TestSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a locked cache must fail")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	c2.Close()
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Each entry is payload(8) + footer bytes; budget fits three.
+	payload := []byte("12345678")
+	per := int64(len(payload) + footerSize)
+	c := open(t, t.TempDir(), Options{MaxBytes: 3 * per})
+	c.Put("stats", "a", payload)
+	c.Put("stats", "b", payload)
+	c.Put("stats", "c", payload)
+	// Touch "a" so "b" is the least recently used.
+	if _, ok := c.Get("stats", "a"); !ok {
+		t.Fatal("warmup miss")
+	}
+	c.Put("stats", "d", payload)
+	if _, ok := c.Get("stats", "b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get("stats", k); !ok {
+			t.Errorf("entry %s evicted, want resident", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Errorf("stats = %+v; want 1 eviction, 3 entries", st)
+	}
+	if _, err := os.Stat(entryPath(c, "stats", "b")); !os.IsNotExist(err) {
+		t.Error("evicted entry file still on disk")
+	}
+}
+
+func TestScenarioHashContentAddressing(t *testing.T) {
+	build := func() *relational.Database {
+		s := relational.NewSchema("src")
+		s.MustAddTable(relational.MustTable("t",
+			relational.Column{Name: "a", Type: relational.String}))
+		db := relational.NewDatabase(s)
+		db.MustInsert("t", "x")
+		return db
+	}
+	mk := func(name string) *scenarioFixture {
+		return &scenarioFixture{name: name, src: build(), tgt: build()}
+	}
+	h1, err := ScenarioHash(mk("s").scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ScenarioHash(mk("s").scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("identical scenarios hashed differently")
+	}
+	// The name is part of the address (it appears in rendered results).
+	hName, err := ScenarioHash(mk("other").scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hName == h1 {
+		t.Error("renamed scenario must hash differently")
+	}
+	// A single changed value changes the address.
+	f := mk("s")
+	if err := f.src.Update("t", 0, "a", "y"); err != nil {
+		t.Fatal(err)
+	}
+	hMut, err := ScenarioHash(f.scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hMut == h1 {
+		t.Error("mutated instance must hash differently")
+	}
+
+	// The full music example is hashable and stable.
+	scn := scenario.MusicExample(scenario.SmallExampleConfig())
+	ha, err := ScenarioHash(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := ScenarioHash(scenario.MusicExample(scenario.SmallExampleConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Error("music example hash unstable across generations")
+	}
+}
+
+func TestResultKeyAndConfigFingerprint(t *testing.T) {
+	fp, err := ConfigFingerprint(effort.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := effort.DefaultConfig()
+	cfg.Settings.SkillFactor *= 2
+	fp2, err := ConfigFingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == fp2 {
+		t.Error("changed settings must change the fingerprint")
+	}
+	if ResultKey("h", effort.LowEffort, fp) == ResultKey("h", effort.HighQuality, fp) {
+		t.Error("quality must be part of the result key")
+	}
+	if ResultKey("h", effort.LowEffort, fp) == ResultKey("h", effort.LowEffort, fp2) {
+		t.Error("config fingerprint must be part of the result key")
+	}
+	if ResultKey("h1", effort.LowEffort, fp) == ResultKey("h2", effort.LowEffort, fp) {
+		t.Error("scenario hash must be part of the result key")
+	}
+}
+
+// scenarioFixture assembles a minimal one-source scenario.
+type scenarioFixture struct {
+	name     string
+	src, tgt *relational.Database
+}
+
+func (f *scenarioFixture) scenario() *core.Scenario {
+	corrs := (&match.Set{}).Attr("t", "a", "t", "a")
+	return &core.Scenario{
+		Name:    f.name,
+		Target:  f.tgt,
+		Sources: []*core.Source{{Name: "s1", DB: f.src, Correspondences: corrs}},
+	}
+}
+
+func TestStringsContainsTmpNaming(t *testing.T) {
+	// The sweep keys off ".tmp" in the name; the writer must keep using it.
+	c := open(t, t.TempDir(), Options{})
+	c.Put("stats", "k", []byte("v"))
+	files, err := os.ReadDir(filepath.Join(c.Dir(), "stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.Contains(f.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind by a successful Put", f.Name())
+		}
+	}
+}

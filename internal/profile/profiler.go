@@ -2,6 +2,9 @@ package profile
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,12 +56,88 @@ type profileEntry struct {
 // between unrelated workloads.
 type Profiler struct {
 	workers int
+	store   Store
 
 	mu      sync.Mutex
 	entries map[profileKey]*profileEntry
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	// diskHits counts memo misses served from the durable store without
+	// recomputing; computes counts profiles actually computed from the
+	// instance. misses == diskHits + computes + failed computations.
+	diskHits atomic.Int64
+	computes atomic.Int64
+}
+
+// Store is a durable byte store for computed column profiles — the
+// read-through hook behind the in-process memo, implemented by the
+// content-addressed on-disk cache (internal/persist, Cache.Namespace).
+// Both methods are best-effort: Get returning ok=false means "compute
+// it", and Put is fire-and-forget. Implementations must be safe for
+// concurrent use. Only successful computations are ever passed to Put —
+// errors are never persisted, mirroring the in-memory memo's contract.
+type Store interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte)
+}
+
+// SetStore installs the durable read-through store. Like the worker
+// count it must be set before the Profiler is shared across goroutines.
+// A profile that misses the in-process memo is then looked up in the
+// store under a content address (table bytes, column, type) before being
+// computed, and successful computations are written back — so a fresh
+// process over the same data starts warm.
+func (p *Profiler) SetStore(s Store) *Profiler {
+	p.store = s
+	return p
+}
+
+// statsFormatVersion tags the durable stats keys; bump it when the
+// ColumnStats JSON shape or the profiling semantics change, so stale
+// entries stop matching instead of being misread.
+const statsFormatVersion = "efes-stats-v1"
+
+// statsEnvelope is the durable form of one memoized profile.
+type statsEnvelope struct {
+	Stats        *ColumnStats `json:"stats"`
+	Incompatible int          `json:"incompatible,omitempty"`
+}
+
+// diskKey derives the content address of a profile: a pure function of
+// the table's serialized bytes, the column, and the (possibly coercion
+// target) type — independent of process, pointer identity, and upload
+// order, so any process over the same data shares entries.
+func diskKey(key profileKey) (string, bool) {
+	tableHash, err := key.db.ContentHash(key.table)
+	if err != nil {
+		return "", false
+	}
+	coerced := "raw"
+	if key.coerced {
+		coerced = "coerced"
+	}
+	sum := sha256.Sum256([]byte(statsFormatVersion + "\x00" + tableHash + "\x00" +
+		key.table + "\x00" + key.column + "\x00" + key.typ.String() + "\x00" + coerced))
+	return hex.EncodeToString(sum[:]), true
+}
+
+// loadStored fetches and validates a profile from the durable store.
+// Any mismatch — unreadable JSON, wrong column identity — is treated as
+// a miss: the profile is recomputed and the entry overwritten.
+func (p *Profiler) loadStored(key profileKey, dkey string) (*ColumnStats, int, bool) {
+	data, ok := p.store.Get(dkey)
+	if !ok {
+		return nil, 0, false
+	}
+	var env statsEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Stats == nil {
+		return nil, 0, false
+	}
+	if env.Stats.Table != key.table || env.Stats.Column != key.column || env.Stats.Type != key.typ {
+		return nil, 0, false
+	}
+	return env.Stats, env.Incompatible, true
 }
 
 // NewProfiler creates a Profiler whose bulk operations (ProfileTable,
@@ -110,6 +189,24 @@ func (p *Profiler) get(ctx context.Context, key profileKey, compute func() (*Col
 		p.entries[key] = e
 		p.mu.Unlock()
 		p.misses.Add(1)
+		// Durable read-through: a memo miss may still be a disk hit —
+		// some earlier process profiled the same bytes. Only on a disk
+		// miss is the profile actually computed, and only successful
+		// computations are written back (errors are never persisted).
+		var dkey string
+		if p.store != nil {
+			var keyOK bool
+			if dkey, keyOK = diskKey(key); keyOK {
+				if stats, incompatible, ok := p.loadStored(key, dkey); ok {
+					p.diskHits.Add(1)
+					e.stats, e.incompatible, e.ok = stats, incompatible, true
+					close(e.ready)
+					return stats, incompatible, nil
+				}
+			} else {
+				dkey = ""
+			}
+		}
 		stats, incompatible, err := compute()
 		if err != nil {
 			p.mu.Lock()
@@ -117,6 +214,14 @@ func (p *Profiler) get(ctx context.Context, key profileKey, compute func() (*Col
 			p.mu.Unlock()
 			close(e.ready) // wake waiters; e.ok stays false and they retry
 			return nil, 0, err
+		}
+		p.computes.Add(1)
+		if p.store != nil && dkey != "" {
+			// Best-effort write-back; NaN/Inf statistics are not
+			// JSON-encodable and simply stay memory-only.
+			if data, merr := json.Marshal(statsEnvelope{Stats: stats, Incompatible: incompatible}); merr == nil {
+				p.store.Put(dkey, data)
+			}
 		}
 		e.stats, e.incompatible, e.ok = stats, incompatible, true
 		close(e.ready)
@@ -280,6 +385,13 @@ func (p *Profiler) Counters() (hits, misses int64) {
 	return p.hits.Load(), p.misses.Load()
 }
 
+// DiskCounters splits the memo misses: diskHits were served from the
+// durable store without recomputing, computes ran the profiling kernels.
+// With no store installed diskHits is always zero.
+func (p *Profiler) DiskCounters() (diskHits, computes int64) {
+	return p.diskHits.Load(), p.computes.Load()
+}
+
 // HitRate returns the share of lookups served from the cache, or 0 before
 // any lookup.
 func (p *Profiler) HitRate() float64 {
@@ -305,4 +417,6 @@ func (p *Profiler) Reset() {
 	p.mu.Unlock()
 	p.hits.Store(0)
 	p.misses.Store(0)
+	p.diskHits.Store(0)
+	p.computes.Store(0)
 }

@@ -79,6 +79,13 @@ func (db *Database) ReadCSV(table string, r io.Reader) error {
 		staged = append(staged, row)
 	}
 	db.rows[table] = append(db.rows[table], staged...)
+	// The bulk append bypasses the incremental columnar maintenance, so a
+	// vector materialized before the load would be stale: drop it (it is
+	// rebuilt lazily) and invalidate the table's content hash.
+	db.vecMu.Lock()
+	delete(db.vecs, table)
+	db.vecMu.Unlock()
+	db.invalidateHash(table)
 	return nil
 }
 

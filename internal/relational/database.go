@@ -1,6 +1,8 @@
 package relational
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,11 +33,53 @@ type Database struct {
 	// turns a read into a write.
 	vecMu sync.Mutex
 	vecs  map[string][]*ColumnVector
+
+	// hashes memoizes per-table content hashes (ContentHash). hashMu is
+	// separate from vecMu so a first-time hash (a full CSV serialization
+	// of the table) never blocks columnar materialization; holding it
+	// across the computation deduplicates concurrent hashers of the same
+	// instance. Mutations invalidate via invalidateHash.
+	hashMu sync.Mutex
+	hashes map[string]string
 }
 
 // NewDatabase creates an empty instance of the given schema.
 func NewDatabase(s *Schema) *Database {
-	return &Database{Schema: s, rows: make(map[string][]Row), vecs: make(map[string][]*ColumnVector)}
+	return &Database{
+		Schema: s,
+		rows:   make(map[string][]Row),
+		vecs:   make(map[string][]*ColumnVector),
+		hashes: make(map[string]string),
+	}
+}
+
+// ContentHash returns a hex-encoded SHA-256 over the table's full CSV
+// serialization (header plus every row in order, WriteCSV's encoding).
+// Two tables hash equal iff they have the same column names and the same
+// tuples in the same order, whatever process or machine computed the
+// hash — the content address that keys the durable profile and result
+// caches (internal/persist). The hash is memoized per table and
+// invalidated by Insert, Update, Delete, and ReadCSV.
+func (db *Database) ContentHash(table string) (string, error) {
+	db.hashMu.Lock()
+	defer db.hashMu.Unlock()
+	if h, ok := db.hashes[table]; ok {
+		return h, nil
+	}
+	hasher := sha256.New()
+	if err := db.WriteCSV(table, hasher); err != nil {
+		return "", err
+	}
+	h := hex.EncodeToString(hasher.Sum(nil))
+	db.hashes[table] = h
+	return h, nil
+}
+
+// invalidateHash drops the memoized content hash of a mutated table.
+func (db *Database) invalidateHash(table string) {
+	db.hashMu.Lock()
+	delete(db.hashes, table)
+	db.hashMu.Unlock()
 }
 
 // Insert appends a tuple to the named table after type-checking every
@@ -59,6 +103,7 @@ func (db *Database) Insert(table string, values ...Value) error {
 	}
 	db.rows[table] = append(db.rows[table], row)
 	db.vecInsert(table, row)
+	db.invalidateHash(table)
 	return nil
 }
 
@@ -206,6 +251,7 @@ func (db *Database) Delete(table string, rowIndexes ...int) {
 	}
 	db.rows[table] = dst
 	db.vecDelete(table, drop)
+	db.invalidateHash(table)
 }
 
 // Update sets column of the row at rowIndex to v (after coercion).
@@ -227,6 +273,7 @@ func (db *Database) Update(table string, rowIndex int, column string, v Value) e
 	}
 	db.rows[table][rowIndex][idx] = cv
 	db.vecUpdate(table, rowIndex, idx, cv)
+	db.invalidateHash(table)
 	return nil
 }
 
