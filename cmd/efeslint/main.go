@@ -5,7 +5,17 @@
 //
 // Usage:
 //
-//	efeslint [-rules detorder,ctxflow,...] [-list] [-json] [packages]
+//	efeslint [-rules detorder,ctxflow,...] [-list] [-json]
+//	         [-baseline file] [-write-baseline file] [packages]
+//
+// -rules selects which analyzers run: either an allow-list of names, or
+// — when every entry starts with "-" — the full set minus the named ones
+// (`-rules=-goleak,-lockcheck`). -write-baseline records the current
+// findings (keyed by file, rule, and message, with per-key counts; line
+// numbers are deliberately excluded so unrelated edits do not invalidate
+// the baseline) and exits 0. -baseline suppresses findings recorded in
+// such a file: only findings beyond the baselined count for their key are
+// reported, and stale baseline entries are noted on stderr.
 //
 // The package pattern is currently all-or-nothing: `./...` (the default)
 // analyzes every package of the module containing the working directory.
@@ -17,8 +27,9 @@
 //
 //	efeslint ./internal/lint/testdata/src/...
 //
-// efeslint exits 0 when no unsuppressed diagnostic was found, 1 when at
-// least one was reported, and 2 on usage or load errors. Diagnostics are
+// efeslint exits 0 when no unsuppressed (and, with -baseline, no new)
+// diagnostic was found, 1 when at least one was reported, and 2 on usage
+// or load errors. Diagnostics are
 // printed as `file:line:col [rule] message` — or, with -json, as a JSON
 // array of {file, line, col, rule, message} objects on stdout (`[]` when
 // clean) so CI can annotate findings — and can be suppressed at the
@@ -37,14 +48,20 @@ import (
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	rules := flag.String("rules", "", "comma-separated analyzer names to run, or to exclude when every name starts with '-' (default: all)")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	jsonOut := flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
+	baseline := flag.String("baseline", "", "suppress findings recorded in this baseline file; report only new ones")
+	writeBaseline := flag.String("write-baseline", "", "record the current findings to this baseline file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [-json] [./...|dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [-json] [-baseline file] [-write-baseline file] [./...|dirs]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *baseline != "" && *writeBaseline != "" {
+		fmt.Fprintf(os.Stderr, "efeslint: -baseline and -write-baseline are mutually exclusive\n")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
@@ -53,17 +70,10 @@ func main() {
 		return
 	}
 
-	analyzers := lint.Analyzers()
-	if *rules != "" {
-		analyzers = analyzers[:0:0]
-		for _, name := range strings.Split(*rules, ",") {
-			a, ok := lint.AnalyzerByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "efeslint: unknown rule %q (try -list)\n", name)
-				os.Exit(2)
-			}
-			analyzers = append(analyzers, a)
-		}
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+		os.Exit(2)
 	}
 
 	cwd, err := os.Getwd()
@@ -121,6 +131,28 @@ func main() {
 	}
 
 	diags := lint.Run(mod.Fset, pkgs, analyzers, cwd)
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "efeslint: wrote baseline of %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baseline != "" {
+		var suppressed, stale int
+		diags, suppressed, stale, err = applyBaseline(*baseline, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
+			os.Exit(2)
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "efeslint: %d finding(s) suppressed by baseline %s\n", suppressed, *baseline)
+		}
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "efeslint: %d stale baseline entr(ies) no longer match any finding; consider -write-baseline\n", stale)
+		}
+	}
 	if *jsonOut {
 		printJSON(diags)
 	} else {
@@ -132,6 +164,111 @@ func main() {
 		fmt.Fprintf(os.Stderr, "efeslint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves the -rules flag: empty means all, an
+// allow-list names the analyzers to run, and a list where every entry
+// starts with "-" subtracts from the full set. Mixing the two forms is
+// an error.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	include, exclude := make([]string, 0, 4), make(map[string]bool)
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		if neg, isNeg := strings.CutPrefix(name, "-"); isNeg {
+			exclude[neg] = true
+		} else {
+			include = append(include, name)
+		}
+	}
+	if len(include) > 0 && len(exclude) > 0 {
+		return nil, fmt.Errorf("-rules mixes enabled and -disabled names; use one form")
+	}
+	check := func(name string) (*lint.Analyzer, error) {
+		a, ok := lint.AnalyzerByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		return a, nil
+	}
+	if len(exclude) > 0 {
+		for name := range exclude {
+			if _, err := check(name); err != nil {
+				return nil, err
+			}
+		}
+		kept := make([]*lint.Analyzer, 0, len(all))
+		for _, a := range all {
+			if !exclude[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		return kept, nil
+	}
+	selected := make([]*lint.Analyzer, 0, len(include))
+	for _, name := range include {
+		a, err := check(name)
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, a)
+	}
+	return selected, nil
+}
+
+// baselineKey identifies a finding for baseline purposes: file, rule,
+// and message, but not the line — so edits elsewhere in the file do not
+// invalidate the entry.
+func baselineKey(d lint.Diagnostic) string {
+	return filepath.ToSlash(d.Pos.Filename) + "|" + d.Rule + "|" + d.Message
+}
+
+// writeBaselineFile records the findings as a JSON object mapping
+// baseline keys to occurrence counts.
+func writeBaselineFile(path string, diags []lint.Diagnostic) error {
+	counts := make(map[string]int, len(diags))
+	for _, d := range diags {
+		counts[baselineKey(d)]++
+	}
+	data, err := json.MarshalIndent(counts, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline filters out findings covered by the baseline file. Each
+// baseline entry suppresses up to its recorded count of matching
+// findings (in report order); the excess, if any, is new. It returns the
+// surviving findings, the number suppressed, and the number of stale
+// baseline occurrences that matched nothing.
+func applyBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, int, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	budget := make(map[string]int)
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return nil, 0, 0, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	kept := diags[:0:0]
+	suppressed := 0
+	for _, d := range diags {
+		if k := baselineKey(d); budget[k] > 0 {
+			budget[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	stale := 0
+	for _, n := range budget {
+		stale += n
+	}
+	return kept, suppressed, stale, nil
 }
 
 // printJSON renders the diagnostics as a JSON array (empty but valid on a

@@ -1,0 +1,42 @@
+package csg
+
+import (
+	"math/rand"
+	"testing"
+
+	"efes/internal/relational"
+)
+
+// TestBuildAttributeAllocBound is the hotalloc regression for the
+// interning kernel: building an attribute node over a float column must
+// allocate O(distinct) times — one rendering per distinct value, with
+// the element table and CSR preallocated — never O(rows).
+func TestBuildAttributeAllocBound(t *testing.T) {
+	const rows, distinct = 4096, 16
+	s := relational.NewSchema("alloc")
+	tab, err := relational.NewTable("t", relational.Column{Name: "c", Type: relational.Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	db := relational.NewDatabase(s)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < rows; i++ {
+		db.MustInsert("t", float64(rng.Intn(distinct))+0.5)
+	}
+	vec := db.Vector("t", "c")
+	if vec == nil {
+		t.Fatal("Vector returned nil")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		buildAttribute(vec)
+	})
+	// Fixed structures (tables, offsets, targets, elems, the dedup map)
+	// plus a rendering or two per distinct value; far below one per row.
+	if limit := float64(32 + 4*distinct); allocs > limit {
+		t.Errorf("buildAttribute(float, %d rows, %d distinct): %v allocs/op, want ≤ %v",
+			rows, distinct, allocs, limit)
+	}
+}

@@ -132,6 +132,7 @@ func MustFromDatabaseInterned(g *Graph, db *relational.Database) *Interned {
 // tuple→value links become a CSR with at most one target per row. String
 // columns map dictionary codes to element IDs directly — no hashing and no
 // re-rendering; other types key their typed vectors.
+//efes:hot
 func buildAttribute(v *relational.ColumnVector) (*elemTable, *csrAdj) {
 	nRows := v.Len()
 	et := &elemTable{}
@@ -140,6 +141,7 @@ func buildAttribute(v *relational.ColumnVector) (*elemTable, *csrAdj) {
 		targets: make([]int32, 0, nRows-v.NullCount()),
 	}
 	nulls := v.Nulls()
+	elems := make([]string, 0, nRows-v.NullCount()) // distinct ≤ non-NULL rows
 	appendRow := func(i int, id int32) {
 		fwd.offsets[i+1] = fwd.offsets[i] + 1
 		fwd.targets = append(fwd.targets, id)
@@ -158,9 +160,9 @@ func buildAttribute(v *relational.ColumnVector) (*elemTable, *csrAdj) {
 			}
 			id := code2id[code]
 			if id < 0 {
-				id = int32(len(et.elems))
+				id = int32(len(elems))
 				code2id[code] = id
-				et.elems = append(et.elems, dict[code])
+				elems = append(elems, dict[code])
 			}
 			appendRow(i, id)
 		}
@@ -173,9 +175,9 @@ func buildAttribute(v *relational.ColumnVector) (*elemTable, *csrAdj) {
 			}
 			id, ok := seen[x]
 			if !ok {
-				id = int32(len(et.elems))
+				id = int32(len(elems))
 				seen[x] = id
-				et.elems = append(et.elems, strconv.FormatInt(x, 10))
+				elems = append(elems, strconv.FormatInt(x, 10))
 			}
 			appendRow(i, id)
 		}
@@ -189,9 +191,9 @@ func buildAttribute(v *relational.ColumnVector) (*elemTable, *csrAdj) {
 			key := relational.FloatKey(x)
 			id, ok := seen[key]
 			if !ok {
-				id = int32(len(et.elems))
+				id = int32(len(elems))
 				seen[key] = id
-				et.elems = append(et.elems, relational.FormatValue(x))
+				elems = append(elems, relational.FormatFloat(x))
 			}
 			appendRow(i, id)
 		}
@@ -206,20 +208,25 @@ func buildAttribute(v *relational.ColumnVector) (*elemTable, *csrAdj) {
 			s := relational.FormatValue(val)
 			id, ok := seen[s]
 			if !ok {
-				id = int32(len(et.elems))
+				id = int32(len(elems))
 				seen[s] = id
-				et.elems = append(et.elems, s)
+				elems = append(elems, s)
 			}
 			appendRow(i, id)
 		}
 	}
-	et.n = len(et.elems)
+	if len(elems) == 0 {
+		elems = nil // Elements hands this slice out; the oracle renders an empty node as nil
+	}
+	et.elems = elems
+	et.n = len(elems)
 	return et, fwd
 }
 
 // transpose inverts a CSR adjacency (counting sort over target IDs): the
 // result's element i links to every source element that links to i. Link
 // order is source order, matching the oracle's insertion order.
+//efes:hot
 func transpose(a *csrAdj, nTo int) *csrAdj {
 	out := &csrAdj{offsets: make([]int32, nTo+1), targets: make([]int32, len(a.targets))}
 	for _, t := range a.targets {
@@ -241,19 +248,22 @@ func transpose(a *csrAdj, nTo int) *csrAdj {
 
 // equalityAdj links equal elements of two attribute nodes (at most one per
 // element, since attribute elements are distinct values).
+//efes:hot
 func equalityAdj(from, to *elemTable) (*csrAdj, *csrAdj) {
 	toIdx := to.lookup()
 	fwd := &csrAdj{offsets: make([]int32, from.n+1)}
 	back := &csrAdj{offsets: make([]int32, to.n+1)}
 	type pair struct{ f, t int32 }
-	var pairs []pair
+	pairs := make([]pair, 0, from.n) // at most one link per source element
+	targets := make([]int32, 0, from.n)
 	for f, v := range from.elems {
 		if t, ok := toIdx[v]; ok {
 			fwd.offsets[f+1] = 1
-			fwd.targets = append(fwd.targets, t)
+			targets = append(targets, t)
 			pairs = append(pairs, pair{int32(f), t})
 		}
 	}
+	fwd.targets = targets
 	for i := 0; i < from.n; i++ {
 		fwd.offsets[i+1] += fwd.offsets[i]
 	}
@@ -367,6 +377,7 @@ func (in *Interned) Links(e *Edge, elem string) []string {
 // number of distinct end-node elements reachable along p. The result is
 // dense: counts[i] is the count of element i of the start node. It returns
 // nil for invalid paths (the oracle's empty map).
+//efes:hot
 func (in *Interned) LinkCounts(p Path) []int32 {
 	if !p.Valid() {
 		return nil
@@ -434,6 +445,7 @@ func (in *Interned) LinkCounts(p Path) []int32 {
 // ActualCard summarizes the link counts of a path into the tightest
 // interval covering all observed counts; empty for instances without start
 // elements (the oracle's Instance.ActualCard).
+//efes:hot
 func (in *Interned) ActualCard(p Path) Card {
 	counts := in.LinkCounts(p)
 	if len(counts) == 0 {
@@ -453,6 +465,7 @@ func (in *Interned) ActualCard(p Path) Card {
 
 // CountViolations counts the elements of the start node of p whose number
 // of reachable end elements is not admitted by the prescribed cardinality.
+//efes:hot
 func (in *Interned) CountViolations(p Path, prescribed Card) int {
 	violations := 0
 	for _, n := range in.LinkCounts(p) {
@@ -468,6 +481,7 @@ func (in *Interned) CountViolations(p Path, prescribed Card) int {
 // collects up to maxSamples offending elements per class — the
 // lexicographically smallest rendered elements, exactly as the oracle's
 // sorted-scan produces. Only sample candidates are rendered.
+//efes:hot
 func (in *Interned) ViolationSplit(p Path, prescribed Card, maxSamples int) (below, above int, belowSamples, aboveSamples []string) {
 	counts := in.LinkCounts(p)
 	if len(counts) == 0 {
@@ -523,6 +537,7 @@ func (m *minSampler) sorted() []string { return m.vals }
 // UnequalValues counts the elements of node from without an equal element
 // in node to (the structure detector's direct value-equality check for
 // unconnected equality relationships).
+//efes:hot
 func (in *Interned) UnequalValues(from, to *Node) int {
 	ft, tt := in.nodes[from], in.nodes[to]
 	if ft == nil || tt == nil {

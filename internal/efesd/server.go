@@ -98,7 +98,7 @@ type Server struct {
 	draining atomic.Bool
 
 	mu        sync.Mutex
-	scenarios map[string]*scenarioEntry // tenant + "\x00" + name
+	scenarios map[string]*scenarioEntry //efes:guardedby mu — tenant + "\x00" + name
 
 	// Request-lifecycle counters (see /v1/status).
 	inflight     atomic.Int64

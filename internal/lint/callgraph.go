@@ -181,11 +181,15 @@ type CallGraph struct {
 	Fset  *token.FileSet
 	Nodes []*FuncNode
 
+	pkgs       []*Package
 	byObj      map[*types.Func]*FuncNode
 	namedTypes []*types.Named
 
 	lockDone  bool
 	lockDiags []graphDiag
+
+	gbDone  bool
+	gbDiags []graphDiag
 }
 
 // graphDiag is a diagnostic computed once per graph and emitted by the
@@ -199,7 +203,7 @@ type graphDiag struct {
 // buildCallGraph constructs the graph and its summaries for the given
 // packages (in their given, deterministic order).
 func buildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
-	g := &CallGraph{Fset: fset, byObj: make(map[*types.Func]*FuncNode)}
+	g := &CallGraph{Fset: fset, pkgs: pkgs, byObj: make(map[*types.Func]*FuncNode)}
 	for _, pkg := range pkgs {
 		scope := pkg.Types.Scope()
 		names := scope.Names()

@@ -1,0 +1,599 @@
+package lint
+
+// The SSA-lite dataflow layer: per-function def-use chains over local
+// variables and fields, a flow-insensitive points-to/alias approximation
+// for receivers, fields, and address-taken locals, and per-statement
+// lock-set computation reusing lockcheck's path-sensitive Lock/Unlock
+// interpreter. guardedby and hotalloc are built on top of it.
+//
+// The model is deliberately smaller than real SSA: there are no phi
+// nodes and no versioned values. A "definition" is any syntactic store
+// to an identifier or field selection — assignment, declaration,
+// composite-literal field initializer, range binding — recorded with its
+// right-hand side when it has one. Three derived facts cover what the
+// analyzers need:
+//
+//   - alias: a local whose every definition resolves (through other
+//     aliases) to the same variable or field object is canonicalized to
+//     that object, so `mu := &s.mu; mu.Lock()` keys the lock-set on the
+//     s.mu field, and swapped frontier buffers (`cur, next = next, cur`)
+//     form one alias group for capacity reasoning;
+//   - ownership: a local whose every definition is a fresh allocation
+//     (&T{…}, T{…}, new, make) or a channel receive, and which is never
+//     handed to a `go` statement, is exclusively owned by the current
+//     goroutine — accesses through it need no lock (the constructor and
+//     buffered-channel-handoff disciplines);
+//   - must-held lock-sets: lockcheck's interpreter is run silently with
+//     a per-statement hook; at each visited statement the lock-set is
+//     the intersection of the held locks over every abstract state that
+//     reaches it (so a lock held on only one branch does not count).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// defSite is one definition of an object: the defining statement's
+// position and the right-hand side, when the definition has a single
+// syntactic one (nil for multi-value assignments, zero-value var
+// declarations, range bindings, and parameters).
+type defSite struct {
+	pos token.Pos
+	rhs ast.Expr
+}
+
+// funcDataflow holds the def-use facts of one function (including its
+// synchronous literals; a go-launched literal is its own node and gets
+// its own funcDataflow).
+type funcDataflow struct {
+	pkg  *Package
+	node *FuncNode
+
+	// defs maps a variable or field object to its definition sites in
+	// source order. Field objects are instance-insensitive: a composite
+	// literal initializing csrAdj{targets: make(…)} defines the targets
+	// field for capacity purposes wherever it is appended to.
+	defs map[types.Object][]defSite
+	// params marks parameter, receiver, and named-result objects: defined
+	// from outside, never fresh.
+	params map[types.Object]bool
+	// addrTaken marks objects whose address is taken outside a method
+	// call (a &x anywhere makes x's value flow beyond the def-use view).
+	addrTaken map[types.Object]bool
+	// goEscaped marks objects referenced by a go statement (closure
+	// capture or argument): they are shared with another goroutine.
+	goEscaped map[types.Object]bool
+	// hasGoto records a goto anywhere in the body: with backward jumps a
+	// definition textually after a loop can still reach its iterations,
+	// so position-based reachability pruning is disabled.
+	hasGoto bool
+
+	aliasMemo map[types.Object]types.Object
+	ownedMemo map[types.Object]int8 // 0 unknown, 1 owned, -1 not
+}
+
+// isLocalVar reports a non-field variable declared inside a function
+// (not at package scope).
+func isLocalVar(v *types.Var) bool {
+	if v.IsField() {
+		return false
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	return true
+}
+
+// funcBody returns the body of a graph node (declared function or
+// go-launched literal).
+func funcBody(n *FuncNode) *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// analyzeFunc builds the def-use facts for one node.
+func analyzeFunc(pkg *Package, n *FuncNode) *funcDataflow {
+	df := &funcDataflow{
+		pkg: pkg, node: n,
+		defs:      make(map[types.Object][]defSite),
+		params:    make(map[types.Object]bool),
+		addrTaken: make(map[types.Object]bool),
+		goEscaped: make(map[types.Object]bool),
+		aliasMemo: make(map[types.Object]types.Object),
+		ownedMemo: make(map[types.Object]int8),
+	}
+	info := pkg.Info
+	markFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					df.params[obj] = true
+				}
+			}
+		}
+	}
+	if n.Decl != nil {
+		markFields(n.Decl.Recv)
+		markFields(n.Decl.Type.Params)
+		markFields(n.Decl.Type.Results)
+	}
+	if n.Lit != nil {
+		markFields(n.Lit.Type.Params)
+		markFields(n.Lit.Type.Results)
+	}
+	body := funcBody(n)
+	if body == nil {
+		return df
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.GoStmt:
+			// Everything a go statement mentions is shared with the
+			// launched goroutine.
+			ast.Inspect(x, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						df.goEscaped[obj] = true
+					}
+				}
+				return true
+			})
+		case *ast.BranchStmt:
+			if x.Tok == token.GOTO {
+				df.hasGoto = true
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					df.addDef(lhs, defSite{pos: lhs.Pos(), rhs: x.Rhs[i]})
+				}
+			} else {
+				for _, lhs := range x.Lhs {
+					df.addDef(lhs, defSite{pos: lhs.Pos()})
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				d := defSite{pos: name.Pos()}
+				if len(x.Values) == len(x.Names) {
+					d.rhs = x.Values[i]
+				}
+				df.addDef(name, d)
+			}
+		case *ast.RangeStmt:
+			if x.Key != nil {
+				df.addDef(x.Key, defSite{pos: x.Key.Pos()})
+			}
+			if x.Value != nil {
+				df.addDef(x.Value, defSite{pos: x.Value.Pos()})
+			}
+		case *ast.IncDecStmt:
+			df.addDef(x.X, defSite{pos: x.X.Pos()})
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if obj := refObject(info, x.X); obj != nil {
+					df.addrTaken[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			// T{field: v} defines the field object (instance-insensitive).
+			if _, ok := info.Types[x]; ok {
+				for _, el := range x.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := info.Uses[key]; obj != nil {
+						if v, ok := obj.(*types.Var); ok && v.IsField() {
+							df.defs[obj] = append(df.defs[obj], defSite{pos: kv.Pos(), rhs: kv.Value})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return df
+}
+
+// addDef records one definition of an assignable expression: an
+// identifier or a field selection. Compound assignment targets
+// (x += y, x++) come through with rhs nil via their callers.
+func (df *funcDataflow) addDef(lhs ast.Expr, d defSite) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := df.pkg.Info.Defs[e]
+		if obj == nil {
+			obj = df.pkg.Info.Uses[e]
+		}
+		if obj != nil {
+			df.defs[obj] = append(df.defs[obj], d)
+		}
+	case *ast.SelectorExpr:
+		if obj := df.pkg.Info.Uses[e.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				df.defs[obj] = append(df.defs[obj], d)
+			}
+		}
+	}
+}
+
+// canonOf resolves an object through the alias approximation: a local
+// whose every definition is `&target` or `target` for one consistent
+// variable/field object (possibly through further locals) canonicalizes
+// to that object. Fields, package-level variables, and parameters are
+// their own canonical representatives.
+func (df *funcDataflow) canonOf(obj types.Object) types.Object {
+	return df.canonRec(obj, map[types.Object]bool{})
+}
+
+func (df *funcDataflow) canonRec(obj types.Object, visiting map[types.Object]bool) types.Object {
+	if c, ok := df.aliasMemo[obj]; ok {
+		return c
+	}
+	if visiting[obj] {
+		return obj
+	}
+	visiting[obj] = true
+	canon := obj
+	if v, ok := obj.(*types.Var); ok && isLocalVar(v) && !df.params[obj] {
+		defs := df.defs[obj]
+		var target types.Object
+		ok := len(defs) > 0
+		for _, d := range defs {
+			if d.rhs == nil {
+				ok = false
+				break
+			}
+			rhs := ast.Unparen(d.rhs)
+			if un, isUn := rhs.(*ast.UnaryExpr); isUn && un.Op == token.AND {
+				rhs = ast.Unparen(un.X)
+			}
+			ref := refObject(df.pkg.Info, rhs)
+			if ref == nil {
+				ok = false
+				break
+			}
+			ref = df.canonRec(ref, visiting)
+			if target == nil {
+				target = ref
+			} else if target != ref {
+				ok = false
+				break
+			}
+		}
+		if ok && target != nil && target != obj {
+			canon = target
+		}
+	}
+	delete(visiting, obj)
+	df.aliasMemo[obj] = canon
+	return canon
+}
+
+// aliasMap returns the non-trivial canonicalizations, for the lock
+// interpreter's key resolution.
+func (df *funcDataflow) aliasMap() map[types.Object]types.Object {
+	out := make(map[types.Object]types.Object)
+	for obj := range df.defs {
+		if c := df.canonOf(obj); c != obj {
+			out[obj] = c
+		}
+	}
+	return out
+}
+
+// ownedLocal reports whether obj is a local this goroutine exclusively
+// owns: every definition is a fresh allocation (&T{…}, T{…}, new, make)
+// or a channel receive (ownership transferred by the happens-before of
+// the handoff), possibly via other owned locals, and the object never
+// reaches a go statement. Accesses through an owned local need no lock:
+// the constructor idiom and the buffered-channel handoff.
+func (df *funcDataflow) ownedLocal(obj types.Object) bool {
+	return df.ownedRec(obj, map[types.Object]bool{})
+}
+
+func (df *funcDataflow) ownedRec(obj types.Object, visiting map[types.Object]bool) bool {
+	if m := df.ownedMemo[obj]; m != 0 {
+		return m == 1
+	}
+	if visiting[obj] {
+		return true // cycle: every path into it was fresh so far
+	}
+	visiting[obj] = true
+	defer delete(visiting, obj)
+	v, ok := obj.(*types.Var)
+	if !ok || !isLocalVar(v) || df.params[obj] || df.goEscaped[obj] {
+		df.ownedMemo[obj] = -1
+		return false
+	}
+	defs := df.defs[obj]
+	if len(defs) == 0 {
+		df.ownedMemo[obj] = -1
+		return false
+	}
+	for _, d := range defs {
+		if d.rhs == nil || !df.freshExpr(d.rhs, visiting) {
+			df.ownedMemo[obj] = -1
+			return false
+		}
+	}
+	df.ownedMemo[obj] = 1
+	return true
+}
+
+// freshExpr reports whether an expression yields a value no other
+// goroutine can hold a reference to.
+func (df *funcDataflow) freshExpr(e ast.Expr, visiting map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return isLit
+		}
+		if x.Op == token.ARROW {
+			return true // channel receive: ownership handed off
+		}
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if obj := df.pkg.Info.Uses[id]; obj == types.Universe.Lookup("new") || obj == types.Universe.Lookup("make") {
+				return true
+			}
+		}
+	case *ast.Ident:
+		if obj := df.pkg.Info.Uses[x]; obj != nil {
+			return df.ownedRec(obj, visiting)
+		}
+	}
+	return false
+}
+
+// ---- slice capacity (hotalloc's append rule) ----
+
+// aliasGroup collects the locals connected to obj by plain-identifier
+// definitions (v := w, or the swap `cur, next = next, cur`), so a
+// reusable double-buffer counts its partner's make as its own.
+func (df *funcDataflow) aliasGroup(obj types.Object) map[types.Object]bool {
+	group := map[types.Object]bool{obj: true}
+	for changed := true; changed; {
+		changed = false
+		for member := range group {
+			for _, d := range df.defs[member] {
+				if d.rhs == nil {
+					continue
+				}
+				switch ast.Unparen(d.rhs).(type) {
+				case *ast.Ident, *ast.SliceExpr:
+					if ref := sliceBaseObject(df.pkg.Info, d.rhs); ref != nil && !group[ref] {
+						if v, isVar := ref.(*types.Var); isVar && !v.IsField() {
+							group[ref] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return group
+}
+
+// provableCap reports whether every definition of the append target is
+// a make with an explicit capacity outside the given loop, a member of
+// the target's alias group (buffer swap), or a re-append to the group
+// (s = append(s, …), including the reslice s[:0] reset). Such a slice
+// amortizes to its high-water mark instead of allocating per iteration.
+func (df *funcDataflow) provableCap(target ast.Expr, loop ast.Node) bool {
+	obj := sliceBaseObject(df.pkg.Info, target)
+	if obj == nil {
+		return false
+	}
+	group := df.aliasGroup(obj)
+	sawMake := false
+	for member := range group {
+		for _, d := range df.defs[member] {
+			if !df.hasGoto && loop != nil && d.pos >= loop.End() {
+				continue // a def after the loop cannot reach its iterations
+			}
+			if d.rhs == nil {
+				return false
+			}
+			rhs := ast.Unparen(d.rhs)
+			switch rhs.(type) {
+			case *ast.Ident, *ast.SliceExpr:
+				if ref := sliceBaseObject(df.pkg.Info, rhs); ref != nil && group[ref] {
+					continue // swap or reslice-reset within the group
+				}
+				return false
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					switch df.pkg.Info.Uses[id] {
+					case types.Universe.Lookup("make"):
+						if len(call.Args) == 3 && !within(loop, d.pos) {
+							sawMake = true
+							continue
+						}
+						return false
+					case types.Universe.Lookup("append"):
+						if base := sliceBaseObject(df.pkg.Info, call.Args[0]); base != nil && group[base] {
+							continue // self-append re-definition
+						}
+						return false
+					}
+				}
+			}
+			return false
+		}
+	}
+	return sawMake
+}
+
+// sliceBaseObject resolves the object behind a slice expression,
+// unwrapping a reslice like cur[:0].
+func sliceBaseObject(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = sl.X
+	}
+	return refObject(info, e)
+}
+
+// within reports whether pos falls inside node's source range.
+func within(node ast.Node, pos token.Pos) bool {
+	return node != nil && node.Pos() <= pos && pos < node.End()
+}
+
+// ---- per-statement lock-sets ----
+
+// Lock-set mode bits.
+const (
+	heldWrite uint8 = 1 << iota
+	heldRead
+)
+
+// lockSet maps a mutex object (canonical, per the alias map) to the
+// modes in which it is held.
+type lockSet map[types.Object]uint8
+
+// stmtLockInfo is the result of interpreting one function for lock-sets.
+type stmtLockInfo struct {
+	// at maps every interpreted statement to the must-held lock-set at
+	// its entry: the intersection over all abstract states and all
+	// visits (loop unrollings, branch joins). Statements inside nested
+	// function literals are not interpreted and are absent.
+	at map[ast.Stmt]lockSet
+	// ok is false when the interpreter bailed (goto, labels, a lock on
+	// an untrackable expression): no proof either way.
+	ok bool
+}
+
+// held reports whether the guard is held, in any mode, at stmt's entry.
+func (li stmtLockInfo) held(stmt ast.Stmt, guard types.Object) bool {
+	if stmt == nil {
+		return false
+	}
+	_, ok := li.at[stmt][guard]
+	return ok
+}
+
+// stmtLockSets runs lockcheck's interpreter silently over n's body and
+// records the must-held lock-set at every statement. entry seeds locks
+// already held when the function is entered (the caller-holds-the-lock
+// convention of …Locked helpers, computed by guardedby's call-site
+// propagation).
+func stmtLockSets(fset *token.FileSet, n *FuncNode, canon map[types.Object]types.Object, entry lockSet) stmtLockInfo {
+	body := funcBody(n)
+	li := stmtLockInfo{at: make(map[ast.Stmt]lockSet)}
+	if body == nil || n.bailLock {
+		return li
+	}
+	it := &lockInterp{
+		info:     n.Pkg.Info,
+		fset:     fset,
+		node:     n,
+		canon:    canon,
+		reported: make(map[string]bool),
+	}
+	it.onStmt = func(stmt ast.Stmt, in []lkState) {
+		cur := intersectHeld(in)
+		if prev, seen := li.at[stmt]; seen {
+			li.at[stmt] = intersectSets(prev, cur)
+		} else {
+			li.at[stmt] = cur
+		}
+	}
+	init := lkState{held: make(map[lkKey]heldInfo)}
+	for obj, mode := range entry {
+		if mode&heldWrite != 0 {
+			init.held[lkKey{obj: obj}] = heldInfo{count: 1, pos: body.Pos()}
+		}
+		if mode&heldRead != 0 {
+			init.held[lkKey{obj: obj, read: true}] = heldInfo{count: 1, pos: body.Pos()}
+		}
+	}
+	it.execStmts(body.List, []lkState{init})
+	li.ok = !it.bailed
+	return li
+}
+
+// intersectHeld computes the locks held in every state of a state set.
+func intersectHeld(states []lkState) lockSet {
+	if len(states) == 0 {
+		return lockSet{}
+	}
+	out := lockSet{}
+	for k, h := range states[0].held {
+		if h.count <= 0 {
+			continue
+		}
+		mode := heldWrite
+		if k.read {
+			mode = heldRead
+		}
+		out[k.obj] |= mode
+	}
+	for _, s := range states[1:] {
+		for obj, mode := range out {
+			var m uint8
+			if h, ok := s.held[lkKey{obj: obj}]; ok && h.count > 0 {
+				m |= heldWrite
+			}
+			if h, ok := s.held[lkKey{obj: obj, read: true}]; ok && h.count > 0 {
+				m |= heldRead
+			}
+			mode &= m
+			if mode == 0 {
+				delete(out, obj)
+			} else {
+				out[obj] = mode
+			}
+		}
+	}
+	return out
+}
+
+// intersectSets intersects two must-held lock-sets.
+func intersectSets(a, b lockSet) lockSet {
+	out := lockSet{}
+	for obj, mode := range a {
+		if m, ok := b[obj]; ok && mode&m != 0 {
+			out[obj] = mode & m
+		}
+	}
+	return out
+}
+
+// enclosingStmt finds the innermost interpreted statement whose range
+// contains pos (used to look up the lock-set at a call site or field
+// access).
+func enclosingStmt(at map[ast.Stmt]lockSet, pos token.Pos) ast.Stmt {
+	var best ast.Stmt
+	for stmt := range at {
+		if !within(stmt, pos) {
+			continue
+		}
+		if best == nil || (stmt.Pos() >= best.Pos() && stmt.End() <= best.End()) {
+			best = stmt
+		}
+	}
+	return best
+}

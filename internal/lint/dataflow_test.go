@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// corpusFunc loads the corpus, builds the call graph, and returns the
+// named function's package and node (funcName may be "Recv.Method" for
+// methods).
+func corpusFunc(t *testing.T, pkgSuffix, funcName string) (*Package, *CallGraph, *FuncNode) {
+	t.Helper()
+	mod := loadWithCorpus(t)
+	graph := buildCallGraph(mod.Fset, mod.Pkgs)
+	for _, pkg := range mod.Pkgs {
+		if !strings.HasSuffix(pkg.Path, pkgSuffix) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || declName(fd) != funcName {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					t.Fatalf("%s: no types.Func", funcName)
+				}
+				n := graph.NodeByObj(obj)
+				if n == nil {
+					t.Fatalf("%s: no graph node", funcName)
+				}
+				return pkg, graph, n
+			}
+		}
+	}
+	t.Fatalf("function %s not found in corpus package %s", funcName, pkgSuffix)
+	return nil, nil, nil
+}
+
+// declName renders "Recv.Method" or "Func" for a declaration.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	typ := fd.Recv.List[0].Type
+	if st, ok := typ.(*ast.StarExpr); ok {
+		typ = st.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// firstLoop returns the first for/range statement in the body.
+func firstLoop(t *testing.T, n *FuncNode) ast.Node {
+	t.Helper()
+	var loop ast.Node
+	ast.Inspect(funcBody(n), func(node ast.Node) bool {
+		if loop != nil {
+			return false
+		}
+		switch node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loop = node
+			return false
+		}
+		return true
+	})
+	if loop == nil {
+		t.Fatal("no loop in function body")
+	}
+	return loop
+}
+
+// appendTargets collects the first argument of every append call in the
+// body, keyed by rendering.
+func appendTargets(pkg *Package, n *FuncNode) map[string]ast.Expr {
+	out := make(map[string]ast.Expr)
+	ast.Inspect(funcBody(n), func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pkg.Info.Uses[id] == types.Universe.Lookup("append") {
+			out[types.ExprString(call.Args[0])] = call.Args[0]
+		}
+		return true
+	})
+	return out
+}
+
+// TestAliasGroupProvableCap pins the alias-merge half of the dataflow
+// layer: the swapped double-buffer of SwapBuffers forms one alias group
+// owning a capacity make, so its append is provable, while the bare
+// `var out []string` of PerRowAllocs is not.
+func TestAliasGroupProvableCap(t *testing.T) {
+	pkg, _, n := corpusFunc(t, "hotalloc", "SwapBuffers")
+	df := analyzeFunc(pkg, n)
+	loop := firstLoop(t, n)
+	targets := appendTargets(pkg, n)
+	next, ok := targets["next"]
+	if !ok {
+		t.Fatalf("no append to next (have %v)", targets)
+	}
+	if !df.provableCap(next, loop) {
+		t.Error("SwapBuffers: append to next not provable; the swap alias group should own the makes")
+	}
+	group := df.aliasGroup(refObject(pkg.Info, next))
+	if len(group) != 2 {
+		t.Errorf("alias group of next has %d members, want 2 (cur, next)", len(group))
+	}
+
+	pkg, _, n = corpusFunc(t, "hotalloc", "PerRowAllocs")
+	df = analyzeFunc(pkg, n)
+	loop = firstLoop(t, n)
+	out, ok := appendTargets(pkg, n)["out"]
+	if !ok {
+		t.Fatal("no append to out")
+	}
+	if df.provableCap(out, loop) {
+		t.Error("PerRowAllocs: append to zero-valued out must not be provable")
+	}
+}
+
+// TestProvableCapIgnoresPostLoopDefs pins the reachability pruning: a
+// definition textually after the loop (ResetAfter's `buf = nil`) cannot
+// reach the loop's iterations and must not defeat the proof.
+func TestProvableCapIgnoresPostLoopDefs(t *testing.T) {
+	pkg, _, n := corpusFunc(t, "hotalloc", "ResetAfter")
+	df := analyzeFunc(pkg, n)
+	loop := firstLoop(t, n)
+	buf, ok := appendTargets(pkg, n)["buf"]
+	if !ok {
+		t.Fatal("no append to buf")
+	}
+	if !df.provableCap(buf, loop) {
+		t.Error("ResetAfter: the post-loop nil def must be ignored")
+	}
+}
+
+// TestStmtLockSets pins the per-statement lock-set computation: inside
+// Counter.Inc the mutex is held at the field increments and released
+// after Unlock; Gauge.Read holds the read side.
+func TestStmtLockSets(t *testing.T) {
+	pkg, graph, n := corpusFunc(t, "guardedby", "Counter.Inc")
+	mu := structField(t, pkg, "Counter", "mu")
+	li := stmtLockSets(graph.Fset, n, nil, nil)
+	if !li.ok {
+		t.Fatal("interpreter bailed on Counter.Inc")
+	}
+	var incs []*ast.IncDecStmt
+	ast.Inspect(funcBody(n), func(node ast.Node) bool {
+		if inc, ok := node.(*ast.IncDecStmt); ok {
+			incs = append(incs, inc)
+		}
+		return true
+	})
+	if len(incs) != 2 {
+		t.Fatalf("found %d IncDecStmt in Inc, want 2", len(incs))
+	}
+	for _, inc := range incs {
+		stmt := enclosingStmt(li.at, inc.Pos())
+		if !li.held(stmt, mu) {
+			t.Errorf("mu not held at %s", types.ExprString(inc.X))
+		}
+		if mode := li.at[stmt][mu]; mode&heldWrite == 0 {
+			t.Errorf("mu held in mode %b at %s, want write", mode, types.ExprString(inc.X))
+		}
+	}
+
+	pkg, graph, n = corpusFunc(t, "guardedby", "Gauge.Read")
+	rw := structField(t, pkg, "Gauge", "rw")
+	li = stmtLockSets(graph.Fset, n, nil, nil)
+	var ret *ast.ReturnStmt
+	ast.Inspect(funcBody(n), func(node ast.Node) bool {
+		if r, ok := node.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	stmt := enclosingStmt(li.at, ret.Pos())
+	if !li.held(stmt, rw) {
+		t.Error("rw not held at Gauge.Read's return")
+	}
+	if mode := li.at[stmt][rw]; mode&heldRead == 0 {
+		t.Errorf("rw held in mode %b at return, want read", mode)
+	}
+}
+
+// structField resolves a named struct's field object.
+func structField(t *testing.T, pkg *Package, structName, fieldName string) *types.Var {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(structName)
+	if obj == nil {
+		t.Fatalf("type %s not found", structName)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("%s is not a struct", structName)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName {
+			return f
+		}
+	}
+	t.Fatalf("field %s.%s not found", structName, fieldName)
+	return nil
+}
+
+// TestOwnedLocal pins the ownership exemption: Handoff's freshly
+// allocated Counter is owned; Race's parameter is not.
+func TestOwnedLocal(t *testing.T) {
+	pkg, _, n := corpusFunc(t, "guardedby", "Handoff")
+	df := analyzeFunc(pkg, n)
+	var c types.Object
+	ast.Inspect(funcBody(n), func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && id.Name == "c" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				c = obj
+			}
+		}
+		return true
+	})
+	if c == nil {
+		t.Fatal("local c not found in Handoff")
+	}
+	if !df.ownedLocal(c) {
+		t.Error("Handoff's fresh &Counter{} local must be owned")
+	}
+
+	pkg, _, n = corpusFunc(t, "guardedby", "Race")
+	df = analyzeFunc(pkg, n)
+	var param types.Object
+	for obj := range df.params {
+		if obj.Name() == "c" {
+			param = obj
+		}
+	}
+	if param == nil {
+		t.Fatal("parameter c not found in Race")
+	}
+	if df.ownedLocal(param) {
+		t.Error("Race's parameter must not be owned")
+	}
+}

@@ -1,0 +1,527 @@
+package lint
+
+// guardedby: mutex/field association inference and goroutine-reachable
+// unguarded-access detection, built on the dataflow layer (dataflow.go)
+// and the PR-4 call graph.
+//
+// For every struct with a direct sync.Mutex/RWMutex field the analyzer
+// infers which sibling fields that mutex guards:
+//
+//   - an explicit `//efes:guardedby mu` (or the `// guarded by mu` doc
+//     convention) on the field binds it unconditionally;
+//   - otherwise, for a struct with exactly one mutex, a field is
+//     inferred guarded when at least two accesses happen with the mutex
+//     held and the held accesses strictly outnumber the unheld ones
+//     (the majority heuristic; structs with several mutexes require
+//     annotations to disambiguate).
+//
+// Held-ness is the dataflow layer's per-statement must-held lock-set,
+// with two refinements: a callee every one of whose call sites holds a
+// mutex is analyzed with that mutex pre-held (the `…Locked` helper
+// convention, propagated callers-first over the call graph), and
+// accesses through a local the goroutine exclusively owns — freshly
+// allocated and never handed to `go`, or received from a channel — are
+// exempt (the constructor and buffered-channel-handoff disciplines).
+//
+// Only accesses in functions reachable from a `go` statement are
+// reported: until a second goroutine exists, no interleaving can
+// observe the missing lock. An RLock-held read counts as guarded; a
+// double-Lock path is lockcheck's finding, and since the mutex is held
+// there, guardedby never re-reports it. Counting evidence, however,
+// uses every function, so single-threaded call sites still teach the
+// analyzer which fields are disciplined.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var analyzerGuardedby = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields guarded by a sync.Mutex (annotated or inferred) are only accessed with the mutex held on goroutine-reachable paths",
+	Run:  runGuardedby,
+}
+
+func runGuardedby(pass *Pass) {
+	for _, d := range pass.Graph.guardedByDiags() {
+		if d.pkg == pass.Pkg {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+// gbField is one guard candidate: a non-mutex field of a mutex-bearing
+// struct, the mutex it is (or may be) bound to, and the access evidence.
+type gbField struct {
+	structName string // "persist.Cache"
+	field      *types.Var
+	mu         *types.Var // annotated binding, or the struct's only mutex
+	muName     string
+	annotated  bool
+	locked     int
+	unlocked   int
+}
+
+// gbAccess is one field read/write attributed to a graph node.
+type gbAccess struct {
+	node  *FuncNode
+	pos   token.Pos
+	field *gbField
+	write bool
+	held  bool
+	owned bool
+}
+
+// guardedByDiags computes (once per graph) the guardedby findings as
+// package-attributed diagnostics.
+func (g *CallGraph) guardedByDiags() []graphDiag {
+	if g.gbDone {
+		return g.gbDiags
+	}
+	g.gbDone = true
+
+	candidates, diags := g.collectGuardCandidates()
+	if len(candidates) == 0 {
+		g.gbDiags = diags
+		return diags
+	}
+
+	// Sweep the graph callers-first (reverse Tarjan order) so a node's
+	// entry lock-set — the intersection of the lock-sets at its call
+	// sites — is final before its own body is interpreted. Mutually
+	// recursive nodes get an empty entry set (no proof).
+	order, inCycle := g.callersFirst()
+	entry := make(map[*FuncNode]lockSet)
+	entryKnown := make(map[*FuncNode]bool)
+	lockInfo := make(map[*FuncNode]stmtLockInfo)
+	var accesses []gbAccess
+
+	propagate := func(t *FuncNode, held lockSet) {
+		if !entryKnown[t] {
+			entryKnown[t] = true
+			entry[t] = intersectSets(held, held)
+			return
+		}
+		entry[t] = intersectSets(entry[t], held)
+	}
+
+	for _, n := range order {
+		df := analyzeFunc(n.Pkg, n)
+		en := entry[n]
+		if inCycle[n] {
+			en = nil
+		}
+		li := stmtLockSets(g.Fset, n, df.aliasMap(), en)
+		lockInfo[n] = li
+
+		for _, site := range n.Calls {
+			held := lockSet{}
+			if li.ok {
+				if stmt := enclosingStmt(li.at, site.Call.Pos()); stmt != nil {
+					held = li.at[stmt]
+				}
+			}
+			for _, t := range site.Targets {
+				propagate(t, held)
+			}
+		}
+		for _, gs := range n.Gos {
+			// A launched goroutine starts with nothing held.
+			if gs.Body != nil {
+				propagate(gs.Body, lockSet{})
+			}
+			for _, t := range gs.Targets {
+				propagate(t, lockSet{})
+			}
+		}
+
+		if !li.ok {
+			continue // no held-ness proof: neither evidence nor reports
+		}
+		accesses = append(accesses, collectFieldAccesses(n, df, li, candidates)...)
+	}
+
+	for i := range accesses {
+		a := &accesses[i]
+		if a.owned {
+			continue
+		}
+		if a.held {
+			a.field.locked++
+		} else {
+			a.field.unlocked++
+		}
+	}
+
+	reach := g.goReachable()
+
+	seen := make(map[string]bool)
+	for _, a := range accesses {
+		f := a.field
+		if a.held || a.owned {
+			continue
+		}
+		if !f.annotated && !(f.mu != nil && f.locked >= 2 && f.locked > f.unlocked) {
+			continue
+		}
+		r := reach[a.node]
+		if r == nil {
+			continue
+		}
+		key := fmt.Sprintf("%d:%s", a.pos, f.field.Name())
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		verb := "read"
+		if a.write {
+			verb = "written"
+		}
+		diags = append(diags, graphDiag{pkg: a.node.Pkg, pos: a.pos,
+			msg: fmt.Sprintf("field %s.%s (guarded by %s) %s without holding %s; %s → field access",
+				f.structName, f.field.Name(), f.muName, verb, f.muName, g.reachWitness(r))})
+	}
+
+	g.gbDiags = diags
+	return diags
+}
+
+// collectGuardCandidates finds every mutex-bearing struct and its guard
+// candidate fields, parsing `//efes:guardedby mu` and `// guarded by mu`
+// field annotations. Malformed annotations are reported.
+func (g *CallGraph) collectGuardCandidates() (map[*types.Var]*gbField, []graphDiag) {
+	candidates := make(map[*types.Var]*gbField)
+	var diags []graphDiag
+	for _, pkg := range g.pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				ts, ok := node.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				g.collectStructCandidates(pkg, tn, st, candidates, &diags)
+				return true
+			})
+		}
+	}
+	return candidates, diags
+}
+
+func (g *CallGraph) collectStructCandidates(pkg *Package, tn *types.TypeName, st *ast.StructType, candidates map[*types.Var]*gbField, diags *[]graphDiag) {
+	structName := pkg.Types.Name() + "." + tn.Name()
+
+	// Classify the fields through the type-checker (this also covers an
+	// embedded sync.Mutex, whose AST field has no name).
+	under, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	mutexByName := make(map[string]*types.Var)
+	var mutexes []*types.Var
+	var plain []*types.Var
+	for i := 0; i < under.NumFields(); i++ {
+		fv := under.Field(i)
+		if isMutexVar(fv) {
+			mutexes = append(mutexes, fv)
+			mutexByName[fv.Name()] = fv
+		} else if !selfSynchronized(fv.Type()) {
+			plain = append(plain, fv)
+		}
+	}
+	if len(mutexes) == 0 {
+		return
+	}
+	var defaultMu *types.Var
+	if len(mutexes) == 1 {
+		defaultMu = mutexes[0]
+	}
+
+	// Annotations come from the AST field comments, keyed by field name.
+	annotated := make(map[string]string) // field name → mutex name
+	for _, af := range st.Fields.List {
+		muName, pos, ok := fieldGuardAnnotation(af)
+		if !ok {
+			continue
+		}
+		if _, known := mutexByName[muName]; !known {
+			*diags = append(*diags, graphDiag{pkg: pkg, pos: pos,
+				msg: fmt.Sprintf("guardedby annotation names %q, which is not a sync.Mutex/RWMutex field of %s", muName, structName)})
+			continue
+		}
+		for _, name := range af.Names {
+			annotated[name.Name] = muName
+		}
+	}
+
+	for _, fv := range plain {
+		cand := &gbField{structName: structName, field: fv}
+		if muName, ok := annotated[fv.Name()]; ok {
+			cand.mu = mutexByName[muName]
+			cand.muName = muName
+			cand.annotated = true
+		} else if defaultMu != nil {
+			cand.mu = defaultMu
+			cand.muName = defaultMu.Name()
+		} else {
+			continue // several mutexes and no annotation: ambiguous
+		}
+		candidates[fv] = cand
+	}
+}
+
+// isMutexVar reports a field of type sync.Mutex or sync.RWMutex (not a
+// pointer: a pointed-to mutex may be shared across instances).
+func isMutexVar(v *types.Var) bool {
+	named, ok := v.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// selfSynchronized excludes fields that synchronize themselves (anything
+// from sync or sync/atomic: atomic counters, Once, WaitGroup, …) from
+// guard inference.
+func selfSynchronized(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// fieldGuardAnnotation extracts the mutex name from a field's
+// `//efes:guardedby mu` or `// guarded by mu` comment.
+func fieldGuardAnnotation(f *ast.Field) (string, token.Pos, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			if rest, ok := strings.CutPrefix(text, "//efes:guardedby"); ok {
+				name := firstWord(rest)
+				if name != "" {
+					return name, c.Pos(), true
+				}
+			}
+			if _, rest, ok := strings.Cut(text, "guarded by "); ok {
+				name := firstWord(rest)
+				if name != "" {
+					return name, c.Pos(), true
+				}
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// firstWord returns the first whitespace-separated token, trimmed of
+// trailing punctuation.
+func firstWord(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return strings.TrimRight(fields[0], ".,;:")
+}
+
+// collectFieldAccesses walks one interpreted body and records every
+// candidate-field access with its held-ness and ownership, skipping
+// nested function literals and go/defer subtrees (their statements are
+// not in the interpreter's lock-set map).
+func collectFieldAccesses(n *FuncNode, df *funcDataflow, li stmtLockInfo, candidates map[*types.Var]*gbField) []gbAccess {
+	body := funcBody(n)
+	if body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+
+	// Selector nodes on the write side: assignment targets, ++/--, and
+	// address-taken fields (the reference escapes the guard).
+	writes := make(map[*ast.SelectorExpr]bool)
+	markWrite := func(e ast.Expr) {
+		if se, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			writes[se] = true
+		}
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				markWrite(x.X)
+			}
+		}
+		return true
+	})
+
+	var out []gbAccess
+	var walk func(node ast.Node, cur ast.Stmt)
+	walk = func(node ast.Node, cur ast.Stmt) {
+		if node == nil {
+			return
+		}
+		switch node.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return
+		}
+		if s, ok := node.(ast.Stmt); ok {
+			if _, seen := li.at[s]; seen {
+				cur = s
+			}
+		}
+		if se, ok := node.(*ast.SelectorExpr); ok {
+			if v, ok := info.Uses[se.Sel].(*types.Var); ok {
+				if cand, ok := candidates[v]; ok && cur != nil {
+					out = append(out, gbAccess{
+						node:  n,
+						pos:   se.Sel.Pos(),
+						field: cand,
+						write: writes[se],
+						held:  li.held(cur, types.Object(cand.mu)),
+						owned: baseOwned(df, se.X),
+					})
+				}
+			}
+			walk(se.X, cur)
+			return
+		}
+		for _, child := range childNodes(node) {
+			walk(child, cur)
+		}
+	}
+	walk(body, nil)
+	return out
+}
+
+// baseOwned reports whether the receiver chain of a field access bottoms
+// out in a local this goroutine exclusively owns.
+func baseOwned(df *funcDataflow, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := df.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = df.pkg.Info.Defs[x]
+			}
+			return obj != nil && df.ownedLocal(obj)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// callersFirst flattens the SCCs into caller-before-callee order and
+// marks nodes whose entry lock-set cannot be trusted (members of a
+// multi-node SCC or directly self-recursive).
+func (g *CallGraph) callersFirst() ([]*FuncNode, map[*FuncNode]bool) {
+	sccs := g.sccs() // callee-first
+	inCycle := make(map[*FuncNode]bool)
+	order := make([]*FuncNode, 0, len(g.Nodes))
+	for i := len(sccs) - 1; i >= 0; i-- {
+		scc := sccs[i]
+		if len(scc) > 1 {
+			for _, n := range scc {
+				inCycle[n] = true
+			}
+		} else {
+			n := scc[0]
+			for _, site := range n.Calls {
+				for _, t := range site.Targets {
+					if t == n {
+						inCycle[n] = true
+					}
+				}
+			}
+		}
+		// Within an SCC keep deterministic graph order.
+		sort.Slice(scc, func(a, b int) bool { return scc[a].index < scc[b].index })
+		order = append(order, scc...)
+	}
+	return order, inCycle
+}
+
+// reachInfo is the shortest discovered path from a go statement to a
+// node: the launch site plus the call chain.
+type reachInfo struct {
+	goPos token.Pos
+	path  []*FuncNode
+}
+
+// goReachable BFS-walks the call graph from every go-launched root and
+// records, per node, the first (deterministic) witness path.
+func (g *CallGraph) goReachable() map[*FuncNode]*reachInfo {
+	reach := make(map[*FuncNode]*reachInfo)
+	var queue []*FuncNode
+	enqueue := func(n *FuncNode, r *reachInfo) {
+		if n == nil || reach[n] != nil {
+			return
+		}
+		reach[n] = r
+		queue = append(queue, n)
+	}
+	for _, n := range g.Nodes {
+		for _, gs := range n.Gos {
+			if gs.Body != nil {
+				enqueue(gs.Body, &reachInfo{goPos: gs.Stmt.Pos(), path: []*FuncNode{gs.Body}})
+			}
+			for _, t := range gs.Targets {
+				enqueue(t, &reachInfo{goPos: gs.Stmt.Pos(), path: []*FuncNode{t}})
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		r := reach[n]
+		for _, site := range n.Calls {
+			for _, t := range site.Targets {
+				enqueue(t, &reachInfo{goPos: r.goPos, path: append(append([]*FuncNode{}, r.path...), t)})
+			}
+		}
+	}
+	return reach
+}
+
+// reachWitness renders "goroutine at file:line → f → g".
+func (g *CallGraph) reachWitness(r *reachInfo) string {
+	p := g.Fset.Position(r.goPos)
+	parts := make([]string, 0, len(r.path)+1)
+	parts = append(parts, fmt.Sprintf("goroutine at %s:%d", filepath.Base(p.Filename), p.Line))
+	for _, n := range r.path {
+		parts = append(parts, n.Name)
+	}
+	return strings.Join(parts, " → ")
+}

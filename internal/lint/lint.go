@@ -82,6 +82,8 @@ func Analyzers() []*Analyzer {
 		analyzerErrcache,
 		analyzerFaultpoint,
 		analyzerGoleak,
+		analyzerGuardedby,
+		analyzerHotalloc,
 		analyzerLockcheck,
 		analyzerNonewtime,
 	}

@@ -121,30 +121,32 @@ type flowOut struct {
 	fall, brk, cont []lkState
 }
 
-// lockInterp is the per-function interpreter.
+// lockInterp is the per-function interpreter. It is shared between
+// lockcheck's pairing proof (report != nil) and the dataflow layer's
+// per-statement lock-set computation (dataflow.go: report == nil, onStmt
+// set, and canon mapping local aliases like `mu := &s.mu` back to the
+// canonical field object).
 type lockInterp struct {
-	pass     *Pass
+	info     *types.Info
+	fset     *token.FileSet
+	report   func(token.Pos, string, ...any) // nil: interpret silently
 	node     *FuncNode
+	canon    map[types.Object]types.Object // optional alias → canonical key
+	onStmt   func(ast.Stmt, []lkState)     // optional per-statement hook
 	bailed   bool
 	reported map[string]bool
 }
 
 // checkLockPairing interprets one function body.
 func checkLockPairing(pass *Pass, n *FuncNode) {
-	var body *ast.BlockStmt
-	switch {
-	case n.Decl != nil:
-		body = n.Decl.Body
-	case n.Lit != nil:
-		body = n.Lit.Body
-	}
+	body := funcBody(n)
 	if body == nil || len(n.LockOps) == 0 {
 		return
 	}
 	if n.bailLock {
 		return // a lock on an untrackable expression: no proof either way
 	}
-	it := &lockInterp{pass: pass, node: n, reported: make(map[string]bool)}
+	it := &lockInterp{info: pass.Pkg.Info, fset: pass.Fset, report: pass.Reportf, node: n, reported: make(map[string]bool)}
 	out := it.execStmts(body.List, []lkState{{held: map[lkKey]heldInfo{}}})
 	if it.bailed {
 		return
@@ -156,13 +158,16 @@ func checkLockPairing(pass *Pass, n *FuncNode) {
 
 // reportOnce emits a diagnostic once per (position, message).
 func (it *lockInterp) reportOnce(pos token.Pos, format string, args ...any) {
+	if it.report == nil {
+		return
+	}
 	msg := fmt.Sprintf(format, args...)
 	key := fmt.Sprintf("%d:%s", pos, msg)
 	if it.reported[key] {
 		return
 	}
 	it.reported[key] = true
-	it.pass.Reportf(pos, "%s", msg)
+	it.report(pos, "%s", msg)
 }
 
 // finalize checks one state at a function exit: deferred operations run
@@ -180,7 +185,7 @@ func (it *lockInterp) finalize(s lkState, exit token.Pos) {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return final.held[keys[i]].pos < final.held[keys[j]].pos })
-	p := it.pass.Fset.Position(exit)
+	p := it.fset.Position(exit)
 	for _, k := range keys {
 		h := final.held[k]
 		it.reportOnce(h.pos, "%s locked here is not released on every path (still held at exit at %s:%d); unlock before returning or use defer",
@@ -293,6 +298,9 @@ func (it *lockInterp) execStmts(list []ast.Stmt, in []lkState) flowOut {
 
 // execStmt interprets one statement.
 func (it *lockInterp) execStmt(stmt ast.Stmt, in []lkState) flowOut {
+	if it.onStmt != nil {
+		it.onStmt(stmt, in)
+	}
 	switch s := stmt.(type) {
 	case *ast.ReturnStmt:
 		it.applyStmtLocks(in, s)
@@ -485,9 +493,11 @@ func (it *lockInterp) collectLockOps(root ast.Node) []LockOp {
 	return ops
 }
 
-// lockOpOf classifies one call as a lock operation.
+// lockOpOf classifies one call as a lock operation, resolving the key
+// through the alias map when one is configured (so `mu := &s.mu;
+// mu.Lock()` keys on the s.mu field object).
 func (it *lockInterp) lockOpOf(call *ast.CallExpr) (LockOp, bool) {
-	callee := calleeFunc(it.pass.Pkg.Info, call)
+	callee := calleeFunc(it.info, call)
 	if callee == nil {
 		return LockOp{}, false
 	}
@@ -495,10 +505,15 @@ func (it *lockInterp) lockOpOf(call *ast.CallExpr) (LockOp, bool) {
 	if !ok {
 		return LockOp{}, false
 	}
-	key, expr := receiverRef(it.pass.Pkg.Info, call)
+	key, expr := receiverRef(it.info, call)
 	if key == nil {
 		it.bailed = true
 		return LockOp{}, false
+	}
+	if it.canon != nil {
+		if c, ok := it.canon[key]; ok {
+			key = c
+		}
 	}
 	return LockOp{Pos: call.Pos(), Op: op, Key: key, Expr: expr}, true
 }

@@ -1,0 +1,120 @@
+// Package guardedby is the golden corpus for the guardedby analyzer:
+// annotated and inferred guarded fields, the RWMutex read path, the
+// caller-holds-the-lock helper convention, the constructor and
+// buffered-channel-handoff ownership exemptions, and a suppression.
+package guardedby
+
+import "sync"
+
+// Counter mixes an annotated guarded field with an inferred one.
+type Counter struct {
+	mu   sync.Mutex
+	hits int //efes:guardedby mu
+	n    int // inferred: the held accesses outnumber the unheld ones
+}
+
+// incLocked is only ever called with c.mu held, so its body is analyzed
+// with the lock pre-held and contributes locked evidence.
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.incLocked()
+}
+
+// Race launches a goroutine that touches both fields with no lock held.
+func Race(c *Counter) {
+	go func() {
+		c.n++    // want guardedby: inferred field, empty lock-set
+		c.hits++ // want guardedby: annotated field, empty lock-set
+	}()
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed(c *Counter) {
+	go func() {
+		//lint:ignore guardedby single-writer warmup phase, readers start only after this returns
+		c.hits++
+	}()
+}
+
+// Gauge exercises the RWMutex read path.
+type Gauge struct {
+	rw  sync.RWMutex
+	val int //efes:guardedby rw
+}
+
+// Read holds the read lock: an RLock-held read counts as guarded.
+func (g *Gauge) Read() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.val
+}
+
+func (g *Gauge) Set(v int) {
+	g.rw.Lock()
+	g.val = v
+	g.rw.Unlock()
+}
+
+// Watch reads without either lock side from a goroutine.
+func Watch(g *Gauge) {
+	go func() {
+		_ = g.val // want guardedby: unlocked read
+	}()
+}
+
+// Tally's field is seeded by the doc-comment convention.
+type Tally struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+}
+
+func Bump(t *Tally) {
+	go func() {
+		t.count++ // want guardedby: doc-convention annotation
+	}()
+}
+
+// Handoff exercises both ownership exemptions: writes through a freshly
+// allocated local before publication, and reads through a value received
+// from a channel (the handoff's happens-before transfers ownership).
+func Handoff() {
+	var wg sync.WaitGroup
+	ch := make(chan *Counter, 1)
+	c := &Counter{}
+	c.n = 1 // owned: freshly allocated, not yet published
+	ch <- c
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got := <-ch
+		got.n++ // owned: received over the channel
+	}()
+	wg.Wait()
+}
+
+// Skewed's annotation names a field that is not a mutex.
+type Skewed struct {
+	mu    sync.Mutex
+	wrong int //efes:guardedby missing
+}
+
+// Keep Skewed's fields in use so the corpus type-checks cleanly.
+func (s *Skewed) Touch() {
+	s.mu.Lock()
+	s.wrong++
+	s.mu.Unlock()
+}

@@ -105,13 +105,13 @@ type Cache struct {
 	maxBytes int64
 
 	mu      sync.Mutex
-	entries map[string]*entry // key: ns + "/" + name
-	bytes   int64
-	seq     int64
+	entries map[string]*entry //efes:guardedby mu — key: ns + "/" + name
+	bytes   int64             //efes:guardedby mu
+	seq     int64             //efes:guardedby mu
 
 	lock *os.File
 
-	hits, misses, evictions, quarantined, readErrs, writeErrs int64
+	hits, misses, evictions, quarantined, readErrs, writeErrs int64 //efes:guardedby mu
 }
 
 // Open opens (creating if necessary) the cache rooted at dir and acquires

@@ -1,0 +1,52 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"efes/internal/relational"
+)
+
+// repeatedStringVector builds a string column of n rows cycling through
+// d distinct integer renderings.
+func repeatedStringVector(t *testing.T, n, d int) *relational.ColumnVector {
+	t.Helper()
+	s := relational.NewSchema("alloc")
+	tab, err := relational.NewTable("t", relational.Column{Name: "c", Type: relational.String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	db := relational.NewDatabase(s)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		db.MustInsert("t", fmt.Sprintf("%d", rng.Intn(d)))
+	}
+	vec := db.Vector("t", "c")
+	if vec == nil {
+		t.Fatal("Vector returned nil")
+	}
+	return vec
+}
+
+// TestCoercedFromStringAllocBound is the hotalloc regression for the
+// fused coercion kernel: profiling a string column as integers must
+// allocate O(distinct) times, not O(rows) — parsing runs once per
+// dictionary entry through the typed helpers with no per-value boxing.
+func TestCoercedFromStringAllocBound(t *testing.T) {
+	const rows, distinct = 4096, 8
+	vec := repeatedStringVector(t, rows, distinct)
+	allocs := testing.AllocsPerRun(5, func() {
+		FromVectorCoerced("t", "c", vec, relational.Integer)
+	})
+	// Generous fixed overhead (stats struct, count map, dense vector,
+	// finish helpers) plus a few per distinct value; far below one per
+	// row, which is what a reintroduced per-value allocation would cost.
+	if limit := float64(64 + 8*distinct); allocs > limit {
+		t.Errorf("FromVectorCoerced(string→int, %d rows, %d distinct): %v allocs/op, want ≤ %v",
+			rows, distinct, allocs, limit)
+	}
+}

@@ -150,6 +150,7 @@ func newStats(table, column string, typ relational.Type, rows, nulls int) *Colum
 // two passes over the code vector replicate the seed's row-order string-
 // length accumulation. It serves the raw string column and every derived
 // to-string view (the derived dictionaries of intToString etc.).
+//efes:hot
 func stringKernelDict(cs *ColumnStats, strs []string, occ []int, codes []int32, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
 	patterns := make(map[string]int)
@@ -212,6 +213,7 @@ func stringKernelDict(cs *ColumnStats, strs []string, occ []int, codes []int32, 
 // intKernel profiles an integer column: one pass builds the typed
 // distinct map and the dense numeric vector in row order; the numeric
 // statistics then run over the dense vector with the seed's own helpers.
+//efes:hot
 func intKernel(cs *ColumnStats, ints []int64, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
 	cnt := make(map[int64]int)
@@ -229,6 +231,7 @@ func intKernel(cs *ColumnStats, ints []int64, nulls *relational.Bitmap) {
 
 // floatKernel profiles a float column. With no NULLs the typed vector is
 // used as the dense numeric vector directly (zero copies).
+//efes:hot
 func floatKernel(cs *ColumnStats, floats []float64, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
 	cnt := make(map[uint64]int)
@@ -239,20 +242,22 @@ func floatKernel(cs *ColumnStats, floats []float64, nulls *relational.Bitmap) {
 			cnt[floatKey(x)]++
 		}
 	} else {
-		xs = make([]float64, 0, nonNull)
+		dense := make([]float64, 0, nonNull)
 		for i, x := range floats {
 			if nulls.Get(i) {
 				continue
 			}
 			cnt[floatKey(x)]++
-			xs = append(xs, x)
+			dense = append(dense, x)
 		}
+		xs = dense
 	}
 	finishFloats(cs, cnt, nonNull)
 	finishNumeric(cs, xs)
 }
 
 // boolKernel profiles a boolean column.
+//efes:hot
 func boolKernel(cs *ColumnStats, bools []bool, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
 	nTrue, nFalse := 0, 0
@@ -276,6 +281,7 @@ func boolKernel(cs *ColumnStats, bools []bool, nulls *relational.Bitmap) {
 // timeKernel profiles a timestamp column. Timestamps contribute no
 // numeric or string statistics in the seed (the Values type switch has no
 // time case), only rendered-value counts.
+//efes:hot
 func timeKernel(cs *ColumnStats, times []time.Time, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
 	cnt := make(map[string]int)
@@ -289,9 +295,11 @@ func timeKernel(cs *ColumnStats, times []time.Time, nulls *relational.Bitmap) {
 }
 
 // coercedFromString profiles a string column viewed through another type.
-// Coercion (parsing) runs once per distinct dictionary entry via the same
-// relational.Coerce the row path uses; rows whose entry fails to parse
-// are dropped as incompatible.
+// Coercion (parsing) runs once per distinct dictionary entry via the
+// typed relational.Parse* helpers — the exact string semantics of the
+// row path's relational.Coerce, minus the per-value interface boxing;
+// rows whose entry fails to parse are dropped as incompatible.
+//efes:hot
 func coercedFromString(table, column string, vec *relational.ColumnVector, typ relational.Type) (*ColumnStats, int) {
 	dict, occ, codes, nulls := vec.Dict(), vec.Counts(), vec.Codes(), vec.Nulls()
 	ok := make([]bool, len(dict))
@@ -303,12 +311,12 @@ func coercedFromString(table, column string, vec *relational.ColumnVector, typ r
 			if occ[c] == 0 {
 				continue
 			}
-			cv, err := relational.Coerce(relational.Integer, s)
+			n, err := relational.ParseInt(s)
 			if err != nil {
 				incompatible += occ[c]
 				continue
 			}
-			vals[c], ok[c] = cv.(int64), true
+			vals[c], ok[c] = n, true
 		}
 		cs := newStats(table, column, typ, vec.Len()-incompatible, vec.NullCount())
 		nonNull := cs.Rows - cs.Nulls
@@ -334,12 +342,12 @@ func coercedFromString(table, column string, vec *relational.ColumnVector, typ r
 			if occ[c] == 0 {
 				continue
 			}
-			cv, err := relational.Coerce(relational.Float, s)
+			f, err := relational.ParseFloat(s)
 			if err != nil {
 				incompatible += occ[c]
 				continue
 			}
-			vals[c], ok[c] = cv.(float64), true
+			vals[c], ok[c] = f, true
 		}
 		cs := newStats(table, column, typ, vec.Len()-incompatible, vec.NullCount())
 		nonNull := cs.Rows - cs.Nulls
@@ -365,12 +373,12 @@ func coercedFromString(table, column string, vec *relational.ColumnVector, typ r
 			if occ[c] == 0 {
 				continue
 			}
-			cv, err := relational.Coerce(relational.Bool, s)
+			b, err := relational.ParseBool(s)
 			if err != nil {
 				incompatible += occ[c]
 				continue
 			}
-			vals[c], ok[c] = cv.(bool), true
+			vals[c], ok[c] = b, true
 		}
 		cs := newStats(table, column, typ, vec.Len()-incompatible, vec.NullCount())
 		nonNull := cs.Rows - cs.Nulls
@@ -405,12 +413,12 @@ func coercedFromString(table, column string, vec *relational.ColumnVector, typ r
 			if occ[c] == 0 {
 				continue
 			}
-			cv, err := relational.Coerce(relational.Time, s)
+			ts, err := relational.ParseTime(s)
 			if err != nil {
 				incompatible += occ[c]
 				continue
 			}
-			strs[c], ok[c] = cv.(time.Time).Format(time.RFC3339), true
+			strs[c], ok[c] = relational.FormatTime(ts), true
 		}
 		cs := newStats(table, column, typ, vec.Len()-incompatible, vec.NullCount())
 		nonNull := cs.Rows - cs.Nulls
@@ -426,6 +434,7 @@ func coercedFromString(table, column string, vec *relational.ColumnVector, typ r
 }
 
 // intToFloat profiles an integer column viewed as float (never fails).
+//efes:hot
 func intToFloat(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	ints, nulls := vec.Ints(), vec.Nulls()
 	cs := newStats(table, column, relational.Float, vec.Len(), vec.NullCount())
@@ -447,6 +456,7 @@ func intToFloat(table, column string, vec *relational.ColumnVector) *ColumnStats
 
 // floatToInt profiles a float column viewed as integer: only integral,
 // finite values coerce (the seed's Trunc check, replicated per row).
+//efes:hot
 func floatToInt(table, column string, vec *relational.ColumnVector) (*ColumnStats, int) {
 	floats, nulls := vec.Floats(), vec.Nulls()
 	cnt := make(map[int64]int)
@@ -473,11 +483,13 @@ func floatToInt(table, column string, vec *relational.ColumnVector) (*ColumnStat
 // intToString profiles an integer column rendered as strings, building a
 // derived dictionary (one rendering per distinct value) for the fused
 // string kernel.
+//efes:hot
 func intToString(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	ints, nulls := vec.Ints(), vec.Nulls()
+	nonNull := vec.Len() - vec.NullCount()
 	m := make(map[int64]int32)
-	var strs []string
-	var occ []int
+	strs := make([]string, 0, nonNull) // distinct ≤ non-NULL rows
+	occ := make([]int, 0, nonNull)
 	codes := make([]int32, len(ints))
 	for i, x := range ints {
 		if nulls.Get(i) {
@@ -501,11 +513,13 @@ func intToString(table, column string, vec *relational.ColumnVector) *ColumnStat
 // floatToString profiles a float column rendered as strings via a derived
 // dictionary keyed by float bits (NaNs canonicalized: they all render
 // "NaN").
+//efes:hot
 func floatToString(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	floats, nulls := vec.Floats(), vec.Nulls()
+	nonNull := vec.Len() - vec.NullCount()
 	m := make(map[uint64]int32)
-	var strs []string
-	var occ []int
+	strs := make([]string, 0, nonNull) // distinct ≤ non-NULL rows
+	occ := make([]int, 0, nonNull)
 	codes := make([]int32, len(floats))
 	for i, x := range floats {
 		if nulls.Get(i) {
@@ -528,10 +542,11 @@ func floatToString(table, column string, vec *relational.ColumnVector) *ColumnSt
 }
 
 // boolToString profiles a boolean column rendered as strings.
+//efes:hot
 func boolToString(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	bools, nulls := vec.Bools(), vec.Nulls()
-	var strs []string
-	var occ []int
+	strs := make([]string, 0, 2)
+	occ := make([]int, 0, 2)
 	codes := make([]int32, len(bools))
 	tIdx, fIdx := int32(-1), int32(-1)
 	for i, x := range bools {
@@ -568,6 +583,7 @@ func floatKey(x float64) uint64 { return relational.FloatKey(x) }
 
 // finishInts derives Distinct, Constancy and TopK from a typed integer
 // count map. Values are rendered only when the top-k heap needs them.
+//efes:hot
 func finishInts(cs *ColumnStats, cnt map[int64]int, nonNull int) {
 	cs.Distinct = len(cnt)
 	mult := make(map[int]int)
@@ -584,6 +600,7 @@ func finishInts(cs *ColumnStats, cnt map[int64]int, nonNull int) {
 }
 
 // finishFloats is finishInts for bit-keyed float count maps.
+//efes:hot
 func finishFloats(cs *ColumnStats, cnt map[uint64]int, nonNull int) {
 	cs.Distinct = len(cnt)
 	mult := make(map[int]int)
@@ -621,6 +638,7 @@ func finishBools(cs *ColumnStats, nTrue, nFalse, nonNull int) {
 
 // finishStringCounts derives the count statistics from a rendered-value
 // count map (timestamp views).
+//efes:hot
 func finishStringCounts(cs *ColumnStats, cnt map[string]int, nonNull int) {
 	cs.Distinct = len(cnt)
 	mult := make(map[int]int)
@@ -665,6 +683,7 @@ func finishTopK(cs *ColumnStats, tk *topK, nonNull int) {
 // yield identical addends, so walking the count groups in descending
 // order reproduces the identical float sequence. The inner loop re-reads
 // the seed's expression verbatim so no term is pre-rounded differently.
+//efes:hot
 func constancyFromMult(mult map[int]int, distinct, nonNull int) float64 {
 	if nonNull == 0 || distinct <= 1 {
 		return 1

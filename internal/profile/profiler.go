@@ -59,7 +59,7 @@ type Profiler struct {
 	store   Store
 
 	mu      sync.Mutex
-	entries map[profileKey]*profileEntry
+	entries map[profileKey]*profileEntry //efes:guardedby mu
 
 	hits   atomic.Int64
 	misses atomic.Int64

@@ -33,9 +33,11 @@ func (b *Bitmap) Get(i int) bool {
 }
 
 // set sets bit i, growing the bitmap as needed.
+//efes:hot
 func (b *Bitmap) set(i int) {
 	w := i >> 6
 	for w >= len(b.words) {
+		//lint:ignore hotalloc grows the word array to the high-water mark once; amortized doubling, not per-set
 		b.words = append(b.words, 0)
 	}
 	b.words[w] |= 1 << (uint(i) & 63)
@@ -79,7 +81,7 @@ type ColumnVector struct {
 	// only guards memo (re)computation: readers may share a vector, and
 	// the first one builds the memo for all.
 	memoMu sync.Mutex
-	memo   []string
+	memo   []string //efes:guardedby memoMu
 }
 
 func newColumnVector(t Type) *ColumnVector {
@@ -183,6 +185,7 @@ func (v *ColumnVector) SortedDistinct() []string {
 
 // computeSortedDistinct builds the sorted distinct rendering. For every
 // type the rendering collapses values exactly as FormatValue map keys do.
+//efes:hot
 func (v *ColumnVector) computeSortedDistinct() []string {
 	switch v.typ {
 	case String:
@@ -216,7 +219,7 @@ func (v *ColumnVector) computeSortedDistinct() []string {
 		}
 		out := make([]string, 0, len(seen))
 		for b := range seen {
-			out = append(out, FormatValue(math.Float64frombits(b)))
+			out = append(out, FormatFloat(math.Float64frombits(b)))
 		}
 		sort.Strings(out)
 		return out
@@ -244,7 +247,7 @@ func (v *ColumnVector) computeSortedDistinct() []string {
 		seen := make(map[string]struct{})
 		for i, x := range v.times {
 			if !v.nulls.Get(i) {
-				seen[FormatValue(x)] = struct{}{}
+				seen[FormatTime(x)] = struct{}{}
 			}
 		}
 		out := make([]string, 0, len(seen))
@@ -277,6 +280,7 @@ func (v *ColumnVector) intern(s string) int32 {
 }
 
 // appendValue appends one canonical (already coerced) cell.
+//efes:hot
 func (v *ColumnVector) appendValue(val Value) {
 	i := v.length
 	v.length++
@@ -322,6 +326,7 @@ func (v *ColumnVector) appendZero() {
 }
 
 // setValue overwrites the cell of row i with a canonical value.
+//efes:hot
 func (v *ColumnVector) setValue(i int, val Value) {
 	if v.nulls.Get(i) {
 		v.nulls.clear(i)
@@ -372,6 +377,7 @@ func (v *ColumnVector) setZero(i int) {
 // deleteRows compacts the vector, removing the rows in drop (indexes
 // relative to the pre-delete length; out-of-range entries are ignored,
 // matching Database.Delete).
+//efes:hot
 func (v *ColumnVector) deleteRows(drop map[int]struct{}) {
 	w := 0
 	var nulls Bitmap

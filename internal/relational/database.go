@@ -32,7 +32,7 @@ type Database struct {
 	// concurrent profiling readers may trigger materialization, which
 	// turns a read into a write.
 	vecMu sync.Mutex
-	vecs  map[string][]*ColumnVector
+	vecs  map[string][]*ColumnVector //efes:guardedby vecMu
 
 	// hashes memoizes per-table content hashes (ContentHash). hashMu is
 	// separate from vecMu so a first-time hash (a full CSV serialization
@@ -40,7 +40,7 @@ type Database struct {
 	// across the computation deduplicates concurrent hashers of the same
 	// instance. Mutations invalidate via invalidateHash.
 	hashMu sync.Mutex
-	hashes map[string]string
+	hashes map[string]string //efes:guardedby hashMu
 }
 
 // NewDatabase creates an empty instance of the given schema.

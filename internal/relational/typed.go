@@ -1,0 +1,61 @@
+package relational
+
+// Typed parse/format helpers: the string↔typed conversions behind Coerce
+// and FormatValue, exposed without interface boxing so the //efes:hot
+// kernels can convert once per dictionary entry without allocating per
+// value. Coerce and FormatValue delegate here, so the row path and the
+// fused kernels share one implementation by construction.
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseInt parses a string as an Integer value with Coerce's string
+// semantics: surrounding space trimmed, base 10, 64-bit.
+func ParseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+}
+
+// ParseFloat parses a string as a Float value with Coerce's string
+// semantics.
+func ParseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// ParseBool parses a string as a Bool value with Coerce's string
+// semantics (strconv.ParseBool's accepted spellings).
+func ParseBool(s string) (bool, error) {
+	return strconv.ParseBool(strings.TrimSpace(s))
+}
+
+// timeLayouts are the accepted Time renderings, most specific first.
+var timeLayouts = []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"}
+
+// ParseTime parses a string as a Time value, trying the same layouts in
+// the same order as Coerce.
+func ParseTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	var firstErr error
+	for _, layout := range timeLayouts {
+		ts, err := time.Parse(layout, s)
+		if err == nil {
+			return ts, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return time.Time{}, firstErr
+}
+
+// FormatFloat renders a float exactly as FormatValue does.
+func FormatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// FormatTime renders a time exactly as FormatValue does.
+func FormatTime(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

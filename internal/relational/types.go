@@ -141,7 +141,7 @@ func Coerce(t Type, v Value) (Value, error) {
 				return int64(x), nil
 			}
 		case string:
-			if n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64); err == nil {
+			if n, err := ParseInt(x); err == nil {
 				return n, nil
 			}
 		}
@@ -156,7 +156,7 @@ func Coerce(t Type, v Value) (Value, error) {
 		case int:
 			return float64(x), nil
 		case string:
-			if f, err := strconv.ParseFloat(strings.TrimSpace(x), 64); err == nil {
+			if f, err := ParseFloat(x); err == nil {
 				return f, nil
 			}
 		}
@@ -165,7 +165,7 @@ func Coerce(t Type, v Value) (Value, error) {
 		case bool:
 			return x, nil
 		case string:
-			if b, err := strconv.ParseBool(strings.TrimSpace(x)); err == nil {
+			if b, err := ParseBool(x); err == nil {
 				return b, nil
 			}
 		}
@@ -174,10 +174,8 @@ func Coerce(t Type, v Value) (Value, error) {
 		case time.Time:
 			return x, nil
 		case string:
-			for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
-				if ts, err := time.Parse(layout, strings.TrimSpace(x)); err == nil {
-					return ts, nil
-				}
+			if ts, err := ParseTime(x); err == nil {
+				return ts, nil
 			}
 		}
 	}
@@ -203,11 +201,11 @@ func FormatValue(v Value) string {
 	case int64:
 		return strconv.FormatInt(x, 10)
 	case float64:
-		return strconv.FormatFloat(x, 'g', -1, 64)
+		return FormatFloat(x)
 	case bool:
 		return strconv.FormatBool(x)
 	case time.Time:
-		return x.Format(time.RFC3339)
+		return FormatTime(x)
 	default:
 		return fmt.Sprintf("%v", x)
 	}
