@@ -11,7 +11,7 @@ verify:
 	go vet ./...
 	go test -race ./...
 	go test -race -run 'Fault|Resilience' ./...
-	go test -race -run 'KillRestart|GracefulDrain' ./cmd/efesd/
+	go test -race -run 'KillRestart|GracefulDrain|EvictionSmoke' ./cmd/efesd/
 	go run ./cmd/efeslint ./...
 
 # efeslint: the in-tree static analyzer (internal/lint). Exits nonzero on
@@ -30,7 +30,7 @@ faults:
 # is the production main() re-exec'd, so the flock release, the ready
 # line, and the signal handling are all the shipped code paths.
 efesd-smoke:
-	go test -race -run 'KillRestart|GracefulDrain' ./cmd/efesd/
+	go test -race -run 'KillRestart|GracefulDrain|EvictionSmoke' ./cmd/efesd/
 
 build:
 	go build ./...

@@ -34,11 +34,13 @@ func TestMain(m *testing.M) {
 }
 
 // startChild launches efesd on a free port over dir and waits for the
-// ready line. The returned base URL points at the child.
-func startChild(t *testing.T, dir string) (*exec.Cmd, string) {
+// ready line. The returned base URL points at the child; extra flags are
+// appended to the default set.
+func startChild(t *testing.T, dir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(os.Args[0],
-		"-addr", "127.0.0.1:0", "-cache-dir", dir, "-request-timeout", "60s")
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-cache-dir", dir, "-request-timeout", "60s"}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "EFESD_CHILD=1")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -243,6 +245,73 @@ func TestKillRestartWarmCache(t *testing.T) {
 	}
 }
 
+// TestEvictionSmoke covers the scenario-lifetime flags end to end: a
+// real efesd with a short -scenario-ttl expires an idle scenario, counts
+// the eviction in /v1/status, answers 404 for the expired name, and
+// serves a clean re-upload — warm, because the durable caches are
+// content addressed.
+func TestEvictionSmoke(t *testing.T) {
+	dir := t.TempDir()
+	child, base := startChild(t, dir, "-scenario-ttl", "300ms")
+	defer func() {
+		child.Process.Kill()
+		child.Wait()
+	}()
+	uploadBody := musicUpload(t)
+	upload(t, base, uploadBody)
+	resp, cold := post(t, base+"/v1/estimate", []byte(estimateReq))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold estimate status = %d", resp.StatusCode)
+	}
+
+	// Sit idle past the TTL; the next estimate finds the scenario gone.
+	time.Sleep(time.Second)
+	if resp, _ := post(t, base+"/v1/estimate", []byte(estimateReq)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-TTL estimate status = %d, want 404", resp.StatusCode)
+	}
+	var st struct {
+		Scenarios  int   `json:"scenarios"`
+		EvictedLRU int64 `json:"scenariosEvictedLRU"`
+		EvictedTTL int64 `json:"scenariosEvictedTTL"`
+		ResultHits int64 `json:"resultHits"`
+	}
+	getStatus := func() {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getStatus()
+	if st.EvictedTTL != 1 || st.EvictedLRU != 0 {
+		t.Errorf("evictions = %d TTL / %d LRU, want 1 / 0", st.EvictedTTL, st.EvictedLRU)
+	}
+	if st.Scenarios != 0 {
+		t.Errorf("resident scenarios = %d, want 0", st.Scenarios)
+	}
+
+	// Re-upload and estimate again: same content, warm answer.
+	upload(t, base, uploadBody)
+	resp, warm := post(t, base+"/v1/estimate", []byte(estimateReq))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload estimate status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Efes-Cache") != "hit" {
+		t.Errorf("re-upload estimate cache = %q, want hit", resp.Header.Get("X-Efes-Cache"))
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("re-upload estimate not byte-identical to the pre-eviction answer")
+	}
+	getStatus()
+	if st.ResultHits == 0 {
+		t.Error("re-upload estimate did not hit the durable result cache")
+	}
+}
+
 // TestGracefulDrain covers the SIGTERM path: the daemon announces the
 // drain, refuses new work with 503, and exits cleanly.
 func TestGracefulDrain(t *testing.T) {
@@ -288,4 +357,3 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
 }
-

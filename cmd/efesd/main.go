@@ -5,6 +5,7 @@
 //	efesd -addr :8080 -cache-dir /var/lib/efesd \
 //	      [-workers N] [-max-inflight N] [-request-timeout 30s] \
 //	      [-module-timeout 10s] [-retries 1] [-backoff 50ms] [-fail-fast] \
+//	      [-max-scenarios N] [-scenario-ttl 1h] \
 //	      [-skill 1.0] [-criticality 1.0] [-config FILE]
 //
 // Endpoints (see internal/efesd): POST /v1/scenarios uploads a scenario
@@ -32,8 +33,8 @@ import (
 	"syscall"
 	"time"
 
-	"efes/internal/effort"
 	"efes/internal/efesd"
+	"efes/internal/effort"
 	"efes/internal/persist"
 )
 
@@ -48,6 +49,8 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per failed module detector")
 	backoff := flag.Duration("backoff", 0, "wait before the first retry (doubling)")
 	failFast := flag.Bool("fail-fast", false, "fail requests on module failure instead of degrading to the baseline")
+	maxScenarios := flag.Int("max-scenarios", 0, "resident uploaded scenarios per server; beyond it the least recently used is evicted (0 = default, negative = unbounded)")
+	scenarioTTL := flag.Duration("scenario-ttl", 0, "evict scenarios idle longer than this on next access (0 = never)")
 	skill := flag.Float64("skill", 1, "practitioner skill factor (>1 slower)")
 	criticality := flag.Float64("criticality", 1, "error criticality factor (>1 more careful)")
 	mappingTool := flag.Bool("mapping-tool", false, "assume a mapping-generation tool (Example 3.8)")
@@ -59,6 +62,11 @@ func main() {
 		Workers:        *workers,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *requestTimeout,
+		MaxScenarios:   *maxScenarios,
+		ScenarioTTL:    *scenarioTTL,
+		// The daemon package reads no wall clock itself (nonewtime);
+		// the binary injects the real one for TTL accounting.
+		Now: time.Now,
 		Resilience: efesd.Resilience{
 			ModuleTimeout: *moduleTimeout,
 			Retries:       *retries,

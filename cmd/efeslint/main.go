@@ -6,7 +6,8 @@
 // Usage:
 //
 //	efeslint [-rules detorder,ctxflow,...] [-list] [-json]
-//	         [-baseline file] [-write-baseline file] [packages]
+//	         [-baseline file] [-strict-baseline] [-write-baseline file]
+//	         [packages]
 //
 // -rules selects which analyzers run: either an allow-list of names, or
 // — when every entry starts with "-" — the full set minus the named ones
@@ -15,7 +16,9 @@
 // numbers are deliberately excluded so unrelated edits do not invalidate
 // the baseline) and exits 0. -baseline suppresses findings recorded in
 // such a file: only findings beyond the baselined count for their key are
-// reported, and stale baseline entries are noted on stderr.
+// reported, and stale baseline entries are noted on stderr —
+// -strict-baseline escalates stale entries to exit 1, so a shrinking
+// baseline must be re-recorded rather than silently rotting.
 //
 // The package pattern is currently all-or-nothing: `./...` (the default)
 // analyzes every package of the module containing the working directory.
@@ -28,12 +31,15 @@
 //	efeslint ./internal/lint/testdata/src/...
 //
 // efeslint exits 0 when no unsuppressed (and, with -baseline, no new)
-// diagnostic was found, 1 when at least one was reported, and 2 on usage
-// or load errors. Diagnostics are
-// printed as `file:line:col [rule] message` — or, with -json, as a JSON
-// array of {file, line, col, rule, message} objects on stdout (`[]` when
-// clean) so CI can annotate findings — and can be suppressed at the
-// offending line with `//lint:ignore <rule> <reason>`.
+// diagnostic was found, 1 when at least one was reported (or, with
+// -strict-baseline, the baseline was stale), and 2 on usage or load
+// errors. Diagnostics are printed as `file:line:col [rule] message` — or,
+// with -json, as a JSON object {"findings": [{file, line, col, rule,
+// message}, ...], "timingsMs": {analyzer: wallMillis, ...}} on stdout
+// (findings empty but present when clean; timingsMs includes a
+// "(callgraph)" entry for the shared call-graph construction) so CI can
+// annotate findings and track per-analyzer cost — and can be suppressed
+// at the offending line with `//lint:ignore <rule> <reason>`.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"efes/internal/lint"
 )
@@ -52,12 +59,17 @@ func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	jsonOut := flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
 	baseline := flag.String("baseline", "", "suppress findings recorded in this baseline file; report only new ones")
+	strictBaseline := flag.Bool("strict-baseline", false, "with -baseline: exit 1 when the baseline holds stale entries matching no finding")
 	writeBaseline := flag.String("write-baseline", "", "record the current findings to this baseline file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [-json] [-baseline file] [-write-baseline file] [./...|dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: efeslint [-rules r1,r2] [-list] [-json] [-baseline file] [-strict-baseline] [-write-baseline file] [./...|dirs]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *strictBaseline && *baseline == "" {
+		fmt.Fprintf(os.Stderr, "efeslint: -strict-baseline requires -baseline\n")
+		os.Exit(2)
+	}
 	if *baseline != "" && *writeBaseline != "" {
 		fmt.Fprintf(os.Stderr, "efeslint: -baseline and -write-baseline are mutually exclusive\n")
 		os.Exit(2)
@@ -130,7 +142,7 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(mod.Fset, pkgs, analyzers, cwd)
+	diags, timings := lint.RunTimed(mod.Fset, pkgs, analyzers, cwd, time.Now)
 	if *writeBaseline != "" {
 		if err := writeBaselineFile(*writeBaseline, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "efeslint: %v\n", err)
@@ -139,6 +151,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "efeslint: wrote baseline of %d finding(s) to %s\n", len(diags), *writeBaseline)
 		return
 	}
+	staleFailure := false
 	if *baseline != "" {
 		var suppressed, stale int
 		diags, suppressed, stale, err = applyBaseline(*baseline, diags)
@@ -150,11 +163,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "efeslint: %d finding(s) suppressed by baseline %s\n", suppressed, *baseline)
 		}
 		if stale > 0 {
-			fmt.Fprintf(os.Stderr, "efeslint: %d stale baseline entr(ies) no longer match any finding; consider -write-baseline\n", stale)
+			fmt.Fprintf(os.Stderr, "efeslint: %d stale baseline entr(ies) no longer match any finding; re-record with -write-baseline\n", stale)
+			staleFailure = *strictBaseline
 		}
 	}
 	if *jsonOut {
-		printJSON(diags)
+		printJSON(diags, timings)
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
@@ -162,6 +176,9 @@ func main() {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "efeslint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+	if staleFailure {
 		os.Exit(1)
 	}
 }
@@ -271,9 +288,10 @@ func applyBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, int
 	return kept, suppressed, stale, nil
 }
 
-// printJSON renders the diagnostics as a JSON array (empty but valid on a
-// clean run) for machine consumption.
-func printJSON(diags []lint.Diagnostic) {
+// printJSON renders the diagnostics and per-analyzer wall times as one
+// JSON object (findings empty but present on a clean run) for machine
+// consumption — CI uploads it as the lint report artifact.
+func printJSON(diags []lint.Diagnostic, timings []lint.Timing) {
 	type jsonDiag struct {
 		File    string `json:"file"`
 		Line    int    `json:"line"`
@@ -281,13 +299,21 @@ func printJSON(diags []lint.Diagnostic) {
 		Rule    string `json:"rule"`
 		Message string `json:"message"`
 	}
-	out := make([]jsonDiag, 0, len(diags))
+	findings := make([]jsonDiag, 0, len(diags))
 	for _, d := range diags {
-		out = append(out, jsonDiag{
+		findings = append(findings, jsonDiag{
 			File: filepath.ToSlash(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
 			Rule: d.Rule, Message: d.Message,
 		})
 	}
+	ms := make(map[string]float64, len(timings))
+	for _, t := range timings {
+		ms[t.Name] = float64(t.Elapsed.Microseconds()) / 1000
+	}
+	out := struct {
+		Findings  []jsonDiag         `json:"findings"`
+		TimingsMs map[string]float64 `json:"timingsMs"`
+	}{Findings: findings, TimingsMs: ms}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

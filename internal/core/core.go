@@ -33,6 +33,8 @@ type Scenario struct {
 	// Name identifies the scenario (e.g. "s1-s2").
 	Name string
 	// Sources are the databases to integrate.
+	//
+	//efes:bounded one entry per source database of the scenario definition; fixed after construction
 	Sources []*Source
 	// Target is the database to integrate into.
 	Target *relational.Database

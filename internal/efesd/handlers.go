@@ -130,9 +130,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("hash scenario: %v", err))
 		return
 	}
-	s.mu.Lock()
-	s.scenarios[tenant(r)+"\x00"+req.Name] = &scenarioEntry{scn: scn, hash: hash}
-	s.mu.Unlock()
+	s.register(tenant(r)+"\x00"+req.Name, &scenarioEntry{scn: scn, hash: hash})
 	writeJSON(w, http.StatusCreated, uploadResponse{
 		Name: req.Name, Hash: hash, Sources: len(scn.Sources), Correspondences: corrCount,
 	})
@@ -148,6 +146,7 @@ type scenarioInfo struct {
 func (s *Server) handleListScenarios(w http.ResponseWriter, r *http.Request) {
 	prefix := tenant(r) + "\x00"
 	s.mu.Lock()
+	s.sweepExpiredLocked()
 	infos := make([]scenarioInfo, 0, len(s.scenarios))
 	for key, e := range s.scenarios {
 		if name, ok := strings.CutPrefix(key, prefix); ok {
@@ -401,6 +400,11 @@ type statusResponse struct {
 	Degraded     int64 `json:"degraded"`
 	Fallbacks    int64 `json:"fallbacks"`
 
+	// Scenario-store eviction counters (see evict.go): scenarios
+	// dropped by the LRU cap and by idle-TTL expiry.
+	ScenariosEvictedLRU int64 `json:"scenariosEvictedLRU"`
+	ScenariosEvictedTTL int64 `json:"scenariosEvictedTTL"`
+
 	ProfileHits     int64 `json:"profileHits"`
 	ProfileMisses   int64 `json:"profileMisses"`
 	ProfileDiskHits int64 `json:"profileDiskHits"`
@@ -411,25 +415,28 @@ type statusResponse struct {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
+	s.sweepExpiredLocked()
 	scenarios := len(s.scenarios)
 	s.mu.Unlock()
 	hits, misses := s.prof.Counters()
 	diskHits, computes := s.prof.DiskCounters()
 	resp := statusResponse{
-		Draining:        s.draining.Load(),
-		Scenarios:       scenarios,
-		InFlight:        s.inflight.Load(),
-		Admitted:        s.admitted.Load(),
-		Shed:            s.shed.Load(),
-		Panics:          s.panics.Load(),
-		ResultHits:      s.resultHits.Load(),
-		ResultMisses:    s.resultMisses.Load(),
-		Degraded:        s.degraded.Load(),
-		Fallbacks:       s.fallbacks.Load(),
-		ProfileHits:     hits,
-		ProfileMisses:   misses,
-		ProfileDiskHits: diskHits,
-		ProfileComputes: computes,
+		Draining:            s.draining.Load(),
+		Scenarios:           scenarios,
+		InFlight:            s.inflight.Load(),
+		Admitted:            s.admitted.Load(),
+		Shed:                s.shed.Load(),
+		Panics:              s.panics.Load(),
+		ResultHits:          s.resultHits.Load(),
+		ResultMisses:        s.resultMisses.Load(),
+		Degraded:            s.degraded.Load(),
+		Fallbacks:           s.fallbacks.Load(),
+		ScenariosEvictedLRU: s.evictedLRU.Load(),
+		ScenariosEvictedTTL: s.evictedTTL.Load(),
+		ProfileHits:         hits,
+		ProfileMisses:       misses,
+		ProfileDiskHits:     diskHits,
+		ProfileComputes:     computes,
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

@@ -62,6 +62,18 @@ type Config struct {
 	// Effort is the calculator configuration; a zero Functions table
 	// selects effort.DefaultConfig.
 	Effort effort.Config
+	// MaxScenarios bounds resident uploaded scenarios per server; an
+	// upload beyond it evicts the least recently used scenario. 0
+	// selects DefaultMaxScenarios; negative disables the cap.
+	MaxScenarios int
+	// ScenarioTTL expires scenarios idle longer than this, lazily on
+	// the next lookup or listing; 0 disables. TTL accounting needs the
+	// injected clock: with a nil Now it is off regardless.
+	ScenarioTTL time.Duration
+	// Now is the clock for scenario TTL accounting. The package itself
+	// reads no wall clock (enforced by the nonewtime rule); the binary
+	// injects time.Now. nil disables TTL expiry.
+	Now func() time.Time
 }
 
 // Resilience is the server's default request policy in daemon terms.
@@ -78,14 +90,24 @@ type Resilience struct {
 	FailFast bool
 }
 
-// scenarioEntry is one uploaded scenario with its content address.
+// scenarioEntry is one uploaded scenario with its content address and
+// recency bookkeeping (see evict.go).
 type scenarioEntry struct {
 	scn  *core.Scenario
 	hash string // persist.ScenarioHash at upload time
+
+	// seq is the logical recency (larger = more recently used); it
+	// orders LRU eviction without consulting a clock.
+	seq int64 //efes:guardedby mu — Server.mu
+	// lastUsed is the injected-clock time of the last touch; zero when
+	// the server has no clock (TTL then never expires anything).
+	lastUsed time.Time //efes:guardedby mu — Server.mu
 }
 
 // Server is the estimation daemon. It implements http.Handler; all
 // state is safe for concurrent use.
+//
+//efes:daemon-lifetime
 type Server struct {
 	cfg   Config
 	fw    *core.Framework
@@ -98,7 +120,8 @@ type Server struct {
 	draining atomic.Bool
 
 	mu        sync.Mutex
-	scenarios map[string]*scenarioEntry //efes:guardedby mu — tenant + "\x00" + name
+	scenarios map[string]*scenarioEntry //efes:guardedby mu — tenant + "\x00" + name; LRU/TTL-bounded, see evict.go
+	scnSeq    int64                     //efes:guardedby mu — logical recency counter
 
 	// Request-lifecycle counters (see /v1/status).
 	inflight     atomic.Int64
@@ -109,6 +132,8 @@ type Server struct {
 	resultMisses atomic.Int64
 	degraded     atomic.Int64
 	fallbacks    atomic.Int64
+	evictedLRU   atomic.Int64
+	evictedTTL   atomic.Int64
 }
 
 // New assembles a Server: one shared framework (standard modules, the
@@ -234,12 +259,24 @@ func tenant(r *http.Request) string {
 	return "default"
 }
 
-// lookup resolves a scenario name within the request's tenant.
+// lookup resolves a scenario name within the request's tenant. A hit
+// touches the entry's recency; a TTL-expired entry is evicted on the
+// spot and reported as a miss (the client re-uploads).
 func (s *Server) lookup(r *http.Request, name string) (*scenarioEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.scenarios[tenant(r)+"\x00"+name]
-	return e, ok
+	key := tenant(r) + "\x00" + name
+	e, ok := s.scenarios[key]
+	if !ok {
+		return nil, false
+	}
+	if s.expiredLocked(e) {
+		delete(s.scenarios, key)
+		s.evictedTTL.Add(1)
+		return nil, false
+	}
+	s.touchLocked(e)
+	return e, true
 }
 
 // writeJSON writes a JSON response body with the given status.

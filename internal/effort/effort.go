@@ -114,7 +114,7 @@ type Function func(Task) float64
 // Calculator prices tasks using a per-type function table and global
 // execution settings.
 type Calculator struct {
-	functions map[TaskType]Function
+	functions map[TaskType]Function //efes:bounded one entry per registered task type; populated at construction
 	settings  Settings
 }
 

@@ -190,6 +190,12 @@ type CallGraph struct {
 
 	gbDone  bool
 	gbDiags []graphDiag
+
+	resDone bool
+	resAnn  map[types.Object]string
+
+	growDone  bool
+	growDiags []graphDiag
 }
 
 // graphDiag is a diagnostic computed once per graph and emitted by the

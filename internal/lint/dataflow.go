@@ -506,14 +506,9 @@ func stmtLockSets(fset *token.FileSet, n *FuncNode, canon map[types.Object]types
 	if body == nil || n.bailLock {
 		return li
 	}
-	it := &lockInterp{
-		info:     n.Pkg.Info,
-		fset:     fset,
-		node:     n,
-		canon:    canon,
-		reported: make(map[string]bool),
-	}
-	it.onStmt = func(stmt ast.Stmt, in []lkState) {
+	it := newLockInterp(n.Pkg.Info, fset, n)
+	it.canon = canon
+	it.eng.onStmt = func(stmt ast.Stmt, in []lkState) {
 		cur := intersectHeld(in)
 		if prev, seen := li.at[stmt]; seen {
 			li.at[stmt] = intersectSets(prev, cur)
@@ -530,8 +525,8 @@ func stmtLockSets(fset *token.FileSet, n *FuncNode, canon map[types.Object]types
 			init.held[lkKey{obj: obj, read: true}] = heldInfo{count: 1, pos: body.Pos()}
 		}
 	}
-	it.execStmts(body.List, []lkState{init})
-	li.ok = !it.bailed
+	it.eng.execStmts(body.List, []lkState{init})
+	li.ok = !it.eng.stop
 	return li
 }
 

@@ -1,0 +1,398 @@
+package lint
+
+// growbound: bounded-state guard for daemon-lifetime data. A long-lived
+// server whose maps only gain keys is a slow-motion OOM; the estimation
+// daemon's per-tenant scenario table and the persist cache's quarantine
+// index are exactly that shape. The analyzer makes "this state is
+// bounded" a machine-checked claim:
+//
+//   - roots: named struct types whose declaration doc carries
+//     `//efes:daemon-lifetime` live as long as the process (the efesd
+//     server, the persist cache, the profiler);
+//   - candidates: every map- or slice-typed field of a root struct, or
+//     of any in-module struct reachable from a root through field types
+//     (pointers, slices, arrays, maps, and channels are traversed;
+//     interfaces stop the walk);
+//   - verdict: a candidate with at least one reachable insert site
+//     (map index assignment, self-append) and no reachable shrink site —
+//     delete, clear, nil/reset assignment, or truncation through a slice
+//     expression of the field itself — is flagged with its insert
+//     witnesses. Assigning a fresh make() or composite literal is
+//     initialization, not a shrink: a constructor must not immunize a
+//     map that only ever grows afterwards.
+//
+// A field annotated `//efes:bounded <reason>` is exempt: the reason
+// documents why growth is capped by construction (input-sized data, a
+// fixed enum domain, …). A bare annotation without a reason is itself a
+// finding. The site scan is module-wide and flow-insensitive — "reachable"
+// means reachable in the whole program text through direct field
+// selections; growth through local aliases of the field is out of view.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+var analyzerGrowbound = &Analyzer{
+	Name: "growbound",
+	Doc:  "map/slice state reachable from daemon-lifetime roots has a delete/eviction path or a reasoned bound",
+	Run:  runGrowbound,
+}
+
+func runGrowbound(pass *Pass) {
+	for _, d := range pass.Graph.growboundDiags() {
+		if d.pkg == pass.Pkg {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+const (
+	daemonLifetimeDirective = "//efes:daemon-lifetime"
+	boundedDirectivePrefix  = "//efes:bounded"
+)
+
+// growField is one candidate: a map/slice field on daemon-lifetime
+// state, with its accumulated insert/shrink evidence.
+type growField struct {
+	pkg        *Package
+	structName string // "efesd.Server"
+	rootName   string // "efesd.Server" (the root it is reachable from)
+	field      *types.Var
+	kindWord   string // "map" or "slice"
+	pos        token.Pos
+	inserts    []token.Pos
+	shrinks    int
+}
+
+// specInfo pairs a named struct type with its AST (for field comments).
+type specInfo struct {
+	pkg *Package
+	ts  *ast.TypeSpec
+	st  *ast.StructType
+	doc *ast.CommentGroup
+}
+
+// growboundDiags computes (once per graph) the growbound findings.
+func (g *CallGraph) growboundDiags() []graphDiag {
+	if g.growDone {
+		return g.growDiags
+	}
+	g.growDone = true
+
+	specs, order := g.structSpecs()
+
+	// Roots: struct declarations annotated daemon-lifetime.
+	var roots []*types.TypeName
+	for _, tn := range order {
+		if hasDirective(specs[tn].doc, daemonLifetimeDirective) {
+			roots = append(roots, tn)
+		}
+	}
+	if len(roots) == 0 {
+		g.growDiags = nil
+		return nil
+	}
+
+	// Closure: in-module structs reachable from a root through field
+	// types, remembering the first root that reaches each.
+	rootOf := make(map[*types.TypeName]*types.TypeName)
+	var queue []*types.TypeName
+	for _, r := range roots {
+		rootOf[r] = r
+		queue = append(queue, r)
+	}
+	var closure []*types.TypeName
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		closure = append(closure, tn)
+		under, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < under.NumFields(); i++ {
+			for _, next := range reachableNamed(under.Field(i).Type()) {
+				ntn := next.Obj()
+				if _, inModule := specs[ntn]; !inModule {
+					continue
+				}
+				if _, seen := rootOf[ntn]; seen {
+					continue
+				}
+				rootOf[ntn] = rootOf[tn]
+				queue = append(queue, ntn)
+			}
+		}
+	}
+
+	// Candidates: map/slice fields of closure structs, minus reasoned
+	// //efes:bounded exemptions.
+	var diags []graphDiag
+	candidates := make(map[types.Object]*growField)
+	var candOrder []types.Object
+	for _, tn := range closure {
+		sp := specs[tn]
+		structName := sp.pkg.Types.Name() + "." + tn.Name()
+		root := rootOf[tn]
+		rootName := specs[root].pkg.Types.Name() + "." + root.Name()
+		for _, af := range sp.st.Fields.List {
+			bounded, reason, annPos := fieldBoundedAnnotation(af)
+			if bounded && reason == "" {
+				diags = append(diags, graphDiag{pkg: sp.pkg, pos: annPos,
+					msg: "efes:bounded annotation needs a reason: //efes:bounded <why growth is capped>"})
+			}
+			for _, name := range af.Names {
+				fv, ok := sp.pkg.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				var kind string
+				switch fv.Type().Underlying().(type) {
+				case *types.Map:
+					kind = "map"
+				case *types.Slice:
+					kind = "slice"
+				default:
+					continue
+				}
+				if bounded && reason != "" {
+					continue // reasoned exemption
+				}
+				gf := &growField{
+					pkg: sp.pkg, structName: structName, rootName: rootName,
+					field: fv, kindWord: kind, pos: name.Pos(),
+				}
+				candidates[fv] = gf
+				candOrder = append(candOrder, fv)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		g.growDiags = diags
+		return diags
+	}
+
+	// Evidence: one flow-insensitive pass over every file.
+	for _, pkg := range g.pkgs {
+		for _, f := range pkg.Files {
+			g.scanGrowSites(pkg, f, candidates)
+		}
+	}
+
+	for _, key := range candOrder {
+		gf := candidates[key]
+		if len(gf.inserts) == 0 || gf.shrinks > 0 {
+			continue
+		}
+		diags = append(diags, graphDiag{pkg: gf.pkg, pos: gf.pos,
+			msg: fmt.Sprintf("%s field %s.%s on daemon-lifetime state (root %s) grows without a reachable delete/eviction path (inserted at %s); add eviction, a size cap, or //efes:bounded <reason>",
+				gf.kindWord, gf.structName, gf.field.Name(), gf.rootName, g.renderSites(gf.inserts))})
+	}
+	g.growDiags = diags
+	return diags
+}
+
+// renderSites renders up to three witness positions as "file:line".
+func (g *CallGraph) renderSites(sites []token.Pos) string {
+	parts := make([]string, 0, 3)
+	for i, pos := range sites {
+		if i == 3 {
+			parts = append(parts, fmt.Sprintf("+%d more", len(sites)-3))
+			break
+		}
+		p := g.Fset.Position(pos)
+		parts = append(parts, fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// structSpecs indexes every module named struct type's AST declaration,
+// in deterministic package/file order.
+func (g *CallGraph) structSpecs() (map[*types.TypeName]specInfo, []*types.TypeName) {
+	specs := make(map[*types.TypeName]specInfo)
+	var order []*types.TypeName
+	for _, pkg := range g.pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					specs[tn] = specInfo{pkg: pkg, ts: ts, st: st, doc: doc}
+					order = append(order, tn)
+				}
+			}
+		}
+	}
+	return specs, order
+}
+
+// reachableNamed unwraps a field type to the named types the field keeps
+// alive: through pointers, slices, arrays, maps (keys and values), and
+// channels. Interfaces stop the walk (the concrete type is unknown).
+func reachableNamed(t types.Type) []*types.Named {
+	var out []*types.Named
+	seen := make(map[types.Type]bool)
+	var rec func(t types.Type)
+	rec = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch x := t.(type) {
+		case *types.Named:
+			if !types.IsInterface(x) {
+				out = append(out, x)
+			}
+		case *types.Pointer:
+			rec(x.Elem())
+		case *types.Slice:
+			rec(x.Elem())
+		case *types.Array:
+			rec(x.Elem())
+		case *types.Map:
+			rec(x.Key())
+			rec(x.Elem())
+		case *types.Chan:
+			rec(x.Elem())
+		}
+	}
+	rec(t)
+	return out
+}
+
+// hasDirective reports a comment line starting with the directive in the
+// group.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldBoundedAnnotation extracts a field's //efes:bounded annotation.
+func fieldBoundedAnnotation(f *ast.Field) (bounded bool, reason string, pos token.Pos) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, boundedDirectivePrefix)
+			if !ok {
+				continue
+			}
+			if rest != "" && !strings.HasPrefix(rest, " ") {
+				continue // e.g. //efes:boundedness — not ours
+			}
+			return true, strings.TrimSpace(rest), c.Pos()
+		}
+	}
+	return false, "", token.NoPos
+}
+
+// scanGrowSites walks one file recording insert and shrink evidence on
+// the candidate fields.
+func (g *CallGraph) scanGrowSites(pkg *Package, f *ast.File, candidates map[types.Object]*growField) {
+	info := pkg.Info
+	fieldOf := func(e ast.Expr) *growField {
+		obj := refObject(info, e)
+		if obj == nil {
+			return nil
+		}
+		return candidates[obj]
+	}
+	// selfExpr reports an expression denoting gf's field, optionally
+	// through a slice expression (c.buf[:0], c.buf[1:]).
+	selfExpr := func(e ast.Expr, gf *growField) (sliced, self bool) {
+		e = ast.Unparen(e)
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			sliced = true
+			e = sl.X
+		}
+		obj := refObject(info, e)
+		return sliced, obj != nil && candidates[obj] == gf
+	}
+	isBuiltin := func(call *ast.CallExpr, name string) bool {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == name && info.Uses[id] == types.Universe.Lookup(name)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				lhs = ast.Unparen(lhs)
+				// Map insert: x.f[k] = v.
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if gf := fieldOf(idx.X); gf != nil && gf.kindWord == "map" {
+						gf.inserts = append(gf.inserts, idx.Pos())
+					}
+					continue
+				}
+				gf := fieldOf(lhs)
+				if gf == nil {
+					continue
+				}
+				if len(x.Lhs) != len(x.Rhs) {
+					gf.shrinks++ // multi-value reassignment: a reset of some kind
+					continue
+				}
+				rhs := ast.Unparen(x.Rhs[i])
+				switch r := rhs.(type) {
+				case *ast.CallExpr:
+					switch {
+					case isBuiltin(r, "append") && len(r.Args) > 0:
+						if sliced, self := selfExpr(r.Args[0], gf); self && sliced {
+							gf.shrinks++ // append over a truncation: the delete idiom
+						} else {
+							gf.inserts = append(gf.inserts, x.Pos())
+						}
+					case isBuiltin(r, "make"):
+						// Initialization: neither insert nor shrink.
+					default:
+						gf.shrinks++ // rebuilt elsewhere: a replacement path exists
+					}
+				case *ast.CompositeLit:
+					// Initialization: neither insert nor shrink.
+				default:
+					// nil, a truncation of itself, or wholesale
+					// replacement: a non-growth path exists.
+					gf.shrinks++
+				}
+			}
+		case *ast.CallExpr:
+			if (isBuiltin(x, "delete") || isBuiltin(x, "clear")) && len(x.Args) > 0 {
+				if gf := fieldOf(x.Args[0]); gf != nil {
+					gf.shrinks++
+				}
+			}
+		}
+		return true
+	})
+}

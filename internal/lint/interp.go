@@ -1,0 +1,265 @@
+package lint
+
+// The generic path-sensitive control-flow engine behind lockcheck's
+// mutex-pairing proof and leakcheck's resource-release proof. The engine
+// owns the walk — statement sequencing, branch forking, state merging,
+// loop unrolling, switch/select clause handling — while a flowDomain
+// supplies the abstract state and its transfer functions (what a lock
+// acquisition or a file open does to a state).
+//
+// The interpretation is deliberately bounded rather than complete:
+// branches fork the state set, merges deduplicate by signature, loops
+// are unrolled twice (enough to see acquire-in-iteration-1 /
+// release-in-iteration-2 pairings and defer-in-loop pile-ups), and the
+// state count per function is capped — beyond the cap extra paths are
+// dropped. Functions using goto or labeled branches set the shared stop
+// flag: no proof either way, and domains set the same flag for
+// constructs they cannot track.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flowDomain is the analysis-specific half of the interpreter: the
+// abstract state S plus the transfer functions the engine invokes while
+// walking a function body. Hooks taking a state slice mutate the states
+// in place.
+type flowDomain[S any] interface {
+	// Clone deep-copies one state (branches fork the state set).
+	Clone(S) S
+	// Sig renders a canonical signature for state deduplication.
+	Sig(S) string
+	// StmtEffect applies a simple statement's effects: assignments,
+	// expression statements, the init of an if/for/switch, a select
+	// clause's comm statement, and the return statement itself (its
+	// result expressions evaluate before the function exits).
+	StmtEffect(states []S, stmt ast.Stmt)
+	// CondEffect applies an if condition's evaluation effects.
+	CondEffect(states []S, cond ast.Expr)
+	// Refine narrows freshly forked states entering the then
+	// (taken=true) or else (taken=false) branch of `if cond`; a no-op
+	// for branch-insensitive domains.
+	Refine(states []S, cond ast.Expr, taken bool)
+	// Defer registers a defer statement's exit-time effects.
+	Defer(states []S, s *ast.DeferStmt)
+	// Go observes a go statement (the launched body is its own call
+	// graph node; domains may treat captured values as escaping).
+	Go(states []S, s *ast.GoStmt)
+	// AtReturn finalizes states at an explicit return, after StmtEffect
+	// has run on the return statement.
+	AtReturn(states []S, s *ast.ReturnStmt)
+}
+
+// flowOut is the outcome of interpreting a statement sequence: the
+// states that fell through, broke out, or continued.
+type flowOut[S any] struct {
+	fall, brk, cont []S
+}
+
+// flowEngine drives one function body's interpretation over a domain.
+type flowEngine[S any] struct {
+	dom flowDomain[S]
+	// maxStates bounds the abstract states tracked per merge point.
+	maxStates int
+	// onStmt, when set, observes every interpreted statement with the
+	// states at its entry (dataflow.go's per-statement lock-sets).
+	onStmt func(ast.Stmt, []S)
+	// stop is the shared bail flag: set by the engine on goto/labeled
+	// branches and by the domain on untrackable constructs. Once set,
+	// the walk winds down and the driver must discard all conclusions.
+	stop bool
+}
+
+func newFlowEngine[S any](dom flowDomain[S], maxStates int) *flowEngine[S] {
+	return &flowEngine[S]{dom: dom, maxStates: maxStates}
+}
+
+// capStates deduplicates states by signature and truncates to the budget.
+func (e *flowEngine[S]) capStates(states []S) []S {
+	seen := make(map[string]bool, len(states))
+	out := states[:0]
+	for _, s := range states {
+		sig := e.dom.Sig(s)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, s)
+		if len(out) >= e.maxStates {
+			break
+		}
+	}
+	return out
+}
+
+func (e *flowEngine[S]) cloneAll(states []S) []S {
+	out := make([]S, len(states))
+	for i, s := range states {
+		out[i] = e.dom.Clone(s)
+	}
+	return out
+}
+
+func (e *flowEngine[S]) joinOuts(a, b flowOut[S]) flowOut[S] {
+	return flowOut[S]{
+		fall: e.capStates(append(a.fall, b.fall...)),
+		brk:  append(a.brk, b.brk...),
+		cont: append(a.cont, b.cont...),
+	}
+}
+
+// execStmts interprets a statement list over the incoming states.
+func (e *flowEngine[S]) execStmts(list []ast.Stmt, in []S) flowOut[S] {
+	cur := in
+	var out flowOut[S]
+	for _, s := range list {
+		if e.stop || len(cur) == 0 {
+			break
+		}
+		r := e.execStmt(s, cur)
+		out.brk = append(out.brk, r.brk...)
+		out.cont = append(out.cont, r.cont...)
+		cur = e.capStates(r.fall)
+	}
+	out.fall = cur
+	return out
+}
+
+// execStmt interprets one statement.
+func (e *flowEngine[S]) execStmt(stmt ast.Stmt, in []S) flowOut[S] {
+	if e.onStmt != nil {
+		e.onStmt(stmt, in)
+	}
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		e.dom.StmtEffect(in, s)
+		e.dom.AtReturn(in, s)
+		return flowOut[S]{}
+	case *ast.BranchStmt:
+		if s.Label != nil || s.Tok == token.GOTO {
+			e.stop = true
+			return flowOut[S]{}
+		}
+		switch s.Tok {
+		case token.BREAK:
+			return flowOut[S]{brk: in}
+		case token.CONTINUE:
+			return flowOut[S]{cont: in}
+		}
+		return flowOut[S]{fall: in} // fallthrough: approximated as fall
+	case *ast.DeferStmt:
+		e.dom.Defer(in, s)
+		return flowOut[S]{fall: in}
+	case *ast.GoStmt:
+		e.dom.Go(in, s)
+		return flowOut[S]{fall: in}
+	case *ast.BlockStmt:
+		return e.execStmts(s.List, in)
+	case *ast.LabeledStmt:
+		return e.execStmt(s.Stmt, in)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			e.dom.StmtEffect(in, s.Init)
+		}
+		e.dom.CondEffect(in, s.Cond)
+		thenIn := e.cloneAll(in)
+		e.dom.Refine(thenIn, s.Cond, true)
+		thenOut := e.execStmts(s.Body.List, thenIn)
+		elseIn := e.cloneAll(in)
+		e.dom.Refine(elseIn, s.Cond, false)
+		var elseOut flowOut[S]
+		if s.Else != nil {
+			elseOut = e.execStmt(s.Else, elseIn)
+		} else {
+			elseOut = flowOut[S]{fall: elseIn}
+		}
+		return e.joinOuts(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			e.dom.StmtEffect(in, s.Init)
+		}
+		// The condition's effects are left to the loop body pass: a for
+		// condition re-evaluates every iteration, so applying it once
+		// here would be no more precise than not at all.
+		return e.execLoop(s.Body, in, s.Cond != nil)
+	case *ast.RangeStmt:
+		return e.execLoop(s.Body, in, true)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			e.dom.StmtEffect(in, s.Init)
+		}
+		return e.execClauses(s.Body, in, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			e.dom.StmtEffect(in, s.Init)
+		}
+		return e.execClauses(s.Body, in, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		// Exactly one arm runs (a select never falls through past all
+		// arms), so the incoming states join only through the clauses.
+		if len(s.Body.List) == 0 {
+			return flowOut[S]{fall: in}
+		}
+		return e.execClauses(s.Body, in, true)
+	default:
+		e.dom.StmtEffect(in, stmt)
+		return flowOut[S]{fall: in}
+	}
+}
+
+// execLoop interprets a loop body by unrolling it twice; mayskip adds the
+// zero-iteration path.
+func (e *flowEngine[S]) execLoop(body *ast.BlockStmt, in []S, mayskip bool) flowOut[S] {
+	var fall []S
+	if mayskip {
+		fall = append(fall, e.cloneAll(in)...)
+	}
+	r1 := e.execStmts(body.List, e.cloneAll(in))
+	after1 := append(append([]S{}, r1.fall...), r1.cont...)
+	fall = append(fall, after1...)
+	fall = append(fall, r1.brk...)
+	r2 := e.execStmts(body.List, e.cloneAll(e.capStates(after1)))
+	fall = append(fall, r2.fall...)
+	fall = append(fall, r2.cont...)
+	fall = append(fall, r2.brk...)
+	return flowOut[S]{fall: e.capStates(fall)}
+}
+
+// execClauses interprets switch/select clause bodies. A break inside a
+// clause exits the statement, so clause brk joins fall. When the clause
+// set is not exhaustive (no default), the incoming states fall through
+// unchanged as well.
+func (e *flowEngine[S]) execClauses(body *ast.BlockStmt, in []S, exhaustive bool) flowOut[S] {
+	var out flowOut[S]
+	if !exhaustive {
+		out.fall = append(out.fall, e.cloneAll(in)...)
+	}
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				e.dom.StmtEffect(in, cc.Comm)
+			}
+			list = cc.Body
+		}
+		r := e.execStmts(list, e.cloneAll(in))
+		out.fall = append(out.fall, r.fall...)
+		out.fall = append(out.fall, r.brk...)
+		out.cont = append(out.cont, r.cont...)
+	}
+	out.fall = e.capStates(out.fall)
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

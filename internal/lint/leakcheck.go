@@ -1,0 +1,846 @@
+package lint
+
+// leakcheck: resource-lifetime guard. The estimation daemon is a
+// long-lived process; a file handle, network connection, ticker, or
+// context cancel function acquired on one path and forgotten on another
+// leaks until process exit — exactly like a lock held past its critical
+// section, which is why this analyzer is lockcheck's path-sensitive
+// interpreter (interp.go) instantiated over a resource domain instead of
+// a lock domain. Two checks:
+//
+//   - pairing: for every function that acquires a tracked resource
+//     (os.Open and friends returning *os.File, net.Dial/Listen,
+//     time.NewTicker, http.Response bodies, context.WithCancel/
+//     WithTimeout cancel funcs, and module types carrying an
+//     `//efes:resource <method>` directive on their declaration), the
+//     interpreter proves the release method runs on every path —
+//     directly, through a registered defer, or not at all because
+//     ownership left the function first;
+//   - loops: a defer directly inside a loop body only runs at function
+//     exit (releases pile up per iteration), and time.After inside a
+//     loop allocates a timer per iteration that is only collected when
+//     it fires; both are flagged syntactically.
+//
+// Ownership transfer discharges an obligation: returning the resource,
+// assigning it anywhere (a struct-field store hands it to the holder, a
+// composite literal embeds it, an alias renames it), sending it on a
+// channel, taking its address, capturing it in a function literal or go
+// statement, referencing it from a defer, or passing it to an in-module
+// function (which may consume it). Passing to a standard-library
+// function is a borrow — io.ReadAll(f) does not close f. The error-pair
+// convention is modeled: after `f, err := os.Open(p)`, the branch where
+// err != nil holds carries no obligation (f is nil there), and a branch
+// proving the resource itself nil drops it too. Functions using goto or
+// labeled branches, or releasing through an expression the def-use layer
+// cannot resolve, are skipped — no proof either way.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var analyzerLeakcheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "acquired resources (files, conns, tickers, response bodies, cancel funcs) released on every path",
+	Run:  runLeakcheck,
+}
+
+func runLeakcheck(pass *Pass) {
+	resAnn := pass.Graph.resourceAnnotations()
+	for _, n := range pass.Graph.Nodes {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		checkResourcePairing(pass, n, resAnn)
+	}
+	for _, f := range pass.Pkg.Files {
+		checkLoopResources(pass, f)
+	}
+}
+
+// resourceDirectivePrefix marks a type declaration whose values carry a
+// release obligation: `//efes:resource Close` on the doc comment of a
+// type T makes every call returning T (or *T) a tracked acquisition
+// released by T.Close.
+const resourceDirectivePrefix = "//efes:resource "
+
+// resourceAnnotations collects (once per graph) the module's annotated
+// resource types: the type name object → release method name.
+func (g *CallGraph) resourceAnnotations() map[types.Object]string {
+	if g.resDone {
+		return g.resAnn
+	}
+	g.resDone = true
+	g.resAnn = make(map[types.Object]string)
+	for _, pkg := range g.pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					method := resourceDirective(doc)
+					if method == "" {
+						continue
+					}
+					if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+						g.resAnn[obj] = method
+					}
+				}
+			}
+		}
+	}
+	return g.resAnn
+}
+
+// resourceDirective extracts the release method from a declaration doc.
+func resourceDirective(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, resourceDirectivePrefix); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// ---- pairing: path-sensitive obligation interpretation ----
+
+// rsObligation is one live resource: where and as what it was acquired,
+// how it is released, and the error variable paired with the acquisition
+// (nil-on-error convention), if any.
+type rsObligation struct {
+	pos token.Pos
+	// expr renders the holding variable for diagnostics ("f", "cancel").
+	expr string
+	// kind names the resource type ("*os.File", "context cancel func").
+	kind string
+	// release is the releasing method name; "" means the value itself is
+	// called (a cancel func).
+	release string
+	// hint renders the release call for diagnostics ("f.Close()").
+	hint string
+	// errObj is the error variable assigned alongside the acquisition:
+	// on a branch where it is proven non-nil the resource is nil and the
+	// obligation lapses.
+	errObj types.Object
+}
+
+// rsState is one abstract execution state: the live obligations keyed by
+// the local holding the resource.
+type rsState struct {
+	live map[types.Object]rsObligation
+}
+
+func (s rsState) clone() rsState {
+	live := make(map[types.Object]rsObligation, len(s.live))
+	for k, v := range s.live {
+		live[k] = v
+	}
+	return rsState{live: live}
+}
+
+func (s rsState) sig() string {
+	keys := make([]types.Object, 0, len(s.live))
+	for k := range s.live {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Pos() < keys[j].Pos() })
+	var b strings.Builder
+	for _, k := range keys {
+		ob := s.live[k]
+		ep := token.NoPos
+		if ob.errObj != nil {
+			ep = ob.errObj.Pos()
+		}
+		fmt.Fprintf(&b, "%d:%d:%d|", k.Pos(), ob.pos, ep)
+	}
+	return b.String()
+}
+
+// leakInterp is the resource domain of the generic flow engine.
+type leakInterp struct {
+	info     *types.Info
+	fset     *token.FileSet
+	report   func(token.Pos, string, ...any)
+	node     *FuncNode
+	resAnn   map[types.Object]string
+	modPkgs  map[*types.Package]bool // in-module packages: their calls may consume arguments
+	eng      *flowEngine[rsState]
+	reported map[string]bool
+}
+
+func newLeakInterp(pass *Pass, n *FuncNode, resAnn map[types.Object]string) *leakInterp {
+	lk := &leakInterp{
+		info:     pass.Pkg.Info,
+		fset:     pass.Fset,
+		report:   pass.Reportf,
+		node:     n,
+		resAnn:   resAnn,
+		modPkgs:  make(map[*types.Package]bool, len(pass.Graph.pkgs)),
+		reported: make(map[string]bool),
+	}
+	for _, p := range pass.Graph.pkgs {
+		lk.modPkgs[p.Types] = true
+	}
+	lk.eng = newFlowEngine[rsState](lk, maxLockStates)
+	return lk
+}
+
+// checkResourcePairing interprets one function body, when it acquires
+// anything trackable.
+func checkResourcePairing(pass *Pass, n *FuncNode, resAnn map[types.Object]string) {
+	body := funcBody(n)
+	if body == nil {
+		return
+	}
+	lk := newLeakInterp(pass, n, resAnn)
+	if !lk.hasAcquire(body) {
+		return
+	}
+	out := lk.eng.execStmts(body.List, []rsState{{live: map[types.Object]rsObligation{}}})
+	if lk.eng.stop {
+		return
+	}
+	for _, st := range out.fall {
+		lk.finalize(st, body.End())
+	}
+}
+
+// hasAcquire reports an acquiring assignment anywhere in the body outside
+// nested function literals (those are interpreted with their own node or
+// not at all, mirroring the lock domain).
+func (lk *leakInterp) hasAcquire(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if len(lk.acquisitions(x)) > 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// acqResult is one tracked resource among a call's results.
+type acqResult struct {
+	index   int
+	kind    string
+	release string // "" for call-released values (cancel funcs)
+}
+
+// acquisitions classifies a call's results against the tracked resource
+// types.
+func (lk *leakInterp) acquisitions(call *ast.CallExpr) []acqResult {
+	tv, ok := lk.info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	var out []acqResult
+	add := func(i int, t types.Type) {
+		if kind, release, ok := lk.resourceSpec(t); ok {
+			out = append(out, acqResult{index: i, kind: kind, release: release})
+		}
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			add(i, tuple.At(i).Type())
+		}
+	} else {
+		add(0, tv.Type)
+	}
+	return out
+}
+
+// resourceSpec reports whether t is a tracked resource type and how it
+// is released.
+func (lk *leakInterp) resourceSpec(t types.Type) (kind, release string, ok bool) {
+	ptr := false
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t, ptr = p.Elem(), true
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if method, annotated := lk.resAnn[obj]; annotated {
+		name := obj.Name()
+		if ptr {
+			name = "*" + name
+		}
+		return name, method, true
+	}
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	switch obj.Pkg().Path() {
+	case "os":
+		if ptr && obj.Name() == "File" {
+			return "*os.File", "Close", true
+		}
+	case "net":
+		if !ptr && (obj.Name() == "Conn" || obj.Name() == "Listener" || obj.Name() == "PacketConn") {
+			return "net." + obj.Name(), "Close", true
+		}
+	case "net/http":
+		if ptr && obj.Name() == "Response" {
+			return "*http.Response", "Close", true // released via resp.Body.Close()
+		}
+	case "time":
+		if ptr && obj.Name() == "Ticker" {
+			return "*time.Ticker", "Stop", true
+		}
+	case "context":
+		if !ptr && obj.Name() == "CancelFunc" {
+			return "context cancel func", "", true
+		}
+	}
+	return "", "", false
+}
+
+// releaseHint renders the releasing call for diagnostics.
+func releaseHint(expr, kind, release string) string {
+	switch {
+	case release == "":
+		return expr + "()"
+	case kind == "*http.Response":
+		return expr + ".Body.Close()"
+	default:
+		return expr + "." + release + "()"
+	}
+}
+
+// reportOnce emits a diagnostic once per (position, message).
+func (lk *leakInterp) reportOnce(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if lk.reported[key] {
+		return
+	}
+	lk.reported[key] = true
+	lk.report(pos, "%s", msg)
+}
+
+// finalize reports every obligation still live in one state at a
+// function exit.
+func (lk *leakInterp) finalize(s rsState, exit token.Pos) {
+	if lk.eng.stop {
+		return
+	}
+	keys := make([]types.Object, 0, len(s.live))
+	for k := range s.live {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return s.live[keys[i]].pos < s.live[keys[j]].pos })
+	p := lk.fset.Position(exit)
+	for _, k := range keys {
+		ob := s.live[k]
+		lk.reportOnce(ob.pos, "%s (%s) acquired here is not released on every path (still open at exit at %s:%d); call %s before returning or use defer",
+			ob.expr, ob.kind, filepath.Base(p.Filename), p.Line, ob.hint)
+	}
+}
+
+// ---- flowDomain hooks ----
+
+func (lk *leakInterp) Clone(s rsState) rsState { return s.clone() }
+func (lk *leakInterp) Sig(s rsState) string    { return s.sig() }
+
+func (lk *leakInterp) StmtEffect(states []rsState, stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		lk.execAssign(states, s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lk.execValueSpec(states, vs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		// Returning the resource transfers ownership to the caller.
+		for _, r := range s.Results {
+			lk.walkExpr(states, r, true)
+		}
+	case *ast.SendStmt:
+		lk.walkExpr(states, s.Chan, false)
+		lk.walkExpr(states, s.Value, true)
+	case *ast.ExprStmt:
+		lk.walkExpr(states, s.X, false)
+	case *ast.IncDecStmt:
+		lk.walkExpr(states, s.X, false)
+	default:
+		// Anything else with expressions inside (labeled handled by the
+		// engine): walk conservatively without escape.
+		for _, c := range childNodes(stmt) {
+			if e, ok := c.(ast.Expr); ok {
+				lk.walkExpr(states, e, false)
+			}
+		}
+	}
+}
+
+func (lk *leakInterp) CondEffect(states []rsState, e ast.Expr) {
+	lk.walkExpr(states, e, false)
+}
+
+// Refine models the nil-on-error acquisition convention: on a branch
+// proving the paired error non-nil, or the resource itself nil, the
+// obligation lapses. Error predicates (os.IsNotExist(err), errors.Is)
+// returning true prove the error non-nil too.
+func (lk *leakInterp) Refine(states []rsState, cond ast.Expr, taken bool) {
+	if call, ok := ast.Unparen(cond).(*ast.CallExpr); ok && taken && len(call.Args) > 0 {
+		if callee := calleeFunc(lk.info, call); callee != nil && isErrPredicate(callee) {
+			if obj := refObject(lk.info, call.Args[0]); obj != nil {
+				for i := range states {
+					for k, ob := range states[i].live {
+						if ob.errObj == obj {
+							delete(states[i].live, k)
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return
+	}
+	var other ast.Expr
+	switch {
+	case isNilIdent(lk.info, be.X):
+		other = be.Y
+	case isNilIdent(lk.info, be.Y):
+		other = be.X
+	default:
+		return
+	}
+	obj := refObject(lk.info, other)
+	if obj == nil {
+		return
+	}
+	// Does `other != nil` hold on this branch?
+	nonNil := (be.Op == token.NEQ) == taken
+	for i := range states {
+		for k, ob := range states[i].live {
+			if nonNil && ob.errObj == obj {
+				delete(states[i].live, k) // err != nil: the resource is nil
+			}
+			if !nonNil && k == obj {
+				delete(states[i].live, k) // the resource is proven nil
+			}
+		}
+	}
+}
+
+// Defer discharges every obligation the deferred call references: the
+// canonical `defer f.Close()` releases at every exit, and any other
+// deferred reference at least survives to function exit, which is the
+// best a path proof can ask of it.
+func (lk *leakInterp) Defer(states []rsState, s *ast.DeferStmt) {
+	lk.dischargeRefs(states, s)
+}
+
+// Go discharges captured obligations: the launched goroutine co-owns the
+// resource now.
+func (lk *leakInterp) Go(states []rsState, s *ast.GoStmt) {
+	lk.dischargeRefs(states, s)
+}
+
+func (lk *leakInterp) AtReturn(states []rsState, s *ast.ReturnStmt) {
+	for _, st := range states {
+		lk.finalize(st, s.Pos())
+	}
+}
+
+// ---- transfer functions ----
+
+// execAssign handles acquisitions (tracked results of the RHS call bind
+// obligations to the LHS locals, paired with the error result assigned
+// alongside) and, for every other shape, RHS escapes then LHS
+// definitions.
+func (lk *leakInterp) execAssign(states []rsState, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if acqs := lk.acquisitions(call); len(acqs) > 0 {
+				lk.execCall(states, call) // argument effects first
+				lk.bindAcquisitions(states, s.Lhs, call, acqs)
+				return
+			}
+		}
+	}
+	for _, rhs := range s.Rhs {
+		lk.walkExpr(states, rhs, true)
+	}
+	for _, lhs := range s.Lhs {
+		lk.defineLHS(states, lhs)
+	}
+}
+
+func (lk *leakInterp) execValueSpec(states []rsState, vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			if acqs := lk.acquisitions(call); len(acqs) > 0 {
+				lk.execCall(states, call)
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				lk.bindAcquisitions(states, lhs, call, acqs)
+				return
+			}
+		}
+	}
+	for _, v := range vs.Values {
+		lk.walkExpr(states, v, true)
+	}
+	for _, name := range vs.Names {
+		lk.defineLHS(states, name)
+	}
+}
+
+// bindAcquisitions attaches obligations to the LHS locals receiving
+// tracked results and pairs them with the error result, if one is
+// assigned to an identifier.
+func (lk *leakInterp) bindAcquisitions(states []rsState, lhs []ast.Expr, call *ast.CallExpr, acqs []acqResult) {
+	// Locate the error variable among the results.
+	var errObj types.Object
+	if tuple, ok := lk.info.Types[call].Type.(*types.Tuple); ok && len(lhs) == tuple.Len() {
+		for i := 0; i < tuple.Len(); i++ {
+			if named, ok := tuple.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				if obj := lk.lhsIdentObj(lhs[i]); obj != nil {
+					errObj = obj
+				}
+			}
+		}
+	}
+	bound := make(map[int]bool, len(acqs))
+	for _, acq := range acqs {
+		bound[acq.index] = true
+	}
+	// Non-acquiring LHS positions are ordinary definitions.
+	for i, l := range lhs {
+		if !bound[i] {
+			lk.defineLHS(states, l)
+		}
+	}
+	for _, acq := range acqs {
+		if acq.index >= len(lhs) {
+			continue
+		}
+		obj := lk.lhsIdentObj(lhs[acq.index])
+		if obj == nil {
+			continue // stored straight into a field or index: ownership left
+		}
+		expr := types.ExprString(lhs[acq.index])
+		ob := rsObligation{
+			pos: call.Pos(), expr: expr, kind: acq.kind, release: acq.release,
+			hint: releaseHint(expr, acq.kind, acq.release), errObj: errObj,
+		}
+		for i := range states {
+			states[i].live[obj] = ob
+		}
+	}
+}
+
+// lhsIdentObj resolves a plain identifier assignment target (not the
+// blank identifier) to its object.
+func (lk *leakInterp) lhsIdentObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := lk.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return lk.info.Uses[id]
+}
+
+// defineLHS processes one non-acquiring assignment target: redefining a
+// holder drops its (overwritten) obligation, redefining an error
+// variable unpairs it, and a compound target's sub-expressions are
+// walked without escape.
+func (lk *leakInterp) defineLHS(states []rsState, lhs ast.Expr) {
+	if obj := lk.lhsIdentObj(lhs); obj != nil {
+		for i := range states {
+			delete(states[i].live, obj)
+			for k, ob := range states[i].live {
+				if ob.errObj == obj {
+					ob.errObj = nil
+					states[i].live[k] = ob
+				}
+			}
+		}
+		return
+	}
+	lk.walkExpr(states, lhs, false)
+}
+
+// discharge drops obj's obligation in every state.
+func (lk *leakInterp) discharge(states []rsState, obj types.Object) {
+	if obj == nil {
+		return
+	}
+	for i := range states {
+		delete(states[i].live, obj)
+	}
+}
+
+// dischargeRefs drops the obligations of every object referenced inside
+// the subtree.
+func (lk *leakInterp) dischargeRefs(states []rsState, node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := lk.info.Uses[id]; obj != nil {
+				lk.discharge(states, obj)
+			}
+		}
+		return true
+	})
+}
+
+// anyLive reports whether any state still tracks an obligation.
+func anyLive(states []rsState) bool {
+	for i := range states {
+		if len(states[i].live) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// walkExpr applies one expression's effects. escape marks value contexts
+// that move the resource beyond this function's view: assignment sources,
+// return results, send values, composite-literal elements, addressed
+// operands. Receiver chains, index operands, and nil comparisons borrow.
+func (lk *leakInterp) walkExpr(states []rsState, e ast.Expr, escape bool) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if escape {
+			if obj := lk.info.Uses[x]; obj != nil {
+				lk.discharge(states, obj)
+			}
+		}
+	case *ast.CallExpr:
+		lk.execCall(states, x)
+	case *ast.FuncLit:
+		lk.dischargeRefs(states, x) // closure capture co-owns
+	case *ast.BinaryExpr:
+		if (x.Op == token.EQL || x.Op == token.NEQ) && (isNilIdent(lk.info, x.X) || isNilIdent(lk.info, x.Y)) {
+			return // nil comparison borrows; Refine models its branches
+		}
+		lk.walkExpr(states, x.X, escape)
+		lk.walkExpr(states, x.Y, escape)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			lk.walkExpr(states, x.X, true) // address taken: escapes
+			return
+		}
+		lk.walkExpr(states, x.X, escape)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				lk.walkExpr(states, kv.Value, true)
+			} else {
+				lk.walkExpr(states, el, true)
+			}
+		}
+	case *ast.SelectorExpr:
+		lk.walkExpr(states, x.X, false) // reading a member borrows the base
+	case *ast.IndexExpr:
+		lk.walkExpr(states, x.X, false)
+		lk.walkExpr(states, x.Index, false)
+	case *ast.SliceExpr:
+		lk.walkExpr(states, x.X, false)
+	case *ast.StarExpr:
+		lk.walkExpr(states, x.X, escape)
+	case *ast.TypeAssertExpr:
+		lk.walkExpr(states, x.X, escape)
+	case *ast.KeyValueExpr:
+		lk.walkExpr(states, x.Value, escape)
+	}
+}
+
+// execCall applies one call's effects: a release (f.Close(), t.Stop(),
+// cancel()) drops the obligation; otherwise arguments escape into
+// in-module callees (which may consume them) and are borrowed by
+// standard-library ones.
+func (lk *leakInterp) execCall(states []rsState, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if base := chainBase(lk.info, f.X); base != nil {
+			released := false
+			for i := range states {
+				if ob, ok := states[i].live[base]; ok && ob.release == f.Sel.Name {
+					delete(states[i].live, base)
+					released = true
+				}
+			}
+			if released {
+				for _, a := range call.Args {
+					lk.walkExpr(states, a, false)
+				}
+				return
+			}
+		} else if isReleaseVerb(f.Sel.Name) && anyLive(states) {
+			// A Close/Stop through an expression the def-use view cannot
+			// resolve while obligations are live: no proof either way.
+			lk.eng.stop = true
+			return
+		}
+		lk.walkExpr(states, f.X, false)
+	case *ast.Ident:
+		if obj := lk.info.Uses[f]; obj != nil {
+			released := false
+			for i := range states {
+				if ob, ok := states[i].live[obj]; ok && ob.release == "" {
+					delete(states[i].live, obj)
+					released = true
+				}
+			}
+			if released {
+				return
+			}
+		}
+	case *ast.FuncLit:
+		lk.dischargeRefs(states, f)
+	default:
+		lk.walkExpr(states, fun, false)
+	}
+	callee := calleeFunc(lk.info, call)
+	// Unknown callees (function values, builtins, conversions) and
+	// in-module functions may consume their arguments; the standard
+	// library borrows.
+	escapeArgs := callee == nil || lk.modPkgs[callee.Pkg()]
+	for _, a := range call.Args {
+		lk.walkExpr(states, a, escapeArgs)
+	}
+}
+
+// isErrPredicate reports functions whose true result proves their first
+// argument is a non-nil error.
+func isErrPredicate(f *types.Func) bool {
+	switch funcPkgPath(f) {
+	case "os":
+		switch f.Name() {
+		case "IsNotExist", "IsExist", "IsPermission", "IsTimeout":
+			return true
+		}
+	case "errors":
+		switch f.Name() {
+		case "Is", "As":
+			return true
+		}
+	}
+	return false
+}
+
+// isReleaseVerb reports the method names that release tracked resources.
+func isReleaseVerb(name string) bool {
+	return name == "Close" || name == "Stop"
+}
+
+// chainBase resolves the base local of a receiver chain: f in f.Close(),
+// resp in resp.Body.Close().
+func chainBase(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isNilIdent reports the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	return obj != nil && obj == types.Universe.Lookup("nil")
+}
+
+// ---- loops: deferred releases and throwaway timers ----
+
+// checkLoopResources flags defer statements and time.After calls inside
+// loop bodies (outside nested function literals, which are their own
+// frames).
+func checkLoopResources(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		if n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			walk(x.Body, 0) // a literal is its own frame: defers run at its exit
+			return
+		case *ast.ForStmt:
+			walk(x.Init, loopDepth)
+			walk(x.Cond, loopDepth)
+			walk(x.Post, loopDepth)
+			walk(x.Body, loopDepth+1)
+			return
+		case *ast.RangeStmt:
+			walk(x.X, loopDepth)
+			walk(x.Body, loopDepth+1)
+			return
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				pass.Reportf(x.Pos(), "defer inside a loop runs only at function exit, piling up one pending release per iteration; hoist the body into a helper or release explicitly")
+			}
+			// Still look inside the deferred call for time.After etc.
+			walk(x.Call, loopDepth)
+			return
+		case *ast.CallExpr:
+			if loopDepth > 0 {
+				if callee := calleeFunc(info, x); callee != nil && callee.Name() == "After" && funcPkgPath(callee) == "time" {
+					pass.Reportf(x.Pos(), "time.After inside a loop allocates a timer per iteration that is only reclaimed when it fires; hoist a time.NewTimer/NewTicker out of the loop and Stop it")
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, loopDepth)
+		}
+	}
+	walk(f, 0)
+}

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding of one analyzer.
@@ -82,8 +83,10 @@ func Analyzers() []*Analyzer {
 		analyzerErrcache,
 		analyzerFaultpoint,
 		analyzerGoleak,
+		analyzerGrowbound,
 		analyzerGuardedby,
 		analyzerHotalloc,
+		analyzerLeakcheck,
 		analyzerLockcheck,
 		analyzerNonewtime,
 	}
@@ -101,18 +104,52 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 	return nil, false
 }
 
+// Timing is the wall time one analyzer spent across every package of a
+// RunTimed call.
+type Timing struct {
+	// Name is the analyzer name, or "(callgraph)" for the shared
+	// call-graph construction that precedes every analyzer.
+	Name string
+	// Elapsed is the total wall time attributed to Name.
+	Elapsed time.Duration
+}
+
 // Run applies the analyzers to the given packages and returns the
 // surviving (unsuppressed) diagnostics sorted by position, with file
 // names relative to relTo when possible.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, relTo string) []Diagnostic {
+	diags, _ := RunTimed(fset, pkgs, analyzers, relTo, nil)
+	return diags
+}
+
+// RunTimed is Run with per-analyzer wall-time accounting. The clock is
+// injected — this package reads no wall clock itself (the nonewtime rule
+// applies to the linter too); pass time.Now from a binary, or a fake
+// from a test. A nil clock disables timing (nil Timings).
+//
+// Analyzer work memoized on the call graph (the interprocedural passes
+// compute module-wide results once, on first demand) is attributed to
+// whichever analyzer ran first, like any demand-driven cost.
+func RunTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, relTo string, now func() time.Time) ([]Diagnostic, []Timing) {
+	stamp := func() time.Time {
+		if now == nil {
+			return time.Time{}
+		}
+		return now()
+	}
+	elapsed := make(map[string]time.Duration, len(analyzers)+1)
 	// The call graph spans every package of the run, so interprocedural
 	// witnesses cross package boundaries; analyses over a package subset
 	// (the corpus self-test) simply see a subset graph.
+	start := stamp()
 	graph := buildCallGraph(fset, pkgs)
+	elapsed["(callgraph)"] = stamp().Sub(start)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			start := stamp()
 			a.Run(&Pass{Fset: fset, Pkg: pkg, Graph: graph, analyzer: a, diags: &diags})
+			elapsed[a.Name] += stamp().Sub(start)
 		}
 		diags = append(diags, checkIgnoreDirectives(fset, pkg)...)
 	}
@@ -135,7 +172,15 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, relTo stri
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
+	var timings []Timing
+	if now != nil {
+		timings = make([]Timing, 0, len(elapsed))
+		for name, d := range elapsed {
+			timings = append(timings, Timing{Name: name, Elapsed: d})
+		}
+		sort.Slice(timings, func(i, j int) bool { return timings[i].Name < timings[j].Name })
+	}
+	return diags, timings
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

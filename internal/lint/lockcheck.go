@@ -115,26 +115,56 @@ func (s lkState) sig() string {
 	return b.String()
 }
 
-// flowOut is the outcome of interpreting a statement sequence: states
-// that fell through, broke out, or continued.
-type flowOut struct {
-	fall, brk, cont []lkState
-}
-
-// lockInterp is the per-function interpreter. It is shared between
-// lockcheck's pairing proof (report != nil) and the dataflow layer's
-// per-statement lock-set computation (dataflow.go: report == nil, onStmt
-// set, and canon mapping local aliases like `mu := &s.mu` back to the
-// canonical field object).
+// lockInterp is the lock domain of the generic flow engine (interp.go).
+// It is shared between lockcheck's pairing proof (report != nil) and the
+// dataflow layer's per-statement lock-set computation (dataflow.go:
+// report == nil, the engine's onStmt hook set, and canon mapping local
+// aliases like `mu := &s.mu` back to the canonical field object).
 type lockInterp struct {
 	info     *types.Info
 	fset     *token.FileSet
 	report   func(token.Pos, string, ...any) // nil: interpret silently
 	node     *FuncNode
 	canon    map[types.Object]types.Object // optional alias → canonical key
-	onStmt   func(ast.Stmt, []lkState)     // optional per-statement hook
-	bailed   bool
+	eng      *flowEngine[lkState]
 	reported map[string]bool
+}
+
+// newLockInterp wires one lock domain to its engine.
+func newLockInterp(info *types.Info, fset *token.FileSet, node *FuncNode) *lockInterp {
+	it := &lockInterp{info: info, fset: fset, node: node, reported: make(map[string]bool)}
+	it.eng = newFlowEngine[lkState](it, maxLockStates)
+	return it
+}
+
+// flowDomain hooks.
+
+func (it *lockInterp) Clone(s lkState) lkState { return s.clone() }
+func (it *lockInterp) Sig(s lkState) string    { return s.sig() }
+
+func (it *lockInterp) StmtEffect(states []lkState, stmt ast.Stmt) {
+	it.applyStmtLocks(states, stmt)
+}
+
+func (it *lockInterp) CondEffect(states []lkState, e ast.Expr) {
+	it.applyExprLocks(states, e)
+}
+
+// Refine is a no-op: whether a lock is held does not depend on branch
+// conditions the pairing proof can see.
+func (it *lockInterp) Refine([]lkState, ast.Expr, bool) {}
+
+func (it *lockInterp) Defer(states []lkState, s *ast.DeferStmt) {
+	it.registerDefer(states, s)
+}
+
+// Go is a no-op: the launched body is its own call-graph node.
+func (it *lockInterp) Go([]lkState, *ast.GoStmt) {}
+
+func (it *lockInterp) AtReturn(states []lkState, s *ast.ReturnStmt) {
+	for _, st := range states {
+		it.finalize(st, s.Pos())
+	}
 }
 
 // checkLockPairing interprets one function body.
@@ -146,9 +176,10 @@ func checkLockPairing(pass *Pass, n *FuncNode) {
 	if n.bailLock {
 		return // a lock on an untrackable expression: no proof either way
 	}
-	it := &lockInterp{info: pass.Pkg.Info, fset: pass.Fset, report: pass.Reportf, node: n, reported: make(map[string]bool)}
-	out := it.execStmts(body.List, []lkState{{held: map[lkKey]heldInfo{}}})
-	if it.bailed {
+	it := newLockInterp(pass.Pkg.Info, pass.Fset, n)
+	it.report = pass.Reportf
+	out := it.eng.execStmts(body.List, []lkState{{held: map[lkKey]heldInfo{}}})
+	if it.eng.stop {
 		return
 	}
 	for _, s := range out.fall {
@@ -173,7 +204,7 @@ func (it *lockInterp) reportOnce(pos token.Pos, format string, args ...any) {
 // finalize checks one state at a function exit: deferred operations run
 // (in reverse registration order), then nothing may remain held.
 func (it *lockInterp) finalize(s lkState, exit token.Pos) {
-	if it.bailed {
+	if it.eng.stop {
 		return
 	}
 	final := s.clone()
@@ -253,189 +284,6 @@ func lockVerb(op int) string {
 	return "Lock"
 }
 
-// capStates deduplicates states by signature and truncates to the budget.
-func capStates(states []lkState) []lkState {
-	seen := make(map[string]bool, len(states))
-	out := states[:0]
-	for _, s := range states {
-		sig := s.sig()
-		if seen[sig] {
-			continue
-		}
-		seen[sig] = true
-		out = append(out, s)
-		if len(out) >= maxLockStates {
-			break
-		}
-	}
-	return out
-}
-
-func cloneAll(states []lkState) []lkState {
-	out := make([]lkState, len(states))
-	for i, s := range states {
-		out[i] = s.clone()
-	}
-	return out
-}
-
-// execStmts interprets a statement list over the incoming states.
-func (it *lockInterp) execStmts(list []ast.Stmt, in []lkState) flowOut {
-	cur := in
-	var out flowOut
-	for _, s := range list {
-		if it.bailed || len(cur) == 0 {
-			break
-		}
-		r := it.execStmt(s, cur)
-		out.brk = append(out.brk, r.brk...)
-		out.cont = append(out.cont, r.cont...)
-		cur = capStates(r.fall)
-	}
-	out.fall = cur
-	return out
-}
-
-// execStmt interprets one statement.
-func (it *lockInterp) execStmt(stmt ast.Stmt, in []lkState) flowOut {
-	if it.onStmt != nil {
-		it.onStmt(stmt, in)
-	}
-	switch s := stmt.(type) {
-	case *ast.ReturnStmt:
-		it.applyStmtLocks(in, s)
-		for _, st := range in {
-			it.finalize(st, s.Pos())
-		}
-		return flowOut{}
-	case *ast.BranchStmt:
-		if s.Label != nil || s.Tok == token.GOTO {
-			it.bailed = true
-			return flowOut{}
-		}
-		switch s.Tok {
-		case token.BREAK:
-			return flowOut{brk: in}
-		case token.CONTINUE:
-			return flowOut{cont: in}
-		}
-		return flowOut{fall: in} // fallthrough: approximated as fall
-	case *ast.DeferStmt:
-		it.registerDefer(in, s)
-		return flowOut{fall: in}
-	case *ast.GoStmt:
-		return flowOut{fall: in} // launched body is its own node
-	case *ast.BlockStmt:
-		return it.execStmts(s.List, in)
-	case *ast.LabeledStmt:
-		return it.execStmt(s.Stmt, in)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			it.applyStmtLocks(in, s.Init)
-		}
-		it.applyExprLocks(in, s.Cond)
-		thenOut := it.execStmts(s.Body.List, cloneAll(in))
-		var elseOut flowOut
-		if s.Else != nil {
-			elseOut = it.execStmt(s.Else, cloneAll(in))
-		} else {
-			elseOut = flowOut{fall: in}
-		}
-		return joinOuts(thenOut, elseOut)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			it.applyStmtLocks(in, s.Init)
-		}
-		return it.execLoop(s.Body, in, s.Cond != nil)
-	case *ast.RangeStmt:
-		return it.execLoop(s.Body, in, true)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			it.applyStmtLocks(in, s.Init)
-		}
-		return it.execClauses(s.Body, in, hasDefaultClause(s.Body))
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			it.applyStmtLocks(in, s.Init)
-		}
-		return it.execClauses(s.Body, in, hasDefaultClause(s.Body))
-	case *ast.SelectStmt:
-		// Exactly one arm runs (a select never falls through past all
-		// arms), so the incoming states join only through the clauses.
-		if len(s.Body.List) == 0 {
-			return flowOut{fall: in}
-		}
-		return it.execClauses(s.Body, in, true)
-	default:
-		it.applyStmtLocks(in, stmt)
-		return flowOut{fall: in}
-	}
-}
-
-// execLoop interprets a loop body by unrolling it twice; mayskip adds the
-// zero-iteration path.
-func (it *lockInterp) execLoop(body *ast.BlockStmt, in []lkState, mayskip bool) flowOut {
-	var fall []lkState
-	if mayskip {
-		fall = append(fall, cloneAll(in)...)
-	}
-	r1 := it.execStmts(body.List, cloneAll(in))
-	after1 := append(append([]lkState{}, r1.fall...), r1.cont...)
-	fall = append(fall, after1...)
-	fall = append(fall, r1.brk...)
-	r2 := it.execStmts(body.List, cloneAll(capStates(after1)))
-	fall = append(fall, r2.fall...)
-	fall = append(fall, r2.cont...)
-	fall = append(fall, r2.brk...)
-	return flowOut{fall: capStates(fall)}
-}
-
-// execClauses interprets switch/select clause bodies. A break inside a
-// clause exits the statement, so clause brk joins fall. When the clause
-// set is not exhaustive (no default), the incoming states fall through
-// unchanged as well.
-func (it *lockInterp) execClauses(body *ast.BlockStmt, in []lkState, exhaustive bool) flowOut {
-	var out flowOut
-	if !exhaustive {
-		out.fall = append(out.fall, cloneAll(in)...)
-	}
-	for _, c := range body.List {
-		var list []ast.Stmt
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			list = cc.Body
-		case *ast.CommClause:
-			if cc.Comm != nil {
-				it.applyStmtLocks(in, cc.Comm)
-			}
-			list = cc.Body
-		}
-		r := it.execStmts(list, cloneAll(in))
-		out.fall = append(out.fall, r.fall...)
-		out.fall = append(out.fall, r.brk...)
-		out.cont = append(out.cont, r.cont...)
-	}
-	out.fall = capStates(out.fall)
-	return out
-}
-
-func hasDefaultClause(body *ast.BlockStmt) bool {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
-		}
-	}
-	return false
-}
-
-func joinOuts(a, b flowOut) flowOut {
-	return flowOut{
-		fall: capStates(append(a.fall, b.fall...)),
-		brk:  append(a.brk, b.brk...),
-		cont: append(a.cont, b.cont...),
-	}
-}
-
 // registerDefer records the lock operations a defer statement will run at
 // function exit (a direct deferred call or the ops of a deferred
 // literal's body, in order).
@@ -507,7 +355,7 @@ func (it *lockInterp) lockOpOf(call *ast.CallExpr) (LockOp, bool) {
 	}
 	key, expr := receiverRef(it.info, call)
 	if key == nil {
-		it.bailed = true
+		it.eng.stop = true
 		return LockOp{}, false
 	}
 	if it.canon != nil {

@@ -1,0 +1,69 @@
+// Package growbound is efeslint self-test input for the bounded-state
+// rule.
+package growbound
+
+// Registry is daemon-lifetime state: every map or slice reachable from
+// it must shrink somewhere, carry a reasoned bound, or be flagged.
+//
+//efes:daemon-lifetime
+type Registry struct {
+	// sessions grows per insert with no delete anywhere. BAD.
+	sessions map[string]int
+	// log grows per append with no shrink anywhere. BAD.
+	log []string
+	// cache has a reachable delete path. GOOD.
+	cache map[string]string
+	// recent is capped by re-slicing when it overflows. GOOD.
+	recent []string
+	// labels is bounded for a stated reason. GOOD.
+	//
+	//efes:bounded one entry per static label name; populated at startup
+	labels map[string]bool
+	// misc carries a bare annotation: no reason given. BAD.
+	//
+	//efes:bounded
+	misc map[string]int
+
+	nested child
+}
+
+// child is reachable from the Registry root through a struct field.
+type child struct {
+	// queue grows without bound through the nested field. BAD.
+	queue []int
+}
+
+// Handle exercises every field.
+func (r *Registry) Handle(k string, v int) {
+	r.sessions[k] = v
+	r.log = append(r.log, k)
+	r.cache[k] = k
+	if v < 0 {
+		delete(r.cache, k)
+	}
+	r.recent = append(r.recent, k)
+	if len(r.recent) > 8 {
+		r.recent = r.recent[1:]
+	}
+	r.labels[k] = true
+	r.misc[k] = v
+	r.nested.queue = append(r.nested.queue, v)
+}
+
+// scratch is request-scoped — no daemon-lifetime root reaches it — so
+// its growth is its caller's concern. GOOD.
+type scratch struct {
+	items []int
+}
+
+// fill grows request-scoped state. GOOD (unreachable from a root).
+func fill(s *scratch, n int) {
+	s.items = append(s.items, n)
+}
+
+// use keeps the request-scoped path alive for the typechecker.
+func use(n int) int {
+	s := &scratch{}
+	fill(s, n)
+	return len(s.items)
+}

@@ -1,0 +1,205 @@
+// Package leakcheck is efeslint self-test input for the
+// resource-lifetime rule.
+package leakcheck
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// LeakOnEarlyReturn forgets the file on the early return. BAD.
+func LeakOnEarlyReturn(path string, flag bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil
+	}
+	return f.Close()
+}
+
+// DeferClose releases on every path through a defer. GOOD.
+func DeferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Stat()
+	return err
+}
+
+// ReadLeak passes the file to a standard-library reader, which borrows
+// it — the file is still open at return. BAD.
+func ReadLeak(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
+// OpenForCaller transfers ownership out through the return. GOOD.
+func OpenForCaller(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// holder owns a file and releases it on Close.
+type holder struct{ f *os.File }
+
+// Close releases the held file.
+func (h *holder) Close() error { return h.f.Close() }
+
+// NewHolder hands the file to a holder whose type has a Close method:
+// ownership transferred. GOOD.
+func NewHolder(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// consume takes ownership of its argument.
+func consume(f *os.File) error { return f.Close() }
+
+// HandOff passes the file to an in-module consumer. GOOD.
+func HandOff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+// SkipMissing treats a missing file as a non-event: os.IsNotExist(err)
+// proves err non-nil, so no file is open on that path. GOOD.
+func SkipMissing(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return f.Close()
+}
+
+// DialLeak leaks the connection when the write fails. BAD.
+func DialLeak(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// LeakBody forgets the response body. BAD.
+func LeakBody(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// CloseBody releases through the body. GOOD.
+func CloseBody(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// TickForever never stops its ticker. BAD.
+func TickForever(work func()) {
+	t := time.NewTicker(time.Second)
+	<-t.C
+	work()
+}
+
+// TickStop stops the ticker before returning. GOOD.
+func TickStop(work func()) {
+	t := time.NewTicker(time.Second)
+	<-t.C
+	work()
+	t.Stop()
+}
+
+// ForgetCancel drops the cancel function of the derived context. BAD.
+func ForgetCancel(ctx context.Context) context.Context {
+	ctx2, cancel := context.WithCancel(ctx)
+	if ctx2.Err() != nil {
+		cancel()
+	}
+	return ctx2
+}
+
+// CancelDeferred releases the derived context's resources on every
+// path. GOOD.
+func CancelDeferred(ctx context.Context, work func(context.Context)) {
+	ctx2, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	work(ctx2)
+}
+
+// Res is a pooled module resource; values must be released.
+//
+//efes:resource Release
+type Res struct{ open bool }
+
+// Release returns the resource to its pool.
+func (r *Res) Release() { r.open = false }
+
+// Acquire hands out a resource.
+func Acquire() *Res { return &Res{open: true} }
+
+// UseLeak forgets to release an annotated module resource. BAD.
+func UseLeak() bool {
+	r := Acquire()
+	return r.open
+}
+
+// UseRelease releases the annotated resource. GOOD.
+func UseRelease() {
+	r := Acquire()
+	r.Release()
+}
+
+// DeferInLoop piles up one pending close per iteration. BAD (loop rule;
+// the defer itself does release, so no pairing finding).
+func DeferInLoop(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	return nil
+}
+
+// PollAfter allocates a throwaway timer per iteration. BAD.
+func PollAfter(done chan struct{}, work func()) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second):
+			work()
+		}
+	}
+}

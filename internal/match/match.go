@@ -48,6 +48,8 @@ func (c Correspondence) String() string {
 // the target.
 type Set struct {
 	// All holds every correspondence.
+	//
+	//efes:bounded one entry per declared correspondence of the scenario definition
 	All []Correspondence
 }
 

@@ -58,12 +58,26 @@ const (
 // zero: 256 MiB holds tens of thousands of column profiles.
 const DefaultMaxBytes = 256 << 20
 
+// Default bounds of the quarantine directory: corrupt entries are kept
+// as evidence, but a cache that keeps corrupting must not grow the
+// evidence pile without bound.
+const (
+	DefaultQuarantineMaxEntries = 64
+	DefaultQuarantineMaxBytes   = 32 << 20
+)
+
 // Options configure Open.
 type Options struct {
 	// MaxBytes bounds the total payload bytes kept on disk; the least
 	// recently used entries are evicted beyond it. 0 selects
 	// DefaultMaxBytes; negative disables eviction.
 	MaxBytes int64
+	// QuarantineMaxEntries and QuarantineMaxBytes bound the quarantine
+	// directory (count and bytes); the oldest quarantined files are
+	// pruned beyond either. 0 selects the defaults; negative disables
+	// that bound.
+	QuarantineMaxEntries int
+	QuarantineMaxBytes   int64
 }
 
 // Stats is a snapshot of the cache counters.
@@ -79,6 +93,12 @@ type Stats struct {
 	// Quarantined counts entries that failed verification and were
 	// moved aside.
 	Quarantined int64 `json:"quarantined"`
+	// QuarantineEntries and QuarantineBytes describe the files currently
+	// held in quarantine/; QuarantinePruned counts quarantined files
+	// dropped (oldest first) by the quarantine bounds.
+	QuarantineEntries int   `json:"quarantineEntries"`
+	QuarantineBytes   int64 `json:"quarantineBytes"`
+	QuarantinePruned  int64 `json:"quarantinePruned"`
 	// ReadErrors and WriteErrors count I/O failures that were degraded
 	// to a miss / a skipped write.
 	ReadErrors  int64 `json:"readErrors"`
@@ -100,18 +120,36 @@ type entry struct {
 // Cache is a content-addressed on-disk cache. It is safe for concurrent
 // use by multiple goroutines of one process; cross-process exclusion is
 // enforced by the directory lock.
+//
+//efes:daemon-lifetime
+//efes:resource Close
 type Cache struct {
-	dir      string
-	maxBytes int64
+	dir          string
+	maxBytes     int64
+	quarMax      int
+	quarMaxBytes int64
 
 	mu      sync.Mutex
 	entries map[string]*entry //efes:guardedby mu — key: ns + "/" + name
 	bytes   int64             //efes:guardedby mu
 	seq     int64             //efes:guardedby mu
 
+	// quar indexes the files resident in quarantine/ so the bound can
+	// prune oldest-first without rescanning the directory.
+	quar       []*quarFile //efes:guardedby mu — bounded by quarPruneLocked
+	quarBytes  int64       //efes:guardedby mu
+	quarPruned int64       //efes:guardedby mu
+
 	lock *os.File
 
 	hits, misses, evictions, quarantined, readErrs, writeErrs int64 //efes:guardedby mu
+}
+
+// quarFile is one file resident in the quarantine directory.
+type quarFile struct {
+	name string
+	size int64
+	seq  int64 // logical age; smaller = older, pruned first
 }
 
 // Open opens (creating if necessary) the cache rooted at dir and acquires
@@ -131,12 +169,20 @@ func Open(dir string, opts Options) (*Cache, error) {
 		return nil, fmt.Errorf("persist: lock %s: %w", dir, err)
 	}
 	c := &Cache{
-		dir:      dir,
-		maxBytes: opts.MaxBytes,
-		entries:  make(map[string]*entry),
+		dir:          dir,
+		maxBytes:     opts.MaxBytes,
+		quarMax:      opts.QuarantineMaxEntries,
+		quarMaxBytes: opts.QuarantineMaxBytes,
+		entries:      make(map[string]*entry),
 	}
 	if c.maxBytes == 0 {
 		c.maxBytes = DefaultMaxBytes
+	}
+	if c.quarMax == 0 {
+		c.quarMax = DefaultQuarantineMaxEntries
+	}
+	if c.quarMaxBytes == 0 {
+		c.quarMaxBytes = DefaultQuarantineMaxBytes
 	}
 	if err := c.scan(); err != nil {
 		releaseLock(lock)
@@ -224,6 +270,51 @@ func (c *Cache) scan() error {
 		c.entries[f.e.ns+"/"+f.e.name] = f.e
 		c.bytes += f.e.size
 	}
+
+	// Index quarantine/ so its bound holds across restarts: oldest (by
+	// modification time, ties by name) first, then prune whatever a
+	// previous, larger bound left behind. Open is single-threaded, but
+	// the seeding holds the lock anyway so quarPruneLocked's contract
+	// (caller holds c.mu) is literal at every call site.
+	qdir := filepath.Join(c.dir, "quarantine")
+	if files, err := os.ReadDir(qdir); err == nil {
+		type qfound struct {
+			f     *quarFile
+			mtime int64
+		}
+		var qs []qfound
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue // raced removal; skip
+			}
+			qs = append(qs, qfound{
+				f:     &quarFile{name: f.Name(), size: info.Size()},
+				mtime: info.ModTime().UnixNano(),
+			})
+		}
+		sort.Slice(qs, func(i, j int) bool {
+			if qs[i].mtime != qs[j].mtime {
+				return qs[i].mtime < qs[j].mtime
+			}
+			return qs[i].f.name < qs[j].f.name
+		})
+		c.mu.Lock()
+		for _, q := range qs {
+			c.seq++
+			q.f.seq = c.seq
+			c.quar = append(c.quar, q.f)
+			c.quarBytes += q.f.size
+		}
+		prune := c.quarPruneLocked()
+		c.mu.Unlock()
+		for _, v := range prune {
+			os.Remove(filepath.Join(qdir, v.name))
+		}
+	}
 	return nil
 }
 
@@ -300,8 +391,11 @@ func verify(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// quarantine moves a corrupt entry aside (never deletes it — the bytes
-// are evidence) and forgets it, so the caller recomputes.
+// quarantine moves a corrupt entry aside (keeping the bytes as evidence)
+// and forgets it, so the caller recomputes. The quarantine directory is
+// itself bounded: beyond the configured count or byte budget the oldest
+// quarantined files are pruned — a cache that keeps corrupting must not
+// grow its evidence pile without bound.
 func (c *Cache) quarantine(ns, name, path string) {
 	c.mu.Lock()
 	c.quarantined++
@@ -311,13 +405,51 @@ func (c *Cache) quarantine(ns, name, path string) {
 	seq := c.seq
 	c.mu.Unlock()
 	qdir := filepath.Join(c.dir, "quarantine")
-	if err := os.MkdirAll(qdir, 0o755); err == nil {
-		dst := filepath.Join(qdir, ns+"-"+name+"."+strconv.FormatInt(seq, 10))
-		if os.Rename(path, dst) == nil {
-			return
-		}
+	qname := ns + "-" + name + "." + strconv.FormatInt(seq, 10)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(path) // quarantine dir unavailable: at least stop re-reading it
+		return
 	}
-	os.Remove(path) // quarantine dir unavailable: at least stop re-reading it
+	if os.Rename(path, filepath.Join(qdir, qname)) != nil {
+		os.Remove(path)
+		return
+	}
+	var size int64
+	if info, err := os.Stat(filepath.Join(qdir, qname)); err == nil {
+		size = info.Size()
+	}
+	c.mu.Lock()
+	c.quar = append(c.quar, &quarFile{name: qname, size: size, seq: seq})
+	c.quarBytes += size
+	prune := c.quarPruneLocked()
+	c.mu.Unlock()
+	for _, v := range prune {
+		os.Remove(filepath.Join(qdir, v.name))
+	}
+}
+
+// quarPruneLocked trims the quarantine index to its bounds (caller holds
+// c.mu) and returns the pruned files so the caller can unlink them
+// outside the lock. Oldest (smallest seq) first; concurrent quarantines
+// may append out of seq order, so each round scans for the minimum.
+func (c *Cache) quarPruneLocked() []*quarFile {
+	var out []*quarFile
+	for len(c.quar) > 0 &&
+		((c.quarMax >= 0 && len(c.quar) > c.quarMax) ||
+			(c.quarMaxBytes >= 0 && c.quarBytes > c.quarMaxBytes)) {
+		vi := 0
+		for i, q := range c.quar {
+			if q.seq < c.quar[vi].seq {
+				vi = i
+			}
+		}
+		v := c.quar[vi]
+		c.quar = append(c.quar[:vi], c.quar[vi+1:]...)
+		c.quarBytes -= v.size
+		c.quarPruned++
+		out = append(out, v)
+	}
+	return out
 }
 
 // dropLocked removes an entry from the index (caller holds c.mu).
@@ -432,14 +564,17 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Entries:     len(c.entries),
-		Bytes:       c.bytes,
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		Quarantined: c.quarantined,
-		ReadErrors:  c.readErrs,
-		WriteErrors: c.writeErrs,
+		Entries:           len(c.entries),
+		Bytes:             c.bytes,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Evictions:         c.evictions,
+		Quarantined:       c.quarantined,
+		QuarantineEntries: len(c.quar),
+		QuarantineBytes:   c.quarBytes,
+		QuarantinePruned:  c.quarPruned,
+		ReadErrors:        c.readErrs,
+		WriteErrors:       c.writeErrs,
 	}
 }
 

@@ -310,3 +310,91 @@ func TestStringsContainsTmpNaming(t *testing.T) {
 		}
 	}
 }
+
+// corruptEntry flips a byte of the stored entry so the next Get
+// quarantines it.
+func corruptEntry(t *testing.T, c *Cache, ns, key string) {
+	t.Helper()
+	path := entryPath(c, ns, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quarantineKey stores, corrupts, and reads back one key, landing its
+// bytes in quarantine/.
+func quarantineKey(t *testing.T, c *Cache, key string, payload []byte) {
+	t.Helper()
+	c.Put("stats", key, payload)
+	corruptEntry(t, c, "stats", key)
+	if _, ok := c.Get("stats", key); ok {
+		t.Fatalf("corrupt entry %s served as a hit", key)
+	}
+}
+
+func TestQuarantineCountBound(t *testing.T) {
+	c := open(t, t.TempDir(), Options{QuarantineMaxEntries: 3})
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		quarantineKey(t, c, k, []byte("payload"))
+	}
+	st := c.Stats()
+	if st.Quarantined != 6 || st.QuarantineEntries != 3 || st.QuarantinePruned != 3 {
+		t.Errorf("stats = %d quarantined, %d held, %d pruned; want 6/3/3",
+			st.Quarantined, st.QuarantineEntries, st.QuarantinePruned)
+	}
+	q, err := os.ReadDir(filepath.Join(c.Dir(), "quarantine"))
+	if err != nil || len(q) != 3 {
+		t.Fatalf("quarantine dir: %v, %d files; want 3", err, len(q))
+	}
+	// Oldest-first pruning: the earliest quarantined keys are gone and
+	// the three newest remain.
+	for _, f := range q {
+		for _, old := range []string{"a", "b", "c"} {
+			if strings.HasPrefix(f.Name(), "stats-"+fileName(old)+".") {
+				t.Errorf("old quarantined file %s survived pruning", f.Name())
+			}
+		}
+	}
+}
+
+func TestQuarantineByteBound(t *testing.T) {
+	// Each quarantined file is payload(8) + footer bytes; budget two.
+	payload := []byte("12345678")
+	per := int64(len(payload) + footerSize)
+	c := open(t, t.TempDir(), Options{QuarantineMaxBytes: 2 * per})
+	for _, k := range []string{"a", "b", "c", "d"} {
+		quarantineKey(t, c, k, payload)
+	}
+	st := c.Stats()
+	if st.QuarantineEntries != 2 || st.QuarantineBytes != 2*per || st.QuarantinePruned != 2 {
+		t.Errorf("stats = %d held, %d bytes, %d pruned; want 2, %d, 2",
+			st.QuarantineEntries, st.QuarantineBytes, st.QuarantinePruned, 2*per)
+	}
+}
+
+func TestQuarantineBoundHoldsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		quarantineKey(t, c, k, []byte("payload"))
+	}
+	if st := c.Stats(); st.QuarantineEntries != 5 {
+		t.Fatalf("held = %d, want 5 under the default bound", st.QuarantineEntries)
+	}
+	c.Close()
+
+	// A reopen with a tighter bound prunes what the looser one kept.
+	c2 := open(t, dir, Options{QuarantineMaxEntries: 2})
+	if st := c2.Stats(); st.QuarantineEntries != 2 || st.QuarantinePruned != 3 {
+		t.Errorf("reopened stats = %d held, %d pruned; want 2, 3", st.QuarantineEntries, st.QuarantinePruned)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 2 {
+		t.Errorf("quarantine dir after reopen: %v, %d files; want 2", err, len(q))
+	}
+}

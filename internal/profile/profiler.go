@@ -54,6 +54,8 @@ type profileEntry struct {
 // Entries key the database by pointer identity and therefore keep the
 // instance alive; call Reset to release a long-lived Profiler's memory
 // between unrelated workloads.
+//
+//efes:daemon-lifetime
 type Profiler struct {
 	workers int
 	store   Store

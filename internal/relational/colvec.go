@@ -23,7 +23,7 @@ import (
 
 // Bitmap is a fixed-purpose bitset over row indexes.
 type Bitmap struct {
-	words []uint64
+	words []uint64 //efes:bounded sized to the owning table's row count
 }
 
 // Get reports whether bit i is set. Indexes beyond the bitmap are unset.
@@ -33,6 +33,7 @@ func (b *Bitmap) Get(i int) bool {
 }
 
 // set sets bit i, growing the bitmap as needed.
+//
 //efes:hot
 func (b *Bitmap) set(i int) {
 	w := i >> 6
@@ -67,9 +68,9 @@ type ColumnVector struct {
 
 	// String columns (dictionary encoding).
 	codes  []int32
-	dict   []string
-	counts []int
-	lookup map[string]int32
+	dict   []string         //efes:bounded one entry per distinct string value of the column
+	counts []int            //efes:bounded one entry per distinct string value of the column
+	lookup map[string]int32 //efes:bounded one entry per distinct string value of the column
 
 	// Other types: one slot per row, zero-valued where NULL.
 	ints   []int64
@@ -185,6 +186,7 @@ func (v *ColumnVector) SortedDistinct() []string {
 
 // computeSortedDistinct builds the sorted distinct rendering. For every
 // type the rendering collapses values exactly as FormatValue map keys do.
+//
 //efes:hot
 func (v *ColumnVector) computeSortedDistinct() []string {
 	switch v.typ {
@@ -280,6 +282,7 @@ func (v *ColumnVector) intern(s string) int32 {
 }
 
 // appendValue appends one canonical (already coerced) cell.
+//
 //efes:hot
 func (v *ColumnVector) appendValue(val Value) {
 	i := v.length
@@ -326,6 +329,7 @@ func (v *ColumnVector) appendZero() {
 }
 
 // setValue overwrites the cell of row i with a canonical value.
+//
 //efes:hot
 func (v *ColumnVector) setValue(i int, val Value) {
 	if v.nulls.Get(i) {
@@ -377,6 +381,7 @@ func (v *ColumnVector) setZero(i int) {
 // deleteRows compacts the vector, removing the rows in drop (indexes
 // relative to the pre-delete length; out-of-range entries are ignored,
 // matching Database.Delete).
+//
 //efes:hot
 func (v *ColumnVector) deleteRows(drop map[int]struct{}) {
 	w := 0

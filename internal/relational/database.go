@@ -25,7 +25,7 @@ type Database struct {
 	// violations reported by Validate).
 	Schema *Schema
 
-	rows map[string][]Row
+	rows map[string][]Row //efes:bounded one slice per table of the loaded instance, one element per row
 
 	// vecs holds the lazily materialized columnar view of each table
 	// (see colvec.go). vecMu guards the map and first-access builds:

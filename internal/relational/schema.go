@@ -21,7 +21,7 @@ type Table struct {
 	// Columns is the ordered attribute list.
 	Columns []Column
 
-	colIndex map[string]int
+	colIndex map[string]int //efes:bounded one entry per declared column
 }
 
 // NewTable creates a table with the given columns. Column names must be
@@ -90,9 +90,11 @@ type Schema struct {
 	// Name identifies the schema (e.g. "s1", "musicbrainz").
 	Name string
 
-	tables     map[string]*Table
-	tableOrder []string
+	tables     map[string]*Table //efes:bounded one entry per declared table
+	tableOrder []string          //efes:bounded one entry per declared table
 	// Constraints holds all declared schema constraints.
+	//
+	//efes:bounded one entry per declared constraint of the schema definition
 	Constraints []Constraint
 }
 
