@@ -39,22 +39,29 @@ test:
 	go test ./...
 
 # Full benchmark run, captured as machine-readable JSON (cmd/benchjson).
-# Appends to BENCH_6.json so before/after runs can live side by side:
+# Appends to BENCH_10.json so before/after runs can live side by side:
 #   make bench LABEL=after
+# (BENCH_6.json holds the pre-sharding trajectory for comparison.)
 LABEL ?= current
 bench:
-	go run ./cmd/benchjson -bench . -label $(LABEL) -append -out BENCH_6.json
+	go run ./cmd/benchjson -bench . -label $(LABEL) -append -out BENCH_10.json
 
 # Compile-and-smoke: every benchmark runs exactly one iteration (-short
-# skips the XLarge pair, whose million-tuple scenario generation alone
+# skips the XLarge tier, whose million-tuple scenario generation alone
 # takes tens of seconds). Keeps bench-only code (bench_test.go,
 # LargeExampleConfig) from bitrotting without paying for a full
 # measurement run; wired into CI. The second step is the perf regression
 # gate: FullEstimateLarge must stay under its ceiling (the interned CSG
 # instance brought it from ~800ms to <50ms on the reference machine;
 # 250ms leaves headroom for slow CI hardware while still catching a
-# return to the string-instance regime).
+# return to the string-instance regime). The third gates the profiling
+# kernels the same way: ProfileDatabaseLarge ran ~15 ms at BENCH_6 and
+# must not creep back toward the row-path regime — 75 ms applies the
+# same ~5x slow-hardware headroom — and the sharded variant must not
+# cost more than the single-worker pass it parallelizes.
 bench-smoke:
 	go test -short -run '^$$' -bench . -benchtime 1x .
 	go run ./cmd/benchjson -bench '^BenchmarkFullEstimateLarge$$' -benchtime 3x \
 		-out '' -assert BenchmarkFullEstimateLarge=250ms
+	go run ./cmd/benchjson -bench '^BenchmarkProfileDatabaseLarge(Sharded)?$$' -benchtime 3x \
+		-out '' -assert 'BenchmarkProfileDatabaseLarge=75ms,BenchmarkProfileDatabaseLargeSharded=75ms'

@@ -25,6 +25,7 @@ import (
 	"efes/internal/mapping"
 	"efes/internal/match"
 	"efes/internal/profile"
+	"efes/internal/relational"
 	"efes/internal/scenario"
 	sqlpkg "efes/internal/sql"
 	"efes/internal/structure"
@@ -482,6 +483,19 @@ func BenchmarkProfileDatabaseLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkProfileDatabaseLargeSharded is BenchmarkProfileDatabaseLarge
+// with four chunk workers: the same bit-identical exact kernels, fanned
+// out over the column chunks.
+func BenchmarkProfileDatabaseLargeSharded(b *testing.B) {
+	db := largeExample().Sources[0].DB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.NewProfiler(4).ProfileDatabase(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFullEstimateLarge runs the complete two-phase pipeline at
 // LargeExampleConfig scale.
 func BenchmarkFullEstimateLarge(b *testing.B) {
@@ -532,6 +546,89 @@ func BenchmarkFullEstimateXLarge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fw.Estimate(scn, effort.HighQuality); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// warmVectors materializes every column vector of db so the profiling
+// benches measure the kernels, not the one-time columnar conversion the
+// first profile of a database pays.
+func warmVectors(db *relational.Database) {
+	for _, t := range db.Schema.Tables() {
+		for _, c := range t.Columns {
+			db.Vector(t.Name, c.Name)
+		}
+	}
+}
+
+// BenchmarkProfileDatabaseXLarge profiles every column of the XLarge
+// source (~1M songs) with the exact kernels, single-worker — the
+// baseline for the sharded and approximate variants below.
+func BenchmarkProfileDatabaseXLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("XLarge scenario generation is expensive; skipped under -short")
+	}
+	db := xlargeExample().Sources[0].DB
+	warmVectors(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.NewProfiler(1).ProfileDatabase(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileDatabaseXLargeSinglePass profiles every column of the
+// XLarge source with the pre-chunking single-pass kernels (FromVector) —
+// the implementation the sorted-run sharded kernels replace, kept as the
+// baseline the XLarge speedup is measured against.
+func BenchmarkProfileDatabaseXLargeSinglePass(b *testing.B) {
+	if testing.Short() {
+		b.Skip("XLarge scenario generation is expensive; skipped under -short")
+	}
+	db := xlargeExample().Sources[0].DB
+	warmVectors(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range db.Schema.Tables() {
+			for _, c := range t.Columns {
+				profile.FromVector(t.Name, c.Name, db.Vector(t.Name, c.Name))
+			}
+		}
+	}
+}
+
+// BenchmarkProfileDatabaseXLargeSharded is the exact path with four
+// chunk workers over the XLarge source: identical output bytes, the
+// chunk fan-out amortizing the per-column pass on multi-core machines.
+func BenchmarkProfileDatabaseXLargeSharded(b *testing.B) {
+	if testing.Short() {
+		b.Skip("XLarge scenario generation is expensive; skipped under -short")
+	}
+	db := xlargeExample().Sources[0].DB
+	warmVectors(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.NewProfiler(4).ProfileDatabase(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileDatabaseXLargeApprox profiles the XLarge source with
+// the sketch-based kernels (HyperLogLog distinct counts, space-saving
+// top-k, streaming moments): bounded memory per chunk and no global
+// exact count map, which is where the large-cardinality columns win.
+func BenchmarkProfileDatabaseXLargeApprox(b *testing.B) {
+	if testing.Short() {
+		b.Skip("XLarge scenario generation is expensive; skipped under -short")
+	}
+	db := xlargeExample().Sources[0].DB
+	warmVectors(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.NewProfiler(4).SetMode(profile.ModeApprox).ProfileDatabase(db); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkProfileDatabaseXLarge-4   \t       3\t 234567890 ns/op\t 1024 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid benchmark line")
+	}
+	if b.Name != "BenchmarkProfileDatabaseXLarge" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 234567890 || b.BytesPerOp != 1024 || b.AllocsPerOp != 12 {
+		t.Errorf("parsed %+v", b)
+	}
+	if _, ok := parseLine("ok  \tefes\t1.234s"); ok {
+		t.Error("parseLine accepted a non-benchmark line")
+	}
+	if _, ok := parseLine("BenchmarkBroken notanumber 1 ns/op"); ok {
+		t.Error("parseLine accepted a malformed iteration count")
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	b, ok := parseLine("BenchmarkCache-8 100 500 ns/op 0.97 hit-rate")
+	if !ok {
+		t.Fatal("parseLine rejected a line with a custom metric")
+	}
+	if got := b.Metrics["hit-rate"]; got != 0.97 {
+		t.Errorf("Metrics[hit-rate] = %v, want 0.97", got)
+	}
+}
+
+func TestBestOfKeepsMinimumPerName(t *testing.T) {
+	bs := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 300},
+		{Name: "BenchmarkB", NsPerOp: 50},
+		{Name: "BenchmarkA", NsPerOp: 200},
+		{Name: "BenchmarkA", NsPerOp: 250},
+		{Name: "BenchmarkB", NsPerOp: 70},
+	}
+	got := bestOf(bs)
+	if len(got) != 2 {
+		t.Fatalf("bestOf returned %d entries, want 2", len(got))
+	}
+	if got[0].Name != "BenchmarkA" || got[0].NsPerOp != 200 {
+		t.Errorf("got[0] = %+v, want BenchmarkA at its 200 minimum", got[0])
+	}
+	if got[1].Name != "BenchmarkB" || got[1].NsPerOp != 50 {
+		t.Errorf("got[1] = %+v, want BenchmarkB at its 50 minimum", got[1])
+	}
+}
+
+func TestParseAndCheckAsserts(t *testing.T) {
+	ceilings, err := parseAsserts("BenchmarkA=250ms,BenchmarkB=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ceilings["BenchmarkA"] != 250*time.Millisecond {
+		t.Errorf("BenchmarkA ceiling = %v", ceilings["BenchmarkA"])
+	}
+	run := &Run{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: float64(100 * time.Millisecond)},
+		{Name: "BenchmarkB", NsPerOp: float64(2 * time.Second)},
+	}}
+	if checkAsserts(run, ceilings) {
+		t.Error("checkAsserts passed despite BenchmarkB breaching its ceiling")
+	}
+	run.Benchmarks[1].NsPerOp = float64(500 * time.Millisecond)
+	if !checkAsserts(run, ceilings) {
+		t.Error("checkAsserts failed with all benchmarks within ceilings")
+	}
+	if checkAsserts(&Run{}, ceilings) {
+		t.Error("checkAsserts passed although the asserted benchmarks never ran")
+	}
+	if _, err := parseAsserts("BenchmarkA"); err == nil {
+		t.Error("parseAsserts accepted an entry without =maxDur")
+	}
+}

@@ -4,7 +4,8 @@
 //	efes -target targetdir -source srcdir [-corr file] [-quality high] \
 //	     [-discover] [-augment] [-skill 1.0] [-criticality 1.0] \
 //	     [-mapping-tool] [-workers N] [-timeout 30s] [-module-timeout 10s] \
-//	     [-retries 2] [-best-effort|-fail-fast] [-csv file] [-cache-dir dir]
+//	     [-retries 2] [-best-effort|-fail-fast] [-csv file] [-cache-dir dir] \
+//	     [-profile-mode exact|approx]
 //
 // Each database directory contains a schema.txt (the format written by
 // relational.Schema.String / SaveDir) and one <table>.csv per table. The
@@ -66,9 +67,14 @@ func main() {
 	bestEffort := flag.Bool("best-effort", false, "degrade on module failure: list it and fall back to the counting baseline")
 	failFast := flag.Bool("fail-fast", false, "abort on the first module failure (the default; rejects -best-effort)")
 	cacheDir := flag.String("cache-dir", "", "durable cache directory shared with efesd (profiles always; results with -json)")
+	profileModeFlag := flag.String("profile-mode", "exact", "column profiling mode: exact (bit-identical statistics) or approx (sketch-based, bounded error, marked in the output)")
 	flag.Parse()
 	if *bestEffort && *failFast {
 		fatal(fmt.Errorf("-best-effort and -fail-fast are mutually exclusive"))
+	}
+	profileMode, err := profile.ParseMode(*profileModeFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *writeConfig != "" {
@@ -173,7 +179,7 @@ func main() {
 			defer cache.Close()
 		}
 	}
-	prof := profile.NewProfiler(*workers)
+	prof := profile.NewProfiler(*workers).SetMode(profileMode)
 	if cache != nil {
 		prof.SetStore(cache.Namespace("stats"))
 	}
@@ -183,8 +189,11 @@ func main() {
 	// With -json and no side outputs, a warm result cache short-circuits
 	// the whole estimation: the stored bytes are the exact bytes a cold
 	// run would print (only non-degraded results are ever stored).
+	// Approximate runs neither read nor write the result cache — its
+	// entries are exact by contract, and an approx result must never be
+	// silently substituted for one.
 	var resultKey string
-	if cache != nil && *jsonOut && *csvOut == "" && *htmlOut == "" {
+	if cache != nil && *jsonOut && *csvOut == "" && *htmlOut == "" && profileMode == profile.ModeExact {
 		scnHash, err := persist.ScenarioHash(scn)
 		if err != nil {
 			fatal(err)
@@ -219,6 +228,9 @@ func main() {
 	res, err := fw.EstimateContext(ctx, scn, quality)
 	if err != nil {
 		fatal(err)
+	}
+	if profileMode == profile.ModeApprox {
+		res.ProfileMode = profileMode.String()
 	}
 	if res.Degraded() {
 		fmt.Fprintf(os.Stderr, "efes: warning: degraded result, %d module(s) failed\n", len(res.Failures))

@@ -20,6 +20,7 @@ import (
 	"efes/internal/effort"
 	"efes/internal/match"
 	"efes/internal/persist"
+	"efes/internal/profile"
 	"efes/internal/relational"
 )
 
@@ -303,6 +304,29 @@ type profileRequest struct {
 	DB     string `json:"db"`
 	Table  string `json:"table"`
 	Column string `json:"column"`
+	// Mode overrides the server's profiling mode for this request:
+	// "exact" or "approx". The ?mode= query parameter and the
+	// X-Efes-Profile-Mode header are equivalent spellings; the body
+	// field wins when several are set.
+	Mode string `json:"mode,omitempty"`
+}
+
+// requestProfileMode resolves the profiling mode of one profile request:
+// body field, then ?mode= query parameter, then X-Efes-Profile-Mode
+// header, then the server default. An unknown spelling is a 400, never a
+// silent fallback to a different precision than the client asked for.
+func (s *Server) requestProfileMode(r *http.Request, body string) (profile.Mode, error) {
+	spelling := body
+	if spelling == "" {
+		spelling = r.URL.Query().Get("mode")
+	}
+	if spelling == "" {
+		spelling = r.Header.Get("X-Efes-Profile-Mode")
+	}
+	if spelling == "" {
+		return s.prof.Mode(), nil
+	}
+	return profile.ParseMode(spelling)
 }
 
 // resolveDB finds the requested database within a scenario.
@@ -334,11 +358,25 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q", req.DB))
 		return
 	}
-	stats, err := s.prof.ColumnContext(r.Context(), db, req.Table, req.Column)
+	mode, err := s.requestProfileMode(r, req.Mode)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	stats, err := s.prof.ColumnContextMode(r.Context(), db, req.Table, req.Column, mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if mode == profile.ModeApprox {
+		s.profileApprox.Add(1)
+	} else {
+		s.profileExact.Add(1)
+	}
+	// Echo the served mode so clients can assert they got the precision
+	// they asked for; approximate bodies additionally carry the Approx
+	// error-bound marker.
+	w.Header().Set("X-Efes-Profile-Mode", mode.String())
 	writeJSON(w, http.StatusOK, stats)
 }
 
@@ -409,6 +447,9 @@ type statusResponse struct {
 	ProfileMisses   int64 `json:"profileMisses"`
 	ProfileDiskHits int64 `json:"profileDiskHits"`
 	ProfileComputes int64 `json:"profileComputes"`
+	// Per-mode /v1/profile request counters.
+	ProfileExact  int64 `json:"profileExact"`
+	ProfileApprox int64 `json:"profileApprox"`
 
 	Cache *persist.Stats `json:"cache,omitempty"`
 }
@@ -437,6 +478,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		ProfileMisses:       misses,
 		ProfileDiskHits:     diskHits,
 		ProfileComputes:     computes,
+		ProfileExact:        s.profileExact.Load(),
+		ProfileApprox:       s.profileApprox.Load(),
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

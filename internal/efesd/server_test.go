@@ -254,6 +254,70 @@ func TestProfileEndpoint(t *testing.T) {
 	}
 }
 
+func TestProfileModeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadMusic(t, ts.URL, nil)
+	body := []byte(`{"scenario": "music-example", "db": "target", "table": "tracks", "column": "title"}`)
+
+	// Default is exact: the mode is echoed and the body carries no
+	// Approx marker.
+	resp, data := post(t, ts.URL+"/v1/profile", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status = %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Efes-Profile-Mode"); got != "exact" {
+		t.Errorf("default mode header = %q, want exact", got)
+	}
+	if strings.Contains(string(data), "Approx") {
+		t.Errorf("exact profile body mentions Approx: %s", data)
+	}
+
+	// ?mode=approx: echoed, and the body is visibly marked with its
+	// error bounds — an approximate answer is never silent.
+	resp, data = post(t, ts.URL+"/v1/profile?mode=approx", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("approx profile status = %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Efes-Profile-Mode"); got != "approx" {
+		t.Errorf("approx mode header = %q, want approx", got)
+	}
+	var marked struct {
+		Approx *struct {
+			HLLPrecision int `json:"hllPrecision"`
+		} `json:"Approx"`
+	}
+	if err := json.Unmarshal(data, &marked); err != nil {
+		t.Fatal(err)
+	}
+	if marked.Approx == nil {
+		t.Errorf("approx profile body lacks the Approx marker: %s", data)
+	}
+
+	// The header spelling is equivalent to the query parameter.
+	resp, _ = post(t, ts.URL+"/v1/profile", body, map[string]string{"X-Efes-Profile-Mode": "approx"})
+	if got := resp.Header.Get("X-Efes-Profile-Mode"); got != "approx" {
+		t.Errorf("header-requested mode echoed as %q, want approx", got)
+	}
+
+	// An unknown spelling is a 400, not a silent precision change.
+	if resp, _ := post(t, ts.URL+"/v1/profile?mode=fuzzy", body, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown mode status = %d, want 400", resp.StatusCode)
+	}
+
+	// The per-mode counters show up in /v1/status.
+	_, data = get(t, ts.URL+"/v1/status")
+	var st struct {
+		ProfileExact  int64 `json:"profileExact"`
+		ProfileApprox int64 `json:"profileApprox"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ProfileExact != 1 || st.ProfileApprox != 2 {
+		t.Errorf("status counters = %d exact / %d approx, want 1/2", st.ProfileExact, st.ProfileApprox)
+	}
+}
+
 func TestMatchEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	uploadMusic(t, ts.URL, nil)

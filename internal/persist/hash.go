@@ -17,6 +17,7 @@ import (
 
 	"efes/internal/core"
 	"efes/internal/effort"
+	"efes/internal/profile"
 	"efes/internal/relational"
 )
 
@@ -80,6 +81,19 @@ func ConfigFingerprint(cfg effort.Config) (string, error) {
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// StatsKey derives the stats-cache key for one column profile: a pure
+// function of the table's content bytes, the column, the (possibly
+// coercion target) type, and the profiling mode — including the sketch-
+// parameter fingerprint in approximate mode, so an approximate profile
+// can never warm the exact cache (or vice versa), and retuned sketches
+// never collide with old entries. It delegates to profile.StatsKeyFor,
+// the single derivation shared with the Profiler's own read-through
+// store path; ok=false means the table's content hash is unavailable
+// (unknown table) and nothing should be cached.
+func StatsKey(db *relational.Database, table, column string, typ relational.Type, coerced bool, mode profile.Mode) (string, bool) {
+	return profile.StatsKeyFor(db, table, column, typ, coerced, mode)
 }
 
 // ResultKey derives the result-cache key for one estimate: scenario

@@ -9,6 +9,7 @@ import (
 	"efes/internal/core"
 	"efes/internal/effort"
 	"efes/internal/match"
+	"efes/internal/profile"
 	"efes/internal/relational"
 	"efes/internal/scenario"
 )
@@ -278,6 +279,39 @@ func TestResultKeyAndConfigFingerprint(t *testing.T) {
 	}
 	if ResultKey("h1", effort.LowEffort, fp) == ResultKey("h2", effort.LowEffort, fp) {
 		t.Error("scenario hash must be part of the result key")
+	}
+}
+
+func TestStatsKeySeparatesModes(t *testing.T) {
+	s := relational.NewSchema("src")
+	s.MustAddTable(relational.MustTable("t",
+		relational.Column{Name: "a", Type: relational.String}))
+	db := relational.NewDatabase(s)
+	db.MustInsert("t", "x")
+
+	ek, ok := StatsKey(db, "t", "a", relational.String, false, profile.ModeExact)
+	if !ok {
+		t.Fatal("StatsKey failed for a known table")
+	}
+	ak, ok := StatsKey(db, "t", "a", relational.String, false, profile.ModeApprox)
+	if !ok {
+		t.Fatal("StatsKey(approx) failed for a known table")
+	}
+	if ek == ak {
+		t.Error("exact and approx stats keys collide: an approx profile could warm the exact cache")
+	}
+	// The derivation is the one the Profiler itself uses, so cache
+	// consumers and the read-through store path agree on addresses.
+	if pk, _ := profile.StatsKeyFor(db, "t", "a", relational.String, false, profile.ModeExact); pk != ek {
+		t.Error("persist.StatsKey diverges from profile.StatsKeyFor")
+	}
+	// The coercion view and the type are part of the address.
+	if ck, _ := StatsKey(db, "t", "a", relational.Integer, true, profile.ModeExact); ck == ek {
+		t.Error("coerced view must not share the raw view's key")
+	}
+	// Unknown tables have no content hash and must not be cached.
+	if _, ok := StatsKey(db, "missing", "a", relational.String, false, profile.ModeExact); ok {
+		t.Error("StatsKey must fail for an unknown table")
 	}
 }
 

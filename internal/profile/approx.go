@@ -1,0 +1,576 @@
+package profile
+
+import (
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"efes/internal/profile/sketch"
+	"efes/internal/relational"
+)
+
+// This file holds the approximate profiling kernels: per-chunk mergeable
+// sketches (internal/profile/sketch) instead of exact count maps and
+// dense value vectors, for the out-of-core / streaming case where a
+// column's distinct values or rows dwarf memory. Per chunk the kernels
+// keep only bounded state — a chunk-local count map (≤ ChunkSize
+// entries), a HyperLogLog, a space-saving sketch, streaming moments, and
+// a mergeable histogram — and chunk summaries merge in chunk index
+// order, so output is deterministic at any worker count (chunk-local
+// maps are drained in sorted key order before feeding the order-
+// sensitive space-saving sketch).
+//
+// Every approximate profile carries a non-nil Approx field stating its
+// error bounds; approximate results are never silently substituted for
+// exact ones (the profiler keys its caches by mode). Where a sketch
+// would buy nothing — boolean columns, tiny dictionaries, the rare
+// coercion fallbacks — the kernels compute the statistic exactly and
+// say so with a zero bound: upgrading precision under an approx request
+// is allowed, only the reverse is not.
+
+// Approximate-mode sketch parameters. ApproxFingerprint must change
+// whenever these (or the merge semantics) do, so persisted approximate
+// profiles never outlive the algorithm that produced them.
+const (
+	approxHLLPrecision = sketch.DefaultHLLPrecision
+	approxTopKCapacity = sketch.DefaultSpaceSavingCapacity
+)
+
+// ApproxFingerprint identifies the approximate-mode algorithms and
+// parameters inside durable cache keys.
+func ApproxFingerprint() string {
+	return "hll=" + strconv.Itoa(approxHLLPrecision) +
+		",ss=" + strconv.Itoa(approxTopKCapacity) +
+		",hist=midpoint" + strconv.Itoa(HistogramBuckets)
+}
+
+// ApproxInfo documents the error bounds of an approximate profile. A
+// zero bound means that statistic is exact even in approximate mode.
+type ApproxInfo struct {
+	// DistinctRelErr is the standard relative error of Distinct
+	// (1.04/sqrt(2^p) for the HLL precision p in use; 0 = exact).
+	DistinctRelErr float64 `json:"distinctRelErr"`
+	// TopKCountErr bounds how much any TopK or Patterns count may
+	// overestimate the true frequency (the space-saving N/k bound;
+	// 0 = exact). Counts never underestimate a tracked value.
+	TopKCountErr int `json:"topKCountErr"`
+	// HLLPrecision is the HyperLogLog register exponent (0 when the
+	// distinct count is exact).
+	HLLPrecision int `json:"hllPrecision,omitempty"`
+	// TopKCapacity is the space-saving capacity (0 when top-k is exact).
+	TopKCapacity int `json:"topKCapacity,omitempty"`
+	// HistogramRebinned reports that NumHist buckets were merged by
+	// midpoint rebinning: a count may sit one bucket off, and the
+	// histogram range may be wider than [Min, Max].
+	HistogramRebinned bool `json:"histogramRebinned,omitempty"`
+}
+
+// exactApproxInfo marks a profile computed by the exact kernels under an
+// approximate-mode request: every bound is zero.
+func exactApproxInfo() *ApproxInfo { return &ApproxInfo{} }
+
+// FromVectorApprox profiles a column with the sketch-based kernels,
+// fanning per-chunk sketches out over workers goroutines. Deterministic
+// at any worker count.
+func FromVectorApprox(table, column string, vec *relational.ColumnVector, workers int) *ColumnStats {
+	cs := newStats(table, column, vec.Type(), vec.Len(), vec.NullCount())
+	switch vec.Type() {
+	case relational.String:
+		stringApproxKernel(cs, vec.Dict(), vec.Counts(), workers)
+	case relational.Integer:
+		intApproxKernel(cs, vec.Ints(), vec.Nulls(), workers)
+	case relational.Float:
+		floatApproxKernel(cs, vec.Floats(), vec.Nulls(), workers)
+	case relational.Bool:
+		// Two possible values: the exact kernel is already bounded.
+		boolKernelSharded(cs, vec.Bools(), vec.Nulls(), workers)
+		cs.Approx = exactApproxInfo()
+	case relational.Time:
+		timeApproxKernel(cs, vec.Times(), vec.Nulls(), workers)
+	}
+	return cs
+}
+
+// FromVectorCoercedApprox is FromVectorCoerced under approximate mode:
+// string sources (the streaming-CSV case) coerce per dictionary entry
+// into weighted sketches; every other combination is cheap enough to
+// stay exact and is marked so.
+func FromVectorCoercedApprox(table, column string, vec *relational.ColumnVector, typ relational.Type, workers int) (*ColumnStats, int) {
+	src := vec.Type()
+	if typ == src {
+		return FromVectorApprox(table, column, vec, workers), 0
+	}
+	if src == relational.String && !impossibleCoercion(src, typ) {
+		return coercedFromStringApprox(table, column, vec, typ, workers)
+	}
+	cs, incompatible := FromVectorCoercedSharded(table, column, vec, typ, workers)
+	cs.Approx = exactApproxInfo()
+	return cs, incompatible
+}
+
+// numSketches is the mergeable per-chunk summary of a numeric column.
+// The heavy-hitter sketch is keyed by canonical bit pattern; keys render
+// to strings only when the ≤ capacity survivors are reported, so the
+// per-distinct hot path never allocates.
+type numSketches struct {
+	hll  *sketch.HLL
+	ss   *sketch.SpaceSavingU64
+	mom  *sketch.Moments
+	hist *sketch.Histogram
+}
+
+func newNumSketches() numSketches {
+	return numSketches{
+		hll:  sketch.NewHLL(approxHLLPrecision),
+		ss:   sketch.NewSpaceSavingU64(approxTopKCapacity),
+		mom:  sketch.NewMoments(),
+		hist: sketch.NewHistogram(HistogramBuckets),
+	}
+}
+
+// renderEntries renders bit-keyed heavy hitters and restores the report
+// order over the rendered values (count desc, value asc).
+func renderEntries(es []sketch.EntryU64, render func(uint64) string) []sketch.Entry {
+	out := make([]sketch.Entry, len(es))
+	for i, e := range es {
+		out[i] = sketch.Entry{Value: render(e.Key), Count: e.Count, Err: e.Err}
+	}
+	slices.SortFunc(out, func(a, b sketch.Entry) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.Value, b.Value)
+	})
+	return out
+}
+
+// renderInt renders an integer heavy-hitter key (the value's two's-
+// complement bits) like the exact kernels render values.
+func renderInt(k uint64) string { return strconv.FormatInt(int64(k), 10) }
+
+// renderFloat renders a float heavy-hitter key (the value's canonical
+// bit pattern) like the exact kernels render values.
+func renderFloat(k uint64) string {
+	return strconv.FormatFloat(math.Float64frombits(k), 'g', -1, 64)
+}
+
+func (a numSketches) merge(b numSketches) {
+	a.hll.Merge(b.hll)
+	a.ss.Merge(b.ss)
+	a.mom.Merge(b.mom)
+	a.hist.Merge(b.hist)
+}
+
+// finishNumApprox fills a ColumnStats from merged numeric sketches,
+// rendering the surviving heavy-hitter keys with render.
+func finishNumApprox(cs *ColumnStats, s numSketches, render func(uint64) string) {
+	nonNull := cs.Rows - cs.Nulls
+	distinct := int(s.hll.Estimate())
+	if distinct > nonNull {
+		distinct = nonNull
+	}
+	if distinct == 0 && nonNull > 0 {
+		distinct = 1
+	}
+	cs.Distinct = distinct
+	entries := renderEntries(s.ss.Entries(), render)
+	finishTopKApprox(cs, entries, nonNull)
+	cs.Constancy = approxConstancy(entries, distinct, nonNull)
+	if s.mom.Count() > 0 {
+		cs.HasNumeric = true
+		cs.Mean = Dist{Mean: s.mom.Mean(), StdDev: s.mom.StdDev()}
+		cs.Min, cs.Max = s.mom.Min(), s.mom.Max()
+		cs.NumHist = histFromSketch(s.hist)
+	}
+	cs.Approx = &ApproxInfo{
+		DistinctRelErr:    s.hll.RelativeError(),
+		TopKCountErr:      int(s.ss.MaxOverestimate()),
+		HLLPrecision:      approxHLLPrecision,
+		TopKCapacity:      approxTopKCapacity,
+		HistogramRebinned: true,
+	}
+}
+
+// finishTopKApprox fills TopK and its coverage from space-saving entries
+// (already in (count desc, value asc) order). Coverage is clamped: the
+// sketch may overestimate counts.
+func finishTopKApprox(cs *ColumnStats, entries []sketch.Entry, nonNull int) {
+	k := len(entries)
+	if k > TopKSize {
+		k = TopKSize
+	}
+	cs.TopK = make([]ValueCount, k)
+	covered := uint64(0)
+	for i := 0; i < k; i++ {
+		cs.TopK[i] = ValueCount{Value: entries[i].Value, Count: int(entries[i].Count)}
+		covered += entries[i].Count
+	}
+	if nonNull > 0 {
+		cov := float64(covered) / float64(nonNull)
+		if cov > 1 {
+			cov = 1
+		}
+		cs.TopKCoverage = cov
+	}
+}
+
+// approxConstancy estimates 1 - H/Hmax from the heavy-hitter counts: the
+// tracked entries contribute their -p*log2(p) addends; the untracked
+// remainder mass is spread uniformly over the remaining (estimated)
+// distinct values — the maximum-entropy assumption, so constancy errs
+// low (toward "diverse") rather than inventing structure. Clamped to
+// [0, 1].
+func approxConstancy(entries []sketch.Entry, distinct, nonNull int) float64 {
+	if nonNull == 0 || distinct <= 1 {
+		return 1
+	}
+	h := 0.0
+	covered := uint64(0)
+	used := 0
+	for _, e := range entries {
+		if e.Count == 0 {
+			continue
+		}
+		p := float64(e.Count) / float64(nonNull)
+		if p > 1 {
+			p = 1
+		}
+		h -= p * math.Log2(p)
+		covered += e.Count
+		used++
+	}
+	if rem := float64(nonNull) - float64(covered); rem > 0 && distinct > used {
+		remD := float64(distinct - used)
+		p := rem / remD / float64(nonNull)
+		if p > 0 && p <= 1 {
+			h -= remD * p * math.Log2(p)
+		}
+	}
+	hmax := math.Log2(float64(nonNull))
+	if hmax <= 0 {
+		return 1
+	}
+	c := 1 - h/hmax
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// histFromSketch converts a merged sketch histogram into the profile's
+// histogram shape. The range is the sketch's bin range, which may be
+// wider than the observed [min, max] after geometric growth.
+func histFromSketch(h *sketch.Histogram) Histogram {
+	lo, hi, ok := h.Range()
+	if !ok {
+		return Histogram{}
+	}
+	out := Histogram{Min: lo, Max: hi, Buckets: make([]int, len(h.Buckets()))}
+	for i, c := range h.Buckets() {
+		out.Buckets[i] = int(c)
+	}
+	return out
+}
+
+// intApproxKernel profiles an integer column with per-chunk sketches.
+// Each chunk sorts its non-null values and feeds the sketches one
+// run-length-encoded (value, count) pair per distinct value — no chunk
+// count map, no per-distinct rendering — in sorted key order, so the
+// order-sensitive space-saving sketch sees a deterministic stream.
+//
+//efes:hot
+func intApproxKernel(cs *ColumnStats, ints []int64, nulls *relational.Bitmap, workers int) {
+	chunks := chunkCount(len(ints))
+	parts := make([]numSketches, chunks)
+	shardRun(chunks, workers, func(k int) {
+		lo, hi := chunkSpan(k, len(ints))
+		s := newNumSketches()
+		vals := make([]int64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			x := ints[i]
+			vals = append(vals, x)
+			f := float64(x)
+			s.mom.Add(f)
+			s.hist.Add(f)
+		}
+		slices.Sort(vals)
+		for i := 0; i < len(vals); {
+			j := i + 1
+			for j < len(vals) && vals[j] == vals[i] {
+				j++
+			}
+			s.hll.Add(sketch.HashUint64(uint64(vals[i])))
+			s.ss.AddN(uint64(vals[i]), uint64(j-i))
+			i = j
+		}
+		parts[k] = s
+	})
+	merged := newNumSketches()
+	for _, p := range parts {
+		merged.merge(p)
+	}
+	finishNumApprox(cs, merged, renderInt)
+}
+
+// floatApproxKernel is intApproxKernel for float columns (values keyed
+// by canonicalized bit pattern, rendered like the exact kernels).
+//
+//efes:hot
+func floatApproxKernel(cs *ColumnStats, floats []float64, nulls *relational.Bitmap, workers int) {
+	chunks := chunkCount(len(floats))
+	parts := make([]numSketches, chunks)
+	shardRun(chunks, workers, func(k int) {
+		lo, hi := chunkSpan(k, len(floats))
+		s := newNumSketches()
+		keys := make([]uint64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			x := floats[i]
+			keys = append(keys, floatKey(x))
+			s.mom.Add(x)
+			s.hist.Add(x)
+		}
+		slices.Sort(keys)
+		for i := 0; i < len(keys); {
+			j := i + 1
+			for j < len(keys) && keys[j] == keys[i] {
+				j++
+			}
+			s.hll.Add(sketch.HashUint64(keys[i]))
+			s.ss.AddN(keys[i], uint64(j-i))
+			i = j
+		}
+		parts[k] = s
+	})
+	merged := newNumSketches()
+	for _, p := range parts {
+		merged.merge(p)
+	}
+	finishNumApprox(cs, merged, renderFloat)
+}
+
+// timeApproxKernel profiles a timestamp column: distinct and top-k over
+// the rendered values via sketches; like the exact kernel, timestamps
+// contribute no numeric or string statistics.
+//
+//efes:hot
+func timeApproxKernel(cs *ColumnStats, times []time.Time, nulls *relational.Bitmap, workers int) {
+	nonNull := cs.Rows - cs.Nulls
+	chunks := chunkCount(len(times))
+	type part struct {
+		hll *sketch.HLL
+		ss  *sketch.SpaceSaving
+	}
+	parts := make([]part, chunks)
+	shardRun(chunks, workers, func(k int) {
+		lo, hi := chunkSpan(k, len(times))
+		cnt := make(map[string]int, 1024)
+		for i := lo; i < hi; i++ {
+			if nulls.Get(i) {
+				continue
+			}
+			cnt[times[i].Format(time.RFC3339)]++
+		}
+		keys := make([]string, 0, len(cnt))
+		for s := range cnt {
+			keys = append(keys, s)
+		}
+		slices.Sort(keys)
+		p := part{hll: sketch.NewHLL(approxHLLPrecision), ss: sketch.NewSpaceSaving(approxTopKCapacity)}
+		for _, s := range keys {
+			p.hll.Add(sketch.HashString(s))
+			p.ss.AddN(s, uint64(cnt[s]))
+		}
+		parts[k] = p
+	})
+	hll := sketch.NewHLL(approxHLLPrecision)
+	ss := sketch.NewSpaceSaving(approxTopKCapacity)
+	for _, p := range parts {
+		hll.Merge(p.hll)
+		ss.Merge(p.ss)
+	}
+	distinct := int(hll.Estimate())
+	if distinct > nonNull {
+		distinct = nonNull
+	}
+	if distinct == 0 && nonNull > 0 {
+		distinct = 1
+	}
+	cs.Distinct = distinct
+	entries := ss.Entries()
+	finishTopKApprox(cs, entries, nonNull)
+	cs.Constancy = approxConstancy(entries, distinct, nonNull)
+	cs.Approx = &ApproxInfo{
+		DistinctRelErr: hll.RelativeError(),
+		TopKCountErr:   int(ss.MaxOverestimate()),
+		HLLPrecision:   approxHLLPrecision,
+		TopKCapacity:   approxTopKCapacity,
+	}
+}
+
+// stringPartialApprox is one dictionary shard's sketched contribution.
+type stringPartialApprox struct {
+	topk       *sketch.SpaceSaving
+	patterns   *sketch.SpaceSaving
+	lenMom     *sketch.Moments
+	charCounts map[rune]int
+	totalChars int
+	distinct   int
+}
+
+// stringApproxKernel profiles a string column from its dictionary. The
+// dictionary is in memory, so the distinct count stays exact; top-k and
+// patterns go through bounded space-saving sketches, string lengths
+// through weighted streaming moments, and the character histogram stays
+// exact (bounded by the alphabet). Dictionary order is deterministic, so
+// so is every sketch.
+//
+//efes:hot
+func stringApproxKernel(cs *ColumnStats, strs []string, occ []int, workers int) {
+	nonNull := cs.Rows - cs.Nulls
+	chunks := chunkCount(len(strs))
+	parts := make([]stringPartialApprox, chunks)
+	shardRun(chunks, workers, func(k int) {
+		lo, hi := chunkSpan(k, len(strs))
+		p := stringPartialApprox{
+			topk:       sketch.NewSpaceSaving(approxTopKCapacity),
+			patterns:   sketch.NewSpaceSaving(approxTopKCapacity),
+			lenMom:     sketch.NewMoments(),
+			charCounts: make(map[rune]int),
+		}
+		for c := lo; c < hi; c++ {
+			n := occ[c]
+			if n == 0 {
+				continue
+			}
+			p.distinct++
+			p.topk.AddN(strs[c], uint64(n))
+			p.patterns.AddN(Pattern(strs[c]), uint64(n))
+			rl := 0
+			for _, r := range strs[c] {
+				p.charCounts[r] += n
+				p.totalChars += n
+				rl++
+			}
+			p.lenMom.AddWeighted(float64(rl), uint64(n))
+		}
+		parts[k] = p
+	})
+	topk := sketch.NewSpaceSaving(approxTopKCapacity)
+	patterns := sketch.NewSpaceSaving(approxTopKCapacity)
+	lenMom := sketch.NewMoments()
+	charCounts := make(map[rune]int)
+	totalChars, distinct := 0, 0
+	for _, p := range parts {
+		topk.Merge(p.topk)
+		patterns.Merge(p.patterns)
+		lenMom.Merge(p.lenMom)
+		distinct += p.distinct
+		totalChars += p.totalChars
+		for r, n := range p.charCounts {
+			charCounts[r] += n
+		}
+	}
+	cs.Distinct = distinct
+	pents := patterns.Entries()
+	cs.Patterns = make([]ValueCount, len(pents))
+	for i, e := range pents {
+		cs.Patterns[i] = ValueCount{Value: e.Value, Count: int(e.Count)}
+	}
+	if totalChars > 0 {
+		cs.CharHist = make(map[rune]float64, len(charCounts))
+		for r, n := range charCounts {
+			cs.CharHist[r] = float64(n) / float64(totalChars)
+		}
+	}
+	if lenMom.Count() > 0 {
+		cs.StringLength = Dist{Mean: lenMom.Mean(), StdDev: lenMom.StdDev()}
+	}
+	entries := topk.Entries()
+	finishTopKApprox(cs, entries, nonNull)
+	cs.Constancy = approxConstancy(entries, distinct, nonNull)
+	cs.Approx = &ApproxInfo{
+		TopKCountErr: int(topk.MaxOverestimate()),
+		TopKCapacity: approxTopKCapacity,
+	}
+}
+
+// coercedFromStringApprox coerces per distinct dictionary entry — the
+// streaming-CSV case the approximate mode exists for — and feeds
+// weighted sketches in dictionary order.
+//
+//efes:hot
+func coercedFromStringApprox(table, column string, vec *relational.ColumnVector, typ relational.Type, workers int) (*ColumnStats, int) {
+	dict, occ := vec.Dict(), vec.Counts()
+	dictChunks := chunkCount(len(dict))
+	bad := make([]int, dictChunks)
+
+	switch typ {
+	case relational.Integer, relational.Float:
+		parts := make([]numSketches, dictChunks)
+		shardRun(dictChunks, workers, func(k int) {
+			lo, hi := chunkSpan(k, len(dict))
+			s := newNumSketches()
+			for c := lo; c < hi; c++ {
+				n := occ[c]
+				if n == 0 {
+					continue
+				}
+				var f float64
+				var key uint64
+				if typ == relational.Integer {
+					v, err := relational.ParseInt(dict[c])
+					if err != nil {
+						bad[k] += n
+						continue
+					}
+					f, key = float64(v), uint64(v)
+				} else {
+					v, err := relational.ParseFloat(dict[c])
+					if err != nil {
+						bad[k] += n
+						continue
+					}
+					f, key = v, floatKey(v)
+				}
+				s.hll.Add(sketch.HashUint64(key))
+				s.ss.AddN(key, uint64(n))
+				s.mom.AddWeighted(f, uint64(n))
+				s.hist.AddN(f, uint64(n))
+			}
+			parts[k] = s
+		})
+		incompatible := sumInts(bad)
+		cs := newStats(table, column, typ, vec.Len()-incompatible, vec.NullCount())
+		merged := newNumSketches()
+		for _, p := range parts {
+			merged.merge(p)
+		}
+		render := renderInt
+		if typ == relational.Float {
+			render = renderFloat
+		}
+		finishNumApprox(cs, merged, render)
+		return cs, incompatible
+	default:
+		// Bool and Time targets have tiny (bool) or render-bounded
+		// (time) value spaces; the exact sharded kernel is already
+		// memory-bounded enough, and precision upgrades are allowed.
+		cs, incompatible := FromVectorCoercedSharded(table, column, vec, typ, workers)
+		cs.Approx = exactApproxInfo()
+		return cs, incompatible
+	}
+}

@@ -1,0 +1,192 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"efes/internal/relational"
+)
+
+// Approximate-mode properties: deterministic output at any worker count,
+// every approximate profile marked with its error bounds, sketch
+// estimates within those bounds on known distributions, and the exact
+// JSON shape unchanged (Approx omitted when nil).
+
+func TestApproxDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, typ := range allTypes {
+		for _, n := range []int{0, 1, 7, 400} {
+			db := randomDB(t, rng, typ, n)
+			vec := db.Vector("t", "c")
+			want := FromVectorApprox("t", "c", vec, 1)
+			for _, workers := range []int{2, 3, 8} {
+				ctx := typ.String() + "/approx/n" + strconv.Itoa(n) + "/w" + strconv.Itoa(workers)
+				statsEqual(t, ctx, want, FromVectorApprox("t", "c", vec, workers))
+			}
+			for _, dst := range allTypes {
+				wantC, wantInc := FromVectorCoercedApprox("t", "c", vec, dst, 1)
+				for _, workers := range []int{2, 8} {
+					gotC, gotInc := FromVectorCoercedApprox("t", "c", vec, dst, workers)
+					cctx := typ.String() + "->" + dst.String() + "/approx/w" + strconv.Itoa(workers)
+					if wantInc != gotInc {
+						t.Errorf("%s: incompatible: want %d, got %d", cctx, wantInc, gotInc)
+					}
+					statsEqual(t, cctx, wantC, gotC)
+				}
+			}
+		}
+	}
+}
+
+func TestApproxDeterministicMultiChunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-chunk columns are slow to build")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, typ := range []relational.Type{relational.Integer, relational.String} {
+		db := randomDB(t, rng, typ, relational.ChunkSize+777)
+		vec := db.Vector("t", "c")
+		want := FromVectorApprox("t", "c", vec, 1)
+		for _, workers := range []int{2, 4, 8} {
+			ctx := typ.String() + "/approx/multichunk/w" + strconv.Itoa(workers)
+			statsEqual(t, ctx, want, FromVectorApprox("t", "c", vec, workers))
+		}
+	}
+}
+
+func TestApproxAlwaysMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, typ := range allTypes {
+		db := randomDB(t, rng, typ, 200)
+		vec := db.Vector("t", "c")
+		if cs := FromVectorApprox("t", "c", vec, 2); cs.Approx == nil {
+			t.Errorf("%v: approximate profile not marked", typ)
+		}
+		if cs := FromVectorSharded("t", "c", vec, 2); cs.Approx != nil {
+			t.Errorf("%v: exact profile carries Approx marker", typ)
+		}
+		for _, dst := range allTypes {
+			if cs, _ := FromVectorCoercedApprox("t", "c", vec, dst, 2); cs.Approx == nil {
+				t.Errorf("%v->%v: approximate coerced profile not marked", typ, dst)
+			}
+			if cs, _ := FromVectorCoercedSharded("t", "c", vec, dst, 2); cs.Approx != nil {
+				t.Errorf("%v->%v: exact coerced profile carries Approx marker", typ, dst)
+			}
+		}
+	}
+}
+
+// TestApproxWithinBounds checks the documented error bounds on a known
+// distribution: a zipf-ish integer column whose exact profile is
+// computable.
+func TestApproxWithinBounds(t *testing.T) {
+	s := relational.NewSchema("prop")
+	tab, err := relational.NewTable("t", relational.Column{Name: "c", Type: relational.Integer})
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	if err := s.AddTable(tab); err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	db := relational.NewDatabase(s)
+	// 100 heavy values (frequency 50 each) + 5000 singletons.
+	rows := 0
+	for v := int64(0); v < 100; v++ {
+		for j := 0; j < 50; j++ {
+			db.MustInsert("t", v)
+			rows++
+		}
+	}
+	for v := int64(1000); v < 6000; v++ {
+		db.MustInsert("t", v)
+		rows++
+	}
+	vec := db.Vector("t", "c")
+	exact := FromVector("t", "c", vec)
+	approx := FromVectorApprox("t", "c", vec, 3)
+	if approx.Approx == nil {
+		t.Fatal("approximate profile not marked")
+	}
+	// Exact row statistics stay exact.
+	if approx.Rows != exact.Rows || approx.Nulls != exact.Nulls || !bitsEq(approx.Fill, exact.Fill) {
+		t.Errorf("rows/nulls/fill diverged: %d/%d/%v vs %d/%d/%v",
+			approx.Rows, approx.Nulls, approx.Fill, exact.Rows, exact.Nulls, exact.Fill)
+	}
+	// Distinct within 4x the documented relative error.
+	relErr := math.Abs(float64(approx.Distinct)-float64(exact.Distinct)) / float64(exact.Distinct)
+	if relErr > 4*approx.Approx.DistinctRelErr {
+		t.Errorf("distinct %d vs exact %d: relative error %.4f > 4x documented %.4f",
+			approx.Distinct, exact.Distinct, relErr, approx.Approx.DistinctRelErr)
+	}
+	// The heavy values' counts are far above N/k, so the top-10 must be
+	// exactly the exact top-10 (values 0..99 all have count 50; ties
+	// break by value string) and counts must bracket truth.
+	if len(approx.TopK) != len(exact.TopK) {
+		t.Fatalf("topk size %d vs exact %d", len(approx.TopK), len(exact.TopK))
+	}
+	for i, vc := range approx.TopK {
+		if vc.Value != exact.TopK[i].Value {
+			t.Errorf("topk[%d]: value %q vs exact %q", i, vc.Value, exact.TopK[i].Value)
+		}
+		if vc.Count < exact.TopK[i].Count || vc.Count > exact.TopK[i].Count+approx.Approx.TopKCountErr {
+			t.Errorf("topk[%d]: count %d outside [%d, %d+%d]", i, vc.Count,
+				exact.TopK[i].Count, exact.TopK[i].Count, approx.Approx.TopKCountErr)
+		}
+	}
+	// Moments: count/min/max exact, mean within float round-off.
+	if !bitsEq(approx.Min, exact.Min) || !bitsEq(approx.Max, exact.Max) {
+		t.Errorf("min/max [%v, %v] vs exact [%v, %v]", approx.Min, approx.Max, exact.Min, exact.Max)
+	}
+	if math.Abs(approx.Mean.Mean-exact.Mean.Mean) > 1e-9*math.Abs(exact.Mean.Mean) {
+		t.Errorf("mean %v vs exact %v", approx.Mean.Mean, exact.Mean.Mean)
+	}
+	if math.Abs(approx.Mean.StdDev-exact.Mean.StdDev) > 1e-9*exact.Mean.StdDev {
+		t.Errorf("stddev %v vs exact %v", approx.Mean.StdDev, exact.Mean.StdDev)
+	}
+	// Histogram mass is preserved even if buckets shifted.
+	mass := 0
+	for _, b := range approx.NumHist.Buckets {
+		mass += b
+	}
+	if mass != rows {
+		t.Errorf("histogram mass %d, want %d", mass, rows)
+	}
+	if approx.Constancy < 0 || approx.Constancy > 1 {
+		t.Errorf("constancy %v outside [0,1]", approx.Constancy)
+	}
+}
+
+// TestApproxJSONCompat pins the on-the-wire contract: an exact profile's
+// JSON must not mention Approx at all (byte-compat with the pre-sketch
+// format), an approximate profile's must.
+func TestApproxJSONCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := randomDB(t, rng, relational.String, 50)
+	vec := db.Vector("t", "c")
+	exactJSON, err := json.Marshal(FromVector("t", "c", vec))
+	if err != nil {
+		t.Fatalf("marshal exact: %v", err)
+	}
+	if strings.Contains(string(exactJSON), "Approx") {
+		t.Errorf("exact profile JSON mentions Approx: %s", exactJSON)
+	}
+	approxJSON, err := json.Marshal(FromVectorApprox("t", "c", vec, 2))
+	if err != nil {
+		t.Fatalf("marshal approx: %v", err)
+	}
+	if !strings.Contains(string(approxJSON), "Approx") {
+		t.Errorf("approximate profile JSON lacks Approx marker: %s", approxJSON)
+	}
+	// Round-trip keeps the marker.
+	var back ColumnStats
+	if err := json.Unmarshal(approxJSON, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Approx == nil {
+		t.Error("Approx marker lost in JSON round-trip")
+	}
+}

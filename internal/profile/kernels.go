@@ -150,6 +150,7 @@ func newStats(table, column string, typ relational.Type, rows, nulls int) *Colum
 // two passes over the code vector replicate the seed's row-order string-
 // length accumulation. It serves the raw string column and every derived
 // to-string view (the derived dictionaries of intToString etc.).
+//
 //efes:hot
 func stringKernelDict(cs *ColumnStats, strs []string, occ []int, codes []int32, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
@@ -213,6 +214,7 @@ func stringKernelDict(cs *ColumnStats, strs []string, occ []int, codes []int32, 
 // intKernel profiles an integer column: one pass builds the typed
 // distinct map and the dense numeric vector in row order; the numeric
 // statistics then run over the dense vector with the seed's own helpers.
+//
 //efes:hot
 func intKernel(cs *ColumnStats, ints []int64, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
@@ -231,6 +233,7 @@ func intKernel(cs *ColumnStats, ints []int64, nulls *relational.Bitmap) {
 
 // floatKernel profiles a float column. With no NULLs the typed vector is
 // used as the dense numeric vector directly (zero copies).
+//
 //efes:hot
 func floatKernel(cs *ColumnStats, floats []float64, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
@@ -257,6 +260,7 @@ func floatKernel(cs *ColumnStats, floats []float64, nulls *relational.Bitmap) {
 }
 
 // boolKernel profiles a boolean column.
+//
 //efes:hot
 func boolKernel(cs *ColumnStats, bools []bool, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
@@ -281,6 +285,7 @@ func boolKernel(cs *ColumnStats, bools []bool, nulls *relational.Bitmap) {
 // timeKernel profiles a timestamp column. Timestamps contribute no
 // numeric or string statistics in the seed (the Values type switch has no
 // time case), only rendered-value counts.
+//
 //efes:hot
 func timeKernel(cs *ColumnStats, times []time.Time, nulls *relational.Bitmap) {
 	nonNull := cs.Rows - cs.Nulls
@@ -299,6 +304,7 @@ func timeKernel(cs *ColumnStats, times []time.Time, nulls *relational.Bitmap) {
 // typed relational.Parse* helpers — the exact string semantics of the
 // row path's relational.Coerce, minus the per-value interface boxing;
 // rows whose entry fails to parse are dropped as incompatible.
+//
 //efes:hot
 func coercedFromString(table, column string, vec *relational.ColumnVector, typ relational.Type) (*ColumnStats, int) {
 	dict, occ, codes, nulls := vec.Dict(), vec.Counts(), vec.Codes(), vec.Nulls()
@@ -434,6 +440,7 @@ func coercedFromString(table, column string, vec *relational.ColumnVector, typ r
 }
 
 // intToFloat profiles an integer column viewed as float (never fails).
+//
 //efes:hot
 func intToFloat(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	ints, nulls := vec.Ints(), vec.Nulls()
@@ -456,6 +463,7 @@ func intToFloat(table, column string, vec *relational.ColumnVector) *ColumnStats
 
 // floatToInt profiles a float column viewed as integer: only integral,
 // finite values coerce (the seed's Trunc check, replicated per row).
+//
 //efes:hot
 func floatToInt(table, column string, vec *relational.ColumnVector) (*ColumnStats, int) {
 	floats, nulls := vec.Floats(), vec.Nulls()
@@ -483,6 +491,7 @@ func floatToInt(table, column string, vec *relational.ColumnVector) (*ColumnStat
 // intToString profiles an integer column rendered as strings, building a
 // derived dictionary (one rendering per distinct value) for the fused
 // string kernel.
+//
 //efes:hot
 func intToString(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	ints, nulls := vec.Ints(), vec.Nulls()
@@ -513,6 +522,7 @@ func intToString(table, column string, vec *relational.ColumnVector) *ColumnStat
 // floatToString profiles a float column rendered as strings via a derived
 // dictionary keyed by float bits (NaNs canonicalized: they all render
 // "NaN").
+//
 //efes:hot
 func floatToString(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	floats, nulls := vec.Floats(), vec.Nulls()
@@ -542,6 +552,7 @@ func floatToString(table, column string, vec *relational.ColumnVector) *ColumnSt
 }
 
 // boolToString profiles a boolean column rendered as strings.
+//
 //efes:hot
 func boolToString(table, column string, vec *relational.ColumnVector) *ColumnStats {
 	bools, nulls := vec.Bools(), vec.Nulls()
@@ -583,6 +594,7 @@ func floatKey(x float64) uint64 { return relational.FloatKey(x) }
 
 // finishInts derives Distinct, Constancy and TopK from a typed integer
 // count map. Values are rendered only when the top-k heap needs them.
+//
 //efes:hot
 func finishInts(cs *ColumnStats, cnt map[int64]int, nonNull int) {
 	cs.Distinct = len(cnt)
@@ -600,6 +612,7 @@ func finishInts(cs *ColumnStats, cnt map[int64]int, nonNull int) {
 }
 
 // finishFloats is finishInts for bit-keyed float count maps.
+//
 //efes:hot
 func finishFloats(cs *ColumnStats, cnt map[uint64]int, nonNull int) {
 	cs.Distinct = len(cnt)
@@ -638,6 +651,7 @@ func finishBools(cs *ColumnStats, nTrue, nFalse, nonNull int) {
 
 // finishStringCounts derives the count statistics from a rendered-value
 // count map (timestamp views).
+//
 //efes:hot
 func finishStringCounts(cs *ColumnStats, cnt map[string]int, nonNull int) {
 	cs.Distinct = len(cnt)
@@ -683,6 +697,7 @@ func finishTopK(cs *ColumnStats, tk *topK, nonNull int) {
 // yield identical addends, so walking the count groups in descending
 // order reproduces the identical float sequence. The inner loop re-reads
 // the seed's expression verbatim so no term is pre-rounded differently.
+//
 //efes:hot
 func constancyFromMult(mult map[int]int, distinct, nonNull int) float64 {
 	if nonNull == 0 || distinct <= 1 {

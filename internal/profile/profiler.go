@@ -26,6 +26,52 @@ type profileKey struct {
 	column  string
 	typ     relational.Type
 	coerced bool
+	mode    Mode
+}
+
+// Mode selects between the exact profiling kernels (bit-identical to the
+// seed row path) and the approximate, sketch-based kernels (bounded
+// memory, documented error bounds, results marked with ApproxInfo). It
+// is part of every cache key — in memory and on disk — so approximate
+// profiles are never served where exact ones were requested, or vice
+// versa.
+type Mode int
+
+const (
+	// ModeExact runs the sharded exact kernels (the zero value).
+	ModeExact Mode = iota
+	// ModeApprox runs the sketch-based kernels.
+	ModeApprox
+)
+
+// String renders the mode as its flag/query-parameter spelling.
+func (m Mode) String() string {
+	if m == ModeApprox {
+		return "approx"
+	}
+	return "exact"
+}
+
+// ParseMode parses a mode spelling; the empty string means exact.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "exact":
+		return ModeExact, nil
+	case "approx", "approximate":
+		return ModeApprox, nil
+	}
+	return ModeExact, fmt.Errorf("profile: unknown mode %q (want exact or approx)", s)
+}
+
+// cacheFingerprint is the mode segment of durable cache keys: the
+// approximate segment embeds the sketch parameters, so entries computed
+// under different algorithms or bounds never collide — and approximate
+// entries never warm the exact cache.
+func (m Mode) cacheFingerprint() string {
+	if m == ModeApprox {
+		return "approx/" + ApproxFingerprint()
+	}
+	return "exact"
 }
 
 // profileEntry is one cache slot. The ready channel implements in-flight
@@ -58,6 +104,7 @@ type profileEntry struct {
 //efes:daemon-lifetime
 type Profiler struct {
 	workers int
+	mode    Mode
 	store   Store
 
 	mu      sync.Mutex
@@ -95,10 +142,24 @@ func (p *Profiler) SetStore(s Store) *Profiler {
 	return p
 }
 
+// SetMode selects the default profiling mode for every lookup that does
+// not specify one. Like the worker count it must be set before the
+// Profiler is shared across goroutines; per-request overrides go through
+// ColumnContextMode instead.
+func (p *Profiler) SetMode(m Mode) *Profiler {
+	p.mode = m
+	return p
+}
+
+// Mode returns the default profiling mode.
+func (p *Profiler) Mode() Mode { return p.mode }
+
 // statsFormatVersion tags the durable stats keys; bump it when the
 // ColumnStats JSON shape or the profiling semantics change, so stale
-// entries stop matching instead of being misread.
-const statsFormatVersion = "efes-stats-v1"
+// entries stop matching instead of being misread. v2: profiles gained
+// the optional Approx error-bound marker and keys gained the mode
+// fingerprint.
+const statsFormatVersion = "efes-stats-v2"
 
 // statsEnvelope is the durable form of one memoized profile.
 type statsEnvelope struct {
@@ -120,8 +181,19 @@ func diskKey(key profileKey) (string, bool) {
 		coerced = "coerced"
 	}
 	sum := sha256.Sum256([]byte(statsFormatVersion + "\x00" + tableHash + "\x00" +
-		key.table + "\x00" + key.column + "\x00" + key.typ.String() + "\x00" + coerced))
+		key.table + "\x00" + key.column + "\x00" + key.typ.String() + "\x00" + coerced + "\x00" +
+		key.mode.cacheFingerprint()))
 	return hex.EncodeToString(sum[:]), true
+}
+
+// StatsKeyFor exposes the durable content address of a column profile:
+// a pure function of the table's bytes, the column, the (possibly
+// coercion target) type, and the profiling mode including its sketch-
+// parameter fingerprint. It is the single key derivation shared with
+// internal/persist, so every consumer agrees that exact and approximate
+// entries never collide.
+func StatsKeyFor(db *relational.Database, table, column string, typ relational.Type, coerced bool, mode Mode) (string, bool) {
+	return diskKey(profileKey{db: db, table: table, column: column, typ: typ, coerced: coerced, mode: mode})
 }
 
 // loadStored fetches and validates a profile from the durable store.
@@ -239,8 +311,17 @@ func (p *Profiler) Column(db *relational.Database, table, column string) (*Colum
 
 // ColumnContext is Column with cancellation: a caller whose context is
 // done stops waiting (and new computations are not started), without
-// disturbing other users of the shared cache.
+// disturbing other users of the shared cache. It profiles under the
+// Profiler's default mode.
 func (p *Profiler) ColumnContext(ctx context.Context, db *relational.Database, table, column string) (*ColumnStats, error) {
+	return p.ColumnContextMode(ctx, db, table, column, p.mode)
+}
+
+// ColumnContextMode is ColumnContext with a per-request mode override:
+// the daemon serves ?mode=approx requests from the same shared Profiler
+// without flipping its default. Exact and approximate profiles occupy
+// separate cache entries, in memory and on disk.
+func (p *Profiler) ColumnContextMode(ctx context.Context, db *relational.Database, table, column string, mode Mode) (*ColumnStats, error) {
 	t := db.Schema.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("profile: unknown table %s", table)
@@ -249,16 +330,23 @@ func (p *Profiler) ColumnContext(ctx context.Context, db *relational.Database, t
 	if !ok {
 		return nil, fmt.Errorf("profile: unknown column %s.%s", table, column)
 	}
-	key := profileKey{db: db, table: table, column: column, typ: col.Type}
+	key := profileKey{db: db, table: table, column: column, typ: col.Type, mode: mode}
 	cs, _, err := p.get(ctx, key, func() (*ColumnStats, int, error) {
 		if vec := db.Vector(table, column); vec != nil {
-			return FromVector(table, column, vec), 0, nil
+			if mode == ModeApprox {
+				return FromVectorApprox(table, column, vec, p.workers), 0, nil
+			}
+			return FromVectorSharded(table, column, vec, p.workers), 0, nil
 		}
 		values, err := db.Column(table, column)
 		if err != nil {
 			return nil, 0, err
 		}
-		return Values(table, column, col.Type, values), 0, nil
+		stats := Values(table, column, col.Type, values)
+		if mode == ModeApprox {
+			stats.Approx = exactApproxInfo() // row-path fallback: exact, marked
+		}
+		return stats, 0, nil
 	})
 	return cs, err
 }
@@ -273,12 +361,23 @@ func (p *Profiler) ColumnCoerced(db *relational.Database, table, column string, 
 	return p.ColumnCoercedContext(context.Background(), db, table, column, typ)
 }
 
-// ColumnCoercedContext is ColumnCoerced with cancellation.
+// ColumnCoercedContext is ColumnCoerced with cancellation, under the
+// Profiler's default mode.
 func (p *Profiler) ColumnCoercedContext(ctx context.Context, db *relational.Database, table, column string, typ relational.Type) (*ColumnStats, int, error) {
-	key := profileKey{db: db, table: table, column: column, typ: typ, coerced: true}
+	return p.ColumnCoercedContextMode(ctx, db, table, column, typ, p.mode)
+}
+
+// ColumnCoercedContextMode is ColumnCoercedContext with a per-request
+// mode override.
+func (p *Profiler) ColumnCoercedContextMode(ctx context.Context, db *relational.Database, table, column string, typ relational.Type, mode Mode) (*ColumnStats, int, error) {
+	key := profileKey{db: db, table: table, column: column, typ: typ, coerced: true, mode: mode}
 	return p.get(ctx, key, func() (*ColumnStats, int, error) {
 		if vec := db.Vector(table, column); vec != nil {
-			cs, incompatible := FromVectorCoerced(table, column, vec, typ)
+			if mode == ModeApprox {
+				cs, incompatible := FromVectorCoercedApprox(table, column, vec, typ, p.workers)
+				return cs, incompatible, nil
+			}
+			cs, incompatible := FromVectorCoercedSharded(table, column, vec, typ, p.workers)
 			return cs, incompatible, nil
 		}
 		values, err := db.Column(table, column)
@@ -295,7 +394,11 @@ func (p *Profiler) ColumnCoercedContext(ctx context.Context, db *relational.Data
 			}
 			coerced = append(coerced, cv)
 		}
-		return Values(table, column, typ, coerced), incompatible, nil
+		stats := Values(table, column, typ, coerced)
+		if mode == ModeApprox {
+			stats.Approx = exactApproxInfo() // row-path fallback: exact, marked
+		}
+		return stats, incompatible, nil
 	})
 }
 

@@ -1,0 +1,164 @@
+package sketch
+
+import "math"
+
+// Histogram is a mergeable equi-width histogram over a fixed bucket
+// count. Each sketch tracks its own [min, max] range; merging a sketch
+// with a different range re-bins the narrower histogram's counts by
+// bucket midpoint into the wider range. Rebinned counts can land one
+// bucket off, bounded by half the source bucket width — the documented
+// approximation of the profiler's approximate mode (the exact mode
+// builds its histogram from the merged raw values instead).
+//
+// Non-finite observations (NaN, ±Inf) are counted but excluded from the
+// range, matching the exact kernels' histogramOf clamping.
+type Histogram struct {
+	buckets   []uint64 //efes:bounded fixed bucket count chosen at construction
+	lo, hi    float64
+	nonFinite uint64
+	n         uint64
+}
+
+// NewHistogram returns an empty histogram with the given bucket count
+// (clamped to at least 1).
+func NewHistogram(buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Histogram{buckets: make([]uint64, buckets), lo: math.Inf(1), hi: math.Inf(-1)}
+}
+
+// Count returns the number of observed values (including non-finite).
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Range returns the finite observation range; ok is false when no
+// finite value has been observed.
+func (h *Histogram) Range() (lo, hi float64, ok bool) {
+	return h.lo, h.hi, h.lo <= h.hi
+}
+
+// Buckets returns the bucket counts over Range (read-only view).
+func (h *Histogram) Buckets() []uint64 { return h.buckets }
+
+// Add observes one value, growing the range geometrically when x falls
+// outside it (so a sorted stream costs O(log spread) rebins, not O(n)).
+//
+//efes:hot
+func (h *Histogram) Add(x float64) {
+	h.AddN(x, 1)
+}
+
+// AddN observes x with weight n.
+func (h *Histogram) AddN(x float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.n += n
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.nonFinite += n
+		return
+	}
+	if h.lo > h.hi { // first finite value
+		h.lo, h.hi = x, x
+		h.buckets[0] += n
+		return
+	}
+	if x < h.lo || x > h.hi {
+		nlo, nhi := h.lo, h.hi
+		width := nhi - nlo
+		if width == 0 {
+			width = 1
+		}
+		for x < nlo {
+			nlo -= width
+			width *= 2
+		}
+		width = nhi - nlo
+		if width == 0 {
+			width = 1
+		}
+		for x > nhi {
+			nhi += width
+			width *= 2
+		}
+		h.rebin(nlo, nhi)
+	}
+	h.buckets[h.bucketOf(x)] += n
+}
+
+// bucketOf returns the bucket index of a finite x within [lo, hi].
+func (h *Histogram) bucketOf(x float64) int {
+	if h.hi == h.lo {
+		return 0
+	}
+	i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	return i
+}
+
+// rebin stretches the histogram to the new range, reassigning existing
+// counts by bucket midpoint.
+func (h *Histogram) rebin(nlo, nhi float64) {
+	old := h.buckets
+	olo, ohi := h.lo, h.hi
+	h.buckets = make([]uint64, len(old))
+	h.lo, h.hi = nlo, nhi
+	ow := (ohi - olo) / float64(len(old))
+	for i, c := range old {
+		if c == 0 {
+			continue
+		}
+		mid := olo + ow*(float64(i)+0.5)
+		if ohi == olo {
+			mid = olo
+		}
+		h.buckets[h.bucketOf(mid)] += c
+	}
+}
+
+// Merge folds other into h. The merged range is the union of both
+// ranges; both sides' counts are rebinned into it by midpoint.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if len(other.buckets) != len(h.buckets) {
+		panic("sketch: merging histograms of different bucket counts")
+	}
+	h.n += other.n
+	h.nonFinite += other.nonFinite
+	if other.lo > other.hi { // other holds no finite values
+		return
+	}
+	if h.lo > h.hi { // h holds no finite values: adopt other's bins
+		h.lo, h.hi = other.lo, other.hi
+		copy(h.buckets, other.buckets)
+		return
+	}
+	nlo, nhi := h.lo, h.hi
+	if other.lo < nlo {
+		nlo = other.lo
+	}
+	if other.hi > nhi {
+		nhi = other.hi
+	}
+	if nlo != h.lo || nhi != h.hi {
+		h.rebin(nlo, nhi)
+	}
+	ow := (other.hi - other.lo) / float64(len(other.buckets))
+	for i, c := range other.buckets {
+		if c == 0 {
+			continue
+		}
+		mid := other.lo + ow*(float64(i)+0.5)
+		if other.hi == other.lo {
+			mid = other.lo
+		}
+		h.buckets[h.bucketOf(mid)] += c
+	}
+}

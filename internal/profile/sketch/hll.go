@@ -1,0 +1,96 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// DefaultHLLPrecision is the register-count exponent used by the
+// profiler: p=14 → 16384 one-byte registers, standard relative error
+// 1.04/sqrt(16384) ≈ 0.81%.
+const DefaultHLLPrecision = 14
+
+// HLL is a HyperLogLog distinct-count sketch with 2^p registers. Merge
+// is register-wise max, which is exactly commutative, associative, and
+// idempotent, so the merged estimate is independent of chunk order and
+// worker count.
+type HLL struct {
+	p    uint8
+	regs []uint8 //efes:bounded fixed 2^p registers, allocated once at construction
+}
+
+// NewHLL returns an empty sketch with 2^p registers. Precisions outside
+// [4, 18] are clamped.
+func NewHLL(p uint8) *HLL {
+	if p < 4 {
+		p = 4
+	}
+	if p > 18 {
+		p = 18
+	}
+	return &HLL{p: p, regs: make([]uint8, 1<<p)}
+}
+
+// Precision returns the register-count exponent p.
+func (h *HLL) Precision() uint8 { return h.p }
+
+// RelativeError returns the sketch's standard relative error 1.04/sqrt(m).
+func (h *HLL) RelativeError() float64 {
+	return 1.04 / math.Sqrt(float64(uint64(1)<<h.p))
+}
+
+// Add observes one hashed value.
+//
+//efes:hot
+func (h *HLL) Add(hash uint64) {
+	idx := hash >> (64 - h.p)                                    // top p bits pick the register
+	rank := uint8(bits.LeadingZeros64(hash<<h.p|1<<(h.p-1))) + 1 // rank of the rest
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Merge folds other into h (register-wise max). Precisions must match;
+// mismatches panic, as they indicate a construction bug, not data.
+func (h *HLL) Merge(other *HLL) {
+	if other == nil {
+		return
+	}
+	if other.p != h.p {
+		panic("sketch: merging HLLs of different precision")
+	}
+	for i, r := range other.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+}
+
+// Estimate returns the estimated number of distinct values, using the
+// standard HyperLogLog estimator with linear counting for the small
+// range (the large-range correction is unnecessary with 64-bit hashes).
+func (h *HLL) Estimate() uint64 {
+	m := float64(uint64(1) << h.p)
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	switch h.p {
+	case 4:
+		alpha = 0.673
+	case 5:
+		alpha = 0.697
+	case 6:
+		alpha = 0.709
+	}
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros)) // linear counting
+	}
+	return uint64(est + 0.5)
+}

@@ -1,0 +1,113 @@
+package sketch
+
+import "math"
+
+// Moments is a streaming count/mean/variance/min/max summary using
+// Welford's update and the Chan et al. parallel combination for Merge.
+// Count, Min, and Max are exact; Mean and Variance are algebraically
+// exact and differ from a naive two-pass computation only by float
+// round-off. Merge is commutative and associative up to that round-off.
+type Moments struct {
+	n    uint64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// NewMoments returns an empty summary.
+func NewMoments() *Moments { return &Moments{} }
+
+// Count returns the number of observed values.
+func (m *Moments) Count() uint64 { return m.n }
+
+// Add observes one value.
+//
+//efes:hot
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddWeighted observes w copies of x: the Chan combination with a
+// degenerate summary (mean x, zero variance), so the dictionary-weighted
+// kernels pay one update per distinct value instead of one per row.
+//
+//efes:hot
+func (m *Moments) AddWeighted(x float64, w uint64) {
+	if w == 0 {
+		return
+	}
+	m.Merge(&Moments{n: w, mean: x, min: x, max: x})
+}
+
+// Merge folds other into m (Chan et al. pairwise combination).
+func (m *Moments) Merge(other *Moments) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *other
+		return
+	}
+	if other.min < m.min {
+		m.min = other.min
+	}
+	if other.max > m.max {
+		m.max = other.max
+	}
+	n := m.n + other.n
+	d := other.mean - m.mean
+	m.mean += d * float64(other.n) / float64(n)
+	m.m2 += other.m2 + d*d*float64(m.n)*float64(other.n)/float64(n)
+	m.n = n
+}
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.mean
+}
+
+// Min returns the minimum observed value (0 when empty).
+func (m *Moments) Min() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.min
+}
+
+// Max returns the maximum observed value (0 when empty).
+func (m *Moments) Max() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.max
+}
+
+// StdDev returns the population standard deviation (0 when empty),
+// matching the exact profiler's distOf convention.
+func (m *Moments) StdDev() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	v := m.m2 / float64(m.n)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,64 @@
+// Package sketch implements the mergeable streaming summaries behind the
+// profiler's approximate mode: a HyperLogLog distinct-count sketch, a
+// space-saving heavy-hitter sketch, streaming moments (count/mean/
+// variance/min/max), and a mergeable equi-width histogram.
+//
+// Every sketch exposes an Add (or weighted AddN) and a Merge. Merge is
+// deterministic and — property-tested in this package — commutative and
+// associative, so per-chunk sketches built by parallel workers collapse
+// to the same bytes regardless of worker count as long as the final
+// reduction happens in chunk index order (and for HLL and moments the
+// order does not matter at all). Nothing here reads the clock or a
+// global RNG: hashing is FNV-1a/splitmix64, so sketches are reproducible
+// across processes and appear in persisted cache entries safely.
+//
+// Error bounds (documented per type, surfaced to clients through
+// profile.ApproxInfo):
+//
+//   - HLL with precision p has standard relative error 1.04/sqrt(2^p);
+//     the default p=14 (16384 registers, 16 KiB) gives ~0.81%.
+//   - SpaceSaving with capacity k bounds each reported count's
+//     overestimate by N/k (N = total weight); every value with true
+//     frequency > N/k is guaranteed to be in the sketch.
+//   - Moments are exact for count/min/max and algebraically exact for
+//     mean/variance up to float round-off (Welford/Chan merging).
+//   - Histogram merging rebins by bucket midpoint when ranges differ;
+//     a merged count can land one bucket off, bounded by half a source
+//     bucket width.
+package sketch
+
+// fnv1a64 is the 64-bit FNV-1a hash of s. Inlined here (rather than
+// hash/fnv) to keep the per-value path allocation-free.
+//
+//efes:hot
+func fnv1a64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer that turns
+// structured integer inputs (row values, float bit patterns) into
+// uniformly distributed hash values for the sketches.
+//
+//efes:hot
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString returns the sketch hash of a string value.
+func HashString(s string) uint64 { return mix64(fnv1a64(s)) }
+
+// HashUint64 returns the sketch hash of an integer-like value (int64
+// bits, float bit patterns, bool as 0/1).
+func HashUint64(x uint64) uint64 { return mix64(x) }

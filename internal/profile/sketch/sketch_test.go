@@ -1,0 +1,427 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The merge-law suites: for each sketch, Merge must be commutative and
+// associative (exactly for HLL; for SpaceSaving including the capacity
+// trim; for Moments and Histogram up to float round-off, checked with a
+// tolerance), and merging an empty sketch must be an identity.
+
+// --- HLL ---
+
+func hllFrom(vals []uint64) *HLL {
+	h := NewHLL(DefaultHLLPrecision)
+	for _, v := range vals {
+		h.Add(HashUint64(v))
+	}
+	return h
+}
+
+func splitThree(rng *rand.Rand, n int) (a, b, c []uint64) {
+	for i := 0; i < n; i++ {
+		v := rng.Uint64() % uint64(1+n/2) // force overlap between parts
+		switch rng.Intn(3) {
+		case 0:
+			a = append(a, v)
+		case 1:
+			b = append(b, v)
+		default:
+			c = append(c, v)
+		}
+	}
+	return
+}
+
+func TestHLLMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a, b, c := splitThree(rng, 3000)
+		// Commutativity: a+b == b+a, register for register.
+		ab := hllFrom(a)
+		ab.Merge(hllFrom(b))
+		ba := hllFrom(b)
+		ba.Merge(hllFrom(a))
+		if !reflect.DeepEqual(ab.regs, ba.regs) {
+			t.Fatalf("trial %d: HLL merge not commutative", trial)
+		}
+		// Associativity: (a+b)+c == a+(b+c).
+		abc1 := hllFrom(a)
+		abc1.Merge(hllFrom(b))
+		abc1.Merge(hllFrom(c))
+		bc := hllFrom(b)
+		bc.Merge(hllFrom(c))
+		abc2 := hllFrom(a)
+		abc2.Merge(bc)
+		if !reflect.DeepEqual(abc1.regs, abc2.regs) {
+			t.Fatalf("trial %d: HLL merge not associative", trial)
+		}
+		// Identity: merging an empty sketch changes nothing; merged
+		// streams equal the sketch of the concatenated stream.
+		whole := hllFrom(append(append(append([]uint64{}, a...), b...), c...))
+		abc1.Merge(NewHLL(DefaultHLLPrecision))
+		if !reflect.DeepEqual(abc1.regs, whole.regs) {
+			t.Fatalf("trial %d: merged HLL differs from single-stream HLL", trial)
+		}
+	}
+}
+
+func TestHLLErrorBounds(t *testing.T) {
+	// Adversarial cardinalities: tiny (linear-counting range), around
+	// the linear-counting/estimator crossover (~2.5m = 40960 at p=14),
+	// and well past it. The standard error is 1.04/sqrt(m); we allow
+	// 4 sigma so the test is deterministic-seed-stable but still
+	// catches an implementation off by a constant factor.
+	h := NewHLL(DefaultHLLPrecision)
+	tol := 4 * h.RelativeError()
+	for _, n := range []uint64{0, 1, 2, 10, 100, 1000, 16384, 40960, 100000, 1000000} {
+		h := NewHLL(DefaultHLLPrecision)
+		for v := uint64(0); v < n; v++ {
+			h.Add(HashUint64(v))
+			h.Add(HashUint64(v)) // duplicates must not inflate
+		}
+		got := float64(h.Estimate())
+		want := float64(n)
+		if n == 0 {
+			if got != 0 {
+				t.Fatalf("empty HLL estimate = %v, want 0", got)
+			}
+			continue
+		}
+		if relErr := math.Abs(got-want) / want; relErr > tol {
+			t.Errorf("n=%d: estimate %v, relative error %.4f > %.4f", n, got, relErr, tol)
+		}
+	}
+}
+
+func TestHLLPrecisionClamp(t *testing.T) {
+	if got := NewHLL(0).Precision(); got != 4 {
+		t.Fatalf("precision clamp low: got %d, want 4", got)
+	}
+	if got := NewHLL(40).Precision(); got != 18 {
+		t.Fatalf("precision clamp high: got %d, want 18", got)
+	}
+}
+
+// --- SpaceSaving ---
+
+func ssFrom(capacity int, vals []string) *SpaceSaving {
+	s := NewSpaceSaving(capacity)
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}
+
+func zipfStrings(rng *rand.Rand, n, universe int) []string {
+	z := rand.NewZipf(rng, 1.3, 1.0, uint64(universe-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%04d", z.Uint64())
+	}
+	return out
+}
+
+func TestSpaceSavingMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const capacity = 16
+	for trial := 0; trial < 20; trial++ {
+		stream := zipfStrings(rng, 2000, 400)
+		third := len(stream) / 3
+		a, b, c := stream[:third], stream[third:2*third], stream[2*third:]
+		ab := ssFrom(capacity, a)
+		ab.Merge(ssFrom(capacity, b))
+		ba := ssFrom(capacity, b)
+		ba.Merge(ssFrom(capacity, a))
+		if !reflect.DeepEqual(ab.Entries(), ba.Entries()) {
+			t.Fatalf("trial %d: space-saving merge not commutative:\n%v\nvs\n%v", trial, ab.Entries(), ba.Entries())
+		}
+		if ab.Total() != ba.Total() {
+			t.Fatalf("trial %d: totals diverge: %d vs %d", trial, ab.Total(), ba.Total())
+		}
+		// Associativity holds up to the capacity trim (intermediate
+		// trims may shed different tie-region entries), so the law is
+		// checked on what the sketch guarantees: identical totals, and
+		// identical entries above the N/k noise floor, with the
+		// count bracket holding against ground truth in both orders.
+		truth := map[string]uint64{}
+		for _, v := range stream {
+			truth[v]++
+		}
+		abc1 := ssFrom(capacity, a)
+		abc1.Merge(ssFrom(capacity, b))
+		abc1.Merge(ssFrom(capacity, c))
+		bc := ssFrom(capacity, b)
+		bc.Merge(ssFrom(capacity, c))
+		abc2 := ssFrom(capacity, a)
+		abc2.Merge(bc)
+		if abc1.Total() != abc2.Total() {
+			t.Fatalf("trial %d: association orders disagree on total: %d vs %d", trial, abc1.Total(), abc2.Total())
+		}
+		threshold := abc1.Total() / uint64(capacity)
+		heavy := func(s *SpaceSaving) []Entry {
+			var out []Entry
+			for _, e := range s.Entries() {
+				if e.Count > threshold {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+		if !reflect.DeepEqual(heavy(abc1), heavy(abc2)) {
+			t.Fatalf("trial %d: association orders disagree above the N/k floor:\n%v\nvs\n%v", trial, heavy(abc1), heavy(abc2))
+		}
+		for _, s := range []*SpaceSaving{abc1, abc2} {
+			got := map[string]Entry{}
+			for _, e := range s.Entries() {
+				got[e.Value] = e
+			}
+			for v, f := range truth {
+				if f > threshold {
+					e, ok := got[v]
+					if !ok {
+						t.Fatalf("trial %d: heavy hitter %q lost under some association order", trial, v)
+					}
+					if e.Count < f || e.Count > f+e.Err {
+						t.Fatalf("trial %d: bracket violated for %q: count %d err %d true %d", trial, v, e.Count, e.Err, f)
+					}
+				}
+			}
+		}
+		// Identity: merging an empty sketch changes nothing.
+		before := abc1.Entries()
+		abc1.Merge(NewSpaceSaving(capacity))
+		if !reflect.DeepEqual(before, abc1.Entries()) {
+			t.Fatalf("trial %d: merging empty sketch changed entries", trial)
+		}
+	}
+}
+
+func TestSpaceSavingSupersetGuarantee(t *testing.T) {
+	// Every value with true frequency > N/k must be present, and its
+	// reported count must bracket the truth: true ≤ Count ≤ true + Err.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		capacity := 8 + rng.Intn(24)
+		stream := zipfStrings(rng, 5000, 2000)
+		truth := map[string]uint64{}
+		for _, v := range stream {
+			truth[v]++
+		}
+		s := ssFrom(capacity, stream)
+		got := map[string]Entry{}
+		for _, e := range s.Entries() {
+			got[e.Value] = e
+		}
+		if len(got) > capacity {
+			t.Fatalf("trial %d: %d entries exceed capacity %d", trial, len(got), capacity)
+		}
+		threshold := s.Total() / uint64(capacity)
+		for v, f := range truth {
+			e, ok := got[v]
+			if f > threshold && !ok {
+				t.Errorf("trial %d: heavy hitter %q (freq %d > N/k %d) missing", trial, v, f, threshold)
+				continue
+			}
+			if ok {
+				if e.Count < f {
+					t.Errorf("trial %d: %q count %d underestimates true %d", trial, v, e.Count, f)
+				}
+				if e.Count > f+e.Err {
+					t.Errorf("trial %d: %q count %d exceeds true %d + err %d", trial, v, e.Count, f, e.Err)
+				}
+				if e.Count > f+s.MaxOverestimate() {
+					t.Errorf("trial %d: %q overestimate beyond N/k bound", trial, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSpaceSavingWeightedEqualsRepeated(t *testing.T) {
+	a := NewSpaceSaving(8)
+	b := NewSpaceSaving(8)
+	weights := map[string]uint64{"x": 5, "y": 3, "z": 9, "w": 1}
+	for _, v := range []string{"x", "y", "z", "w"} {
+		a.AddN(v, weights[v])
+		for i := uint64(0); i < weights[v]; i++ {
+			b.Add(v)
+		}
+	}
+	if !reflect.DeepEqual(a.Entries(), b.Entries()) {
+		t.Fatalf("weighted add diverges from repeated add:\n%v\nvs\n%v", a.Entries(), b.Entries())
+	}
+}
+
+// --- Moments ---
+
+func momentsFrom(vals []float64) *Moments {
+	m := NewMoments()
+	for _, x := range vals {
+		m.Add(x)
+	}
+	return m
+}
+
+func momentsClose(a, b *Moments) bool {
+	if a.Count() != b.Count() || a.Min() != b.Min() || a.Max() != b.Max() {
+		return false
+	}
+	const tol = 1e-9
+	closeEnough := func(x, y float64) bool {
+		d := math.Abs(x - y)
+		return d <= tol || d <= tol*math.Max(math.Abs(x), math.Abs(y))
+	}
+	return closeEnough(a.Mean(), b.Mean()) && closeEnough(a.StdDev(), b.StdDev())
+}
+
+func TestMomentsMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		mk := func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = rng.NormFloat64()*1e3 + 1e6 // offset stresses cancellation
+			}
+			return out
+		}
+		a, b, c := mk(100+rng.Intn(400)), mk(100+rng.Intn(400)), mk(100+rng.Intn(400))
+		ab := momentsFrom(a)
+		ab.Merge(momentsFrom(b))
+		ba := momentsFrom(b)
+		ba.Merge(momentsFrom(a))
+		if !momentsClose(ab, ba) {
+			t.Fatalf("trial %d: moments merge not commutative: %+v vs %+v", trial, ab, ba)
+		}
+		abc1 := momentsFrom(a)
+		abc1.Merge(momentsFrom(b))
+		abc1.Merge(momentsFrom(c))
+		bc := momentsFrom(b)
+		bc.Merge(momentsFrom(c))
+		abc2 := momentsFrom(a)
+		abc2.Merge(bc)
+		if !momentsClose(abc1, abc2) {
+			t.Fatalf("trial %d: moments merge not associative: %+v vs %+v", trial, abc1, abc2)
+		}
+		whole := momentsFrom(append(append(append([]float64{}, a...), b...), c...))
+		if !momentsClose(abc1, whole) {
+			t.Fatalf("trial %d: merged moments diverge from single stream: %+v vs %+v", trial, abc1, whole)
+		}
+		abc1.Merge(NewMoments())
+		if !momentsClose(abc1, abc2) {
+			t.Fatalf("trial %d: merging empty moments changed the summary", trial)
+		}
+	}
+}
+
+func TestMomentsMatchTwoPass(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	m := momentsFrom(vals)
+	var sum float64
+	for _, x := range vals {
+		sum += x
+	}
+	mean := sum / float64(len(vals))
+	var ss float64
+	for _, x := range vals {
+		ss += (x - mean) * (x - mean)
+	}
+	wantSD := math.Sqrt(ss / float64(len(vals)))
+	if math.Abs(m.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean %v, want %v", m.Mean(), mean)
+	}
+	if math.Abs(m.StdDev()-wantSD) > 1e-12 {
+		t.Fatalf("stddev %v, want %v", m.StdDev(), wantSD)
+	}
+	if m.Min() != 1 || m.Max() != 9 {
+		t.Fatalf("min/max %v/%v, want 1/9", m.Min(), m.Max())
+	}
+}
+
+// --- Histogram ---
+
+func histFrom(buckets int, vals []float64) *Histogram {
+	h := NewHistogram(buckets)
+	for _, x := range vals {
+		h.Add(x)
+	}
+	return h
+}
+
+func histTotal(h *Histogram) uint64 {
+	var n uint64
+	for _, c := range h.Buckets() {
+		n += c
+	}
+	return n
+}
+
+func TestHistogramMergePreservesMassAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		mk := func(n int, lo, hi float64) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = lo + rng.Float64()*(hi-lo)
+			}
+			return out
+		}
+		a := mk(200, -50, 10)
+		b := mk(300, 0, 1000)
+		ha := histFrom(16, a)
+		hb := histFrom(16, b)
+		ha.Merge(hb)
+		if ha.Count() != 500 {
+			t.Fatalf("trial %d: merged count %d, want 500", trial, ha.Count())
+		}
+		if histTotal(ha) != 500 {
+			t.Fatalf("trial %d: merged bucket mass %d, want 500", trial, histTotal(ha))
+		}
+		lo, hi, ok := ha.Range()
+		if !ok || lo > -49 || hi < 900 {
+			t.Fatalf("trial %d: merged range [%v, %v] does not span sources", trial, lo, hi)
+		}
+		// Commutativity of the merged bytes.
+		hb2 := histFrom(16, b)
+		hb2.Merge(histFrom(16, a))
+		if !reflect.DeepEqual(ha.Buckets(), hb2.Buckets()) {
+			t.Fatalf("trial %d: histogram merge not commutative", trial)
+		}
+		// Identity.
+		before := append([]uint64{}, ha.Buckets()...)
+		ha.Merge(NewHistogram(16))
+		if !reflect.DeepEqual(before, ha.Buckets()) {
+			t.Fatalf("trial %d: merging empty histogram changed buckets", trial)
+		}
+	}
+}
+
+func TestHistogramNonFinite(t *testing.T) {
+	h := histFrom(8, []float64{1, 2, math.NaN(), math.Inf(1), math.Inf(-1), 3})
+	if h.Count() != 6 {
+		t.Fatalf("count %d, want 6", h.Count())
+	}
+	if histTotal(h) != 3 {
+		t.Fatalf("finite bucket mass %d, want 3", histTotal(h))
+	}
+	lo, hi, ok := h.Range()
+	if !ok || lo != 1 || hi != 3 {
+		t.Fatalf("range [%v, %v] ok=%v, want [1, 3]", lo, hi, ok)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := histFrom(8, []float64{42, 42, 42})
+	lo, hi, ok := h.Range()
+	if !ok || lo != 42 || hi != 42 {
+		t.Fatalf("degenerate range [%v, %v] ok=%v", lo, hi, ok)
+	}
+	if histTotal(h) != 3 {
+		t.Fatalf("mass %d, want 3", histTotal(h))
+	}
+}

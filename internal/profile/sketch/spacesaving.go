@@ -1,0 +1,351 @@
+package sketch
+
+import (
+	"cmp"
+	"sort"
+)
+
+// DefaultSpaceSavingCapacity is the heavy-hitter capacity used by the
+// profiler: with capacity k over total weight N, every reported count
+// overestimates its true frequency by at most N/k, and any value with
+// true frequency above N/k is guaranteed to survive in the sketch —
+// comfortable for the profiler's top-10 over 64k-row chunks.
+const DefaultSpaceSavingCapacity = 256
+
+// ssCore is the Metwally et al. space-saving heavy-hitter sketch over
+// any ordered key type: a bounded set of value → (count, err) counters
+// where err bounds how much count may overestimate. Eviction and
+// trimming are deterministic (min count first, ties broken by the
+// larger value), so two sketches fed the same multiset in any order
+// hold the same entries.
+//
+// The counters live in slot-stable storage with an indexed min-heap of
+// slot ids on top, ordered by that same (count asc, value desc)
+// relation: the eviction victim is always the root, making addN
+// O(log capacity), and — because the heap holds int32 slot ids, not the
+// nodes themselves — sift swaps touch only two int32 slices, never the
+// value→slot map. On high-cardinality streams nearly every add evicts
+// and sifts root-to-leaf, so keeping map writes off that path is the
+// difference between the sketch being faster or slower than the exact
+// count map it replaces. The relation is a strict total order (values
+// are unique), so the root is the unique minimum whatever the heap's
+// internal layout, and behavior is layout-independent.
+type ssCore[K cmp.Ordered] struct {
+	cap   int
+	total uint64      //efes:bounded scalar total weight
+	idx   map[K]int32 //efes:bounded at most cap entries by construction
+	nodes []ssNode[K] //efes:bounded at most cap entries by construction
+	heap  []int32     //efes:bounded at most cap entries by construction
+	pos   []int32     //efes:bounded at most cap entries by construction
+}
+
+// ssNode is one tracked counter; nodes[slot] never moves while the
+// value stays tracked — only the heap's slot ids are reordered.
+type ssNode[K cmp.Ordered] struct {
+	value K
+	count uint64
+	err   uint64 // count may overestimate the true frequency by up to err
+}
+
+func newSSCore[K cmp.Ordered](capacity int) ssCore[K] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return ssCore[K]{
+		cap:   capacity,
+		idx:   make(map[K]int32, capacity),
+		nodes: make([]ssNode[K], 0, capacity),
+		heap:  make([]int32, 0, capacity),
+		pos:   make([]int32, 0, capacity),
+	}
+}
+
+// ssLess orders the eviction heap: smallest count first, ties to the
+// largest value (so smaller values, which sort first in reports, are
+// preferentially retained).
+func ssLess[K cmp.Ordered](a, b *ssNode[K]) bool {
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.value > b.value
+}
+
+// siftUp restores the heap property upward from heap position i.
+func (s *ssCore[K]) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ssLess(&s.nodes[s.heap[i]], &s.nodes[s.heap[parent]]) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the heap property downward from heap position i.
+func (s *ssCore[K]) siftDown(i int32) {
+	n := int32(len(s.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && ssLess(&s.nodes[s.heap[l]], &s.nodes[s.heap[min]]) {
+			min = l
+		}
+		if r < n && ssLess(&s.nodes[s.heap[r]], &s.nodes[s.heap[min]]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.swap(i, min)
+		i = min
+	}
+}
+
+// swap exchanges two heap positions; the map is untouched (it holds
+// slots, and slots are stable).
+func (s *ssCore[K]) swap(i, j int32) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i]] = i
+	s.pos[s.heap[j]] = j
+}
+
+// addN observes value v with weight n.
+//
+//efes:hot
+func (s *ssCore[K]) addN(v K, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.total += n
+	if slot, ok := s.idx[v]; ok {
+		s.nodes[slot].count += n
+		s.siftDown(s.pos[slot]) // the count only grew: the node can only move down
+		return
+	}
+	if len(s.nodes) < s.cap {
+		slot := int32(len(s.nodes))
+		s.nodes = append(s.nodes, ssNode[K]{value: v, count: n})
+		s.heap = append(s.heap, slot)
+		s.pos = append(s.pos, int32(len(s.heap)-1))
+		s.idx[v] = slot
+		s.siftUp(int32(len(s.heap) - 1))
+		return
+	}
+	// Evict the deterministic minimum — the node at the heap root. Its
+	// slot is reused for the newcomer, so only the eviction itself pays
+	// a map delete + insert.
+	slot := s.heap[0]
+	root := s.nodes[slot]
+	delete(s.idx, root.value)
+	s.nodes[slot] = ssNode[K]{value: v, count: root.count + n, err: root.count}
+	s.idx[v] = slot
+	s.siftDown(0)
+}
+
+// entries returns the tracked counters sorted by (count desc, value
+// asc) — the deterministic report order.
+func (s *ssCore[K]) entries() []ssNode[K] {
+	out := make([]ssNode[K], len(s.nodes))
+	copy(out, s.nodes)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].value < out[j].value
+	})
+	return out
+}
+
+// merge folds other into s using the Agarwal et al. combined summary:
+// counts of shared values add; a value present in only one sketch picks
+// up the other sketch's minimum count as additional overestimate bound;
+// then the union is trimmed back to capacity deterministically. Merge is
+// commutative; it is associative up to the capacity trim (the property
+// tests pin both, trimming included).
+func (s *ssCore[K]) merge(other *ssCore[K]) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	sMin := s.minCount()
+	oMin := other.minCount()
+	merged := make(map[K]ssNode[K], len(s.nodes)+len(other.nodes))
+	for _, nd := range s.nodes {
+		if j, ok := other.idx[nd.value]; ok {
+			oc := other.nodes[j]
+			merged[nd.value] = ssNode[K]{value: nd.value, count: nd.count + oc.count, err: nd.err + oc.err}
+		} else {
+			merged[nd.value] = ssNode[K]{value: nd.value, count: nd.count + oMin, err: nd.err + oMin}
+		}
+	}
+	for _, oc := range other.nodes {
+		if _, ok := s.idx[oc.value]; !ok {
+			merged[oc.value] = ssNode[K]{value: oc.value, count: oc.count + sMin, err: oc.err + sMin}
+		}
+	}
+	s.total += other.total
+	// Deterministic trim when over capacity: keep the cap entries with
+	// the largest counts, ties to the smaller value.
+	keys := make([]K, 0, len(merged))
+	for v := range merged {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ci, cj := merged[keys[i]].count, merged[keys[j]].count
+		if ci != cj {
+			return ci > cj
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > s.cap {
+		keys = keys[:s.cap]
+	}
+	// Rebuild slots and heap from the survivors. Filling in descending
+	// count order and heapifying keeps the rebuild deterministic.
+	s.nodes = s.nodes[:0]
+	s.heap = s.heap[:0]
+	s.pos = s.pos[:0]
+	s.idx = make(map[K]int32, len(keys))
+	for _, v := range keys {
+		slot := int32(len(s.nodes))
+		s.nodes = append(s.nodes, merged[v])
+		s.heap = append(s.heap, slot)
+		s.pos = append(s.pos, slot)
+		s.idx[v] = slot
+	}
+	for i := int32(len(s.heap))/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// minCount returns the minimum tracked count if the sketch is full (the
+// floor a full sketch implicitly assigns to unseen values), else 0.
+func (s *ssCore[K]) minCount() uint64 {
+	if len(s.nodes) < s.cap {
+		return 0
+	}
+	return s.nodes[s.heap[0]].count
+}
+
+// SpaceSaving is the string-keyed space-saving sketch used for rendered
+// values (strings, patterns, timestamps). See ssCore for the algorithm
+// and determinism argument.
+type SpaceSaving struct {
+	core ssCore[string]
+}
+
+// NewSpaceSaving returns an empty sketch holding at most capacity
+// distinct values. Capacities below 1 are clamped to 1.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	return &SpaceSaving{core: newSSCore[string](capacity)}
+}
+
+// Capacity returns the maximum number of tracked values.
+func (s *SpaceSaving) Capacity() int { return s.core.cap }
+
+// Total returns the total weight observed.
+func (s *SpaceSaving) Total() uint64 { return s.core.total }
+
+// MaxOverestimate returns the worst-case overestimate of any reported
+// count: total/capacity.
+func (s *SpaceSaving) MaxOverestimate() uint64 {
+	return s.core.total / uint64(s.core.cap)
+}
+
+// AddN observes value v with weight n (the dictionary-weighted kernels
+// feed whole per-value counts at once).
+//
+//efes:hot
+func (s *SpaceSaving) AddN(v string, n uint64) { s.core.addN(v, n) }
+
+// Add observes value v once.
+func (s *SpaceSaving) Add(v string) { s.core.addN(v, 1) }
+
+// Entry is one reported heavy hitter.
+type Entry struct {
+	Value string
+	Count uint64 // estimated frequency (true frequency ≤ Count ≤ true + Err)
+	Err   uint64 // worst-case overestimate of Count
+}
+
+// Entries returns the tracked values sorted by (count desc, value asc) —
+// the deterministic report order.
+func (s *SpaceSaving) Entries() []Entry {
+	nds := s.core.entries()
+	out := make([]Entry, len(nds))
+	for i, nd := range nds {
+		out[i] = Entry{Value: nd.value, Count: nd.count, Err: nd.err}
+	}
+	return out
+}
+
+// Merge folds other into s; see ssCore.merge.
+func (s *SpaceSaving) Merge(other *SpaceSaving) {
+	if other == nil {
+		return
+	}
+	s.core.merge(&other.core)
+}
+
+// SpaceSavingU64 is the uint64-keyed space-saving sketch used by the
+// numeric kernels: values are keyed by their canonical bit patterns and
+// rendered to strings only when the ≤ capacity survivors are reported,
+// keeping per-distinct string allocation and hashing out of the hot
+// path. Ties order by key bits, a strict total order, so eviction and
+// reports stay deterministic (the order differs from the rendered-string
+// order, which no caller relies on).
+type SpaceSavingU64 struct {
+	core ssCore[uint64]
+}
+
+// NewSpaceSavingU64 returns an empty numeric sketch holding at most
+// capacity distinct keys. Capacities below 1 are clamped to 1.
+func NewSpaceSavingU64(capacity int) *SpaceSavingU64 {
+	return &SpaceSavingU64{core: newSSCore[uint64](capacity)}
+}
+
+// Capacity returns the maximum number of tracked keys.
+func (s *SpaceSavingU64) Capacity() int { return s.core.cap }
+
+// Total returns the total weight observed.
+func (s *SpaceSavingU64) Total() uint64 { return s.core.total }
+
+// MaxOverestimate returns the worst-case overestimate of any reported
+// count: total/capacity.
+func (s *SpaceSavingU64) MaxOverestimate() uint64 {
+	return s.core.total / uint64(s.core.cap)
+}
+
+// AddN observes key k with weight n.
+//
+//efes:hot
+func (s *SpaceSavingU64) AddN(k uint64, n uint64) { s.core.addN(k, n) }
+
+// Add observes key k once.
+func (s *SpaceSavingU64) Add(k uint64) { s.core.addN(k, 1) }
+
+// EntryU64 is one reported heavy hitter keyed by bit pattern.
+type EntryU64 struct {
+	Key   uint64
+	Count uint64 // estimated frequency (true frequency ≤ Count ≤ true + Err)
+	Err   uint64 // worst-case overestimate of Count
+}
+
+// Entries returns the tracked keys sorted by (count desc, key asc) —
+// the deterministic report order.
+func (s *SpaceSavingU64) Entries() []EntryU64 {
+	nds := s.core.entries()
+	out := make([]EntryU64, len(nds))
+	for i, nd := range nds {
+		out[i] = EntryU64{Key: nd.value, Count: nd.count, Err: nd.err}
+	}
+	return out
+}
+
+// Merge folds other into s; see ssCore.merge.
+func (s *SpaceSavingU64) Merge(other *SpaceSavingU64) {
+	if other == nil {
+		return
+	}
+	s.core.merge(&other.core)
+}

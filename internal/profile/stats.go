@@ -108,6 +108,12 @@ type ColumnStats struct {
 	TopK []ValueCount
 	// TopKCoverage is the share of non-NULL values covered by TopK.
 	TopKCoverage float64
+	// Approx is set if and only if the profile was computed by the
+	// approximate (sketch-based) kernels; it documents the error bounds
+	// of the sketched statistics. Exact profiles leave it nil, and the
+	// omitempty tag keeps their JSON rendering byte-identical to the
+	// pre-sketch format.
+	Approx *ApproxInfo `json:",omitempty"`
 }
 
 // Column profiles one column of a database instance via the fused

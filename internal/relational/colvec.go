@@ -21,6 +21,12 @@ import (
 // Delete afterwards. As with the row view, concurrent readers are safe but
 // mutation must not race with reads.
 
+// ChunkSize is the number of rows (or, for string columns, dictionary
+// entries) per profiling chunk: the unit of work the sharded profiling
+// kernels fan out over and the granularity of the per-chunk mutation
+// stamps below. A power of two keeps the row→chunk mapping a shift.
+const ChunkSize = 1 << 16
+
 // Bitmap is a fixed-purpose bitset over row indexes.
 type Bitmap struct {
 	words []uint64 //efes:bounded sized to the owning table's row count
@@ -78,6 +84,17 @@ type ColumnVector struct {
 	bools  []bool
 	times  []time.Time
 
+	// chunkStamps holds one logical mutation stamp per ChunkSize rows,
+	// maintained incrementally: appending stamps the last chunk, an
+	// in-place update stamps the row's chunk, and a compacting delete
+	// stamps every chunk from the first removed row on. Stamps are drawn
+	// from the monotonically increasing stampEpoch (never reused, even
+	// when a delete truncates the stamp array and appends regrow it), so
+	// a consumer that cached a per-chunk summary can compare stamps to
+	// reprofile only the chunks that actually changed.
+	chunkStamps []uint64 //efes:bounded one stamp per ChunkSize rows of the owning table
+	stampEpoch  uint64
+
 	// memoized SortedDistinct result; nil after any mutation. The mutex
 	// only guards memo (re)computation: readers may share a vector, and
 	// the first one builds the memo for all.
@@ -131,6 +148,71 @@ func (v *ColumnVector) Bools() []bool { return v.bools }
 
 // Times returns the typed vector of a timestamp column (nil otherwise).
 func (v *ColumnVector) Times() []time.Time { return v.times }
+
+// Chunks returns the number of ChunkSize row chunks covering the vector
+// (zero for an empty column).
+func (v *ColumnVector) Chunks() int {
+	return (v.length + ChunkSize - 1) / ChunkSize
+}
+
+// ChunkBounds returns the half-open row range [lo, hi) of chunk k.
+func (v *ColumnVector) ChunkBounds(k int) (lo, hi int) {
+	lo = k * ChunkSize
+	hi = lo + ChunkSize
+	if hi > v.length {
+		hi = v.length
+	}
+	return lo, hi
+}
+
+// ChunkStamp returns the logical mutation stamp of chunk k: it changes
+// whenever any row of the chunk is inserted, updated, or shifted by a
+// compacting delete, so equal stamps mean an unchanged chunk.
+func (v *ColumnVector) ChunkStamp(k int) uint64 {
+	if k < len(v.chunkStamps) {
+		return v.chunkStamps[k]
+	}
+	return 0
+}
+
+// stampAppend accounts a freshly appended row i to the chunk stamps.
+//
+//efes:hot
+func (v *ColumnVector) stampAppend(i int) {
+	v.stampEpoch++
+	k := i / ChunkSize
+	for k >= len(v.chunkStamps) {
+		//lint:ignore hotalloc grows one stamp per ChunkSize appended rows; amortized doubling, not per-append
+		v.chunkStamps = append(v.chunkStamps, 0)
+	}
+	v.chunkStamps[k] = v.stampEpoch
+}
+
+// stampTouch stamps the chunk containing row i.
+func (v *ColumnVector) stampTouch(i int) {
+	v.stampEpoch++
+	if k := i / ChunkSize; k < len(v.chunkStamps) {
+		v.chunkStamps[k] = v.stampEpoch
+	}
+}
+
+// stampFrom stamps every chunk from the one containing row i on and
+// drops stamps beyond the new length (a compacting delete shifts every
+// later row, so every later chunk changed).
+func (v *ColumnVector) stampFrom(i int) {
+	v.stampEpoch++
+	from := i / ChunkSize
+	n := v.Chunks()
+	if n > len(v.chunkStamps) {
+		n = len(v.chunkStamps)
+	}
+	for k := from; k < n; k++ {
+		v.chunkStamps[k] = v.stampEpoch
+	}
+	if n < len(v.chunkStamps) {
+		v.chunkStamps = v.chunkStamps[:n]
+	}
+}
 
 // Value materializes the cell of row i as a row-API Value.
 func (v *ColumnVector) Value(i int) Value {
@@ -287,6 +369,7 @@ func (v *ColumnVector) intern(s string) int32 {
 func (v *ColumnVector) appendValue(val Value) {
 	i := v.length
 	v.length++
+	v.stampAppend(i)
 	if val == nil {
 		v.nulls.set(i)
 		v.nullCount++
@@ -332,6 +415,7 @@ func (v *ColumnVector) appendZero() {
 //
 //efes:hot
 func (v *ColumnVector) setValue(i int, val Value) {
+	v.stampTouch(i)
 	if v.nulls.Get(i) {
 		v.nulls.clear(i)
 		v.nullCount--
@@ -384,6 +468,13 @@ func (v *ColumnVector) setZero(i int) {
 //
 //efes:hot
 func (v *ColumnVector) deleteRows(drop map[int]struct{}) {
+	origLen := v.length
+	first := origLen // first actually dropped row, for the chunk stamps
+	for i := range drop {
+		if i >= 0 && i < origLen && i < first {
+			first = i
+		}
+	}
 	w := 0
 	var nulls Bitmap
 	nullCount := 0
@@ -431,6 +522,9 @@ func (v *ColumnVector) deleteRows(drop map[int]struct{}) {
 	v.length = w
 	v.nulls = nulls
 	v.nullCount = nullCount
+	if first < origLen { // a row was actually dropped
+		v.stampFrom(first)
+	}
 	v.invalidate()
 }
 

@@ -1,0 +1,146 @@
+package relational
+
+import "testing"
+
+// Chunk layout and stamp maintenance: the sharded profiling kernels rely
+// on (a) ChunkBounds covering the vector exactly, and (b) ChunkStamp
+// changing whenever any row of the chunk changes — including rows shifted
+// by a compacting delete — and never reverting to an earlier value.
+
+func chunkVec(n int) *ColumnVector {
+	v := newColumnVector(Integer)
+	for i := 0; i < n; i++ {
+		v.appendValue(int64(i))
+	}
+	return v
+}
+
+func TestChunkBoundsCoverVector(t *testing.T) {
+	for _, n := range []int{0, 1, ChunkSize - 1, ChunkSize, ChunkSize + 1, 3*ChunkSize + 17} {
+		v := chunkVec(n)
+		want := (n + ChunkSize - 1) / ChunkSize
+		if got := v.Chunks(); got != want {
+			t.Fatalf("n=%d: Chunks() = %d, want %d", n, got, want)
+		}
+		covered := 0
+		for k := 0; k < v.Chunks(); k++ {
+			lo, hi := v.ChunkBounds(k)
+			if lo != covered {
+				t.Fatalf("n=%d chunk %d: lo = %d, want %d (gap or overlap)", n, k, lo, covered)
+			}
+			if hi <= lo || hi > n {
+				t.Fatalf("n=%d chunk %d: bad hi %d (lo %d, len %d)", n, k, hi, lo, n)
+			}
+			if k < v.Chunks()-1 && hi-lo != ChunkSize {
+				t.Fatalf("n=%d chunk %d: interior chunk has size %d, want %d", n, k, hi-lo, ChunkSize)
+			}
+			covered = hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d: chunks cover %d rows, want %d", n, covered, n)
+		}
+	}
+}
+
+func snapshotStamps(v *ColumnVector) []uint64 {
+	out := make([]uint64, v.Chunks())
+	for k := range out {
+		out[k] = v.ChunkStamp(k)
+	}
+	return out
+}
+
+func TestChunkStampAppendTouchesLastChunkOnly(t *testing.T) {
+	v := chunkVec(ChunkSize + 5) // two chunks
+	before := snapshotStamps(v)
+	v.appendValue(int64(99))
+	after := snapshotStamps(v)
+	if after[0] != before[0] {
+		t.Fatalf("append changed stamp of untouched chunk 0: %d -> %d", before[0], after[0])
+	}
+	if after[1] == before[1] {
+		t.Fatalf("append left last chunk stamp unchanged at %d", after[1])
+	}
+	if after[1] <= before[1] {
+		t.Fatalf("stamp not monotone: %d -> %d", before[1], after[1])
+	}
+}
+
+func TestChunkStampAppendGrowsNewChunk(t *testing.T) {
+	v := chunkVec(ChunkSize) // exactly one full chunk
+	before := snapshotStamps(v)
+	v.appendValue(int64(7)) // first row of chunk 1
+	if v.Chunks() != 2 {
+		t.Fatalf("Chunks() = %d after crossing boundary, want 2", v.Chunks())
+	}
+	if got := v.ChunkStamp(0); got != before[0] {
+		t.Fatalf("boundary append changed chunk 0 stamp: %d -> %d", before[0], got)
+	}
+	if v.ChunkStamp(1) == 0 {
+		t.Fatalf("new chunk has zero stamp")
+	}
+}
+
+func TestChunkStampUpdateTouchesOwnChunkOnly(t *testing.T) {
+	v := chunkVec(2*ChunkSize + 10) // three chunks
+	before := snapshotStamps(v)
+	v.setValue(ChunkSize+3, int64(-1)) // middle chunk
+	after := snapshotStamps(v)
+	if after[0] != before[0] || after[2] != before[2] {
+		t.Fatalf("update leaked into neighbor chunks: %v -> %v", before, after)
+	}
+	if after[1] == before[1] {
+		t.Fatalf("update left its own chunk stamp unchanged")
+	}
+}
+
+func TestChunkStampDeleteStampsFromFirstDrop(t *testing.T) {
+	v := chunkVec(3*ChunkSize + 10) // four chunks
+	before := snapshotStamps(v)
+	// Drop a row in chunk 1: chunks 1..3 shift, chunk 0 is untouched.
+	v.deleteRows(map[int]struct{}{ChunkSize + 2: {}})
+	after := snapshotStamps(v)
+	if after[0] != before[0] {
+		t.Fatalf("delete changed stamp of chunk before the drop point: %d -> %d", before[0], after[0])
+	}
+	for k := 1; k < len(after); k++ {
+		if after[k] == before[k] {
+			t.Fatalf("delete left shifted chunk %d stamp unchanged at %d", k, after[k])
+		}
+	}
+}
+
+func TestChunkStampDeleteTruncatesTrailingStamps(t *testing.T) {
+	v := chunkVec(2*ChunkSize + 4)
+	// Delete the tail so only one chunk remains.
+	drop := make(map[int]struct{})
+	for i := ChunkSize - 2; i < v.Len(); i++ {
+		drop[i] = struct{}{}
+	}
+	v.deleteRows(drop)
+	if v.Chunks() != 1 {
+		t.Fatalf("Chunks() = %d after truncating delete, want 1", v.Chunks())
+	}
+	if len(v.chunkStamps) != 1 {
+		t.Fatalf("chunkStamps not truncated: len %d, want 1", len(v.chunkStamps))
+	}
+	// Stamps of regrown chunks must not collide with pre-delete values:
+	// regrow chunk 1 and check its stamp exceeds everything seen before.
+	high := v.stampEpoch
+	for i := v.Len(); i < 2*ChunkSize; i++ {
+		v.appendValue(int64(i))
+	}
+	if got := v.ChunkStamp(1); got <= high {
+		t.Fatalf("regrown chunk stamp %d not past prior epoch %d (stale-summary hazard)", got, high)
+	}
+}
+
+func TestChunkStampNoopDeleteLeavesStamps(t *testing.T) {
+	v := chunkVec(ChunkSize / 2)
+	before := snapshotStamps(v)
+	v.deleteRows(map[int]struct{}{v.Len() + 5: {}, -1: {}}) // out of range: no-op
+	after := snapshotStamps(v)
+	if len(after) != len(before) || after[0] != before[0] {
+		t.Fatalf("no-op delete changed stamps: %v -> %v", before, after)
+	}
+}
