@@ -202,7 +202,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		resultKey = persist.ResultKey(scnHash, quality, fp)
+		resultKey = persist.ResultKey(scnHash, quality, fp, profileMode)
 		if data, ok := cache.Get("results", resultKey); ok {
 			fmt.Fprintln(os.Stderr, "efes: result served from cache")
 			os.Stdout.Write(data)

@@ -227,7 +227,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown scenario %q", req.Scenario))
 		return
 	}
-	key := persist.ResultKey(entry.hash, q, s.cfgPrint)
+	// The key carries the profiler's mode fingerprint: an approx-mode
+	// daemon and an exact-mode consumer of the same cache directory can
+	// never serve each other's entries.
+	key := persist.ResultKey(entry.hash, q, s.cfgPrint, s.prof.Mode())
 	if s.cache != nil && !req.NoCache {
 		if data, ok := s.cache.Get("results", key); ok {
 			s.resultHits.Add(1)
@@ -279,7 +282,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // and a durable cache is configured — persists its exact bytes, so a
 // later warm hit is byte-identical to this response. Degraded results
 // are never persisted: they reflect a transient failure, not the data.
+// Every estimate response flows through here (including the best-effort
+// fallback path), so the approximate-mode marker below ends up in every
+// served — and every cached — body.
 func (s *Server) writeResult(w http.ResponseWriter, res *core.Result, key string, cacheable bool) {
+	if mode := s.prof.Mode(); mode == profile.ModeApprox {
+		res.ProfileMode = mode.String()
+	}
 	data, err := res.JSON()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("encode result: %v", err))

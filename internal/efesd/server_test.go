@@ -17,6 +17,7 @@ import (
 
 	"efes/internal/core"
 	"efes/internal/persist"
+	"efes/internal/profile"
 	"efes/internal/scenario"
 )
 
@@ -315,6 +316,65 @@ func TestProfileModeEndpoint(t *testing.T) {
 	}
 	if st.ProfileExact != 1 || st.ProfileApprox != 2 {
 		t.Errorf("status counters = %d exact / %d approx, want 1/2", st.ProfileExact, st.ProfileApprox)
+	}
+}
+
+func TestEstimateApproxMarkedAndIsolatedFromExactCache(t *testing.T) {
+	dir := t.TempDir()
+	openCache := func() *persist.Cache {
+		c, err := persist.Open(dir, persist.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	decode := func(data []byte) core.ResultExport {
+		var export core.ResultExport
+		if err := json.Unmarshal(data, &export); err != nil {
+			t.Fatal(err)
+		}
+		return export
+	}
+
+	// An approx-mode daemon marks every estimate body — and the marker
+	// survives into the cached bytes, so warm hits are marked too.
+	c1 := openCache()
+	_, ts1 := newTestServer(t, Config{Cache: c1, ProfileMode: profile.ModeApprox})
+	uploadMusic(t, ts1.URL, nil)
+	resp, cold := post(t, ts1.URL+"/v1/estimate", estimateBody(musicName, ""), nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Efes-Cache") != "miss" {
+		t.Fatalf("approx cold estimate: status %d, cache %q", resp.StatusCode, resp.Header.Get("X-Efes-Cache"))
+	}
+	if got := decode(cold).ProfileMode; got != "approx" {
+		t.Errorf("approx estimate profileMode = %q, want approx", got)
+	}
+	resp, warm := post(t, ts1.URL+"/v1/estimate", estimateBody(musicName, ""), nil)
+	if resp.Header.Get("X-Efes-Cache") != "hit" {
+		t.Fatalf("approx warm estimate not served from cache (%q)", resp.Header.Get("X-Efes-Cache"))
+	}
+	if got := decode(warm).ProfileMode; got != "approx" {
+		t.Errorf("cached approx estimate profileMode = %q, want approx", got)
+	}
+	ts1.Close()
+	c1.Close()
+
+	// An exact-mode daemon over the same cache directory must never see
+	// the approx entry: it recomputes (cache miss) and serves an unmarked
+	// result — the approx bytes are not silently substituted for exact.
+	c2 := openCache()
+	defer c2.Close()
+	_, ts2 := newTestServer(t, Config{Cache: c2})
+	uploadMusic(t, ts2.URL, nil)
+	resp, exact := post(t, ts2.URL+"/v1/estimate", estimateBody(musicName, ""), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact estimate status = %d: %s", resp.StatusCode, exact)
+	}
+	if resp.Header.Get("X-Efes-Cache") != "miss" {
+		t.Errorf("exact estimate served the approx-mode cache entry (X-Efes-Cache %q, want miss)",
+			resp.Header.Get("X-Efes-Cache"))
+	}
+	if got := decode(exact).ProfileMode; got != "" {
+		t.Errorf("exact estimate profileMode = %q, want empty", got)
 	}
 }
 

@@ -97,11 +97,15 @@ func StatsKey(db *relational.Database, table, column string, typ relational.Type
 }
 
 // ResultKey derives the result-cache key for one estimate: scenario
-// content, expected quality, and effort configuration. The resilience
+// content, expected quality, effort configuration, and profiling mode.
+// The mode segment (profile.Mode.CacheFingerprint) embeds the sketch
+// parameters in approximate mode, so a sketch-derived result can never
+// be served where an exact one was asked for — the result cache obeys
+// the same exact/approx hygiene as the stats cache. The resilience
 // policy is deliberately not part of the key — only non-degraded results
 // are ever persisted, and a non-degraded result is byte-identical under
 // every policy and worker count (the determinism contract).
-func ResultKey(scenarioHash string, q effort.Quality, configFingerprint string) string {
-	sum := sha256.Sum256([]byte(FormatVersion + "\x00result\x00" + scenarioHash + "\x00" + q.String() + "\x00" + configFingerprint))
+func ResultKey(scenarioHash string, q effort.Quality, configFingerprint string, mode profile.Mode) string {
+	sum := sha256.Sum256([]byte(FormatVersion + "\x00result\x00" + scenarioHash + "\x00" + q.String() + "\x00" + configFingerprint + "\x00" + mode.CacheFingerprint()))
 	return hex.EncodeToString(sum[:])
 }

@@ -271,14 +271,17 @@ func TestResultKeyAndConfigFingerprint(t *testing.T) {
 	if fp == fp2 {
 		t.Error("changed settings must change the fingerprint")
 	}
-	if ResultKey("h", effort.LowEffort, fp) == ResultKey("h", effort.HighQuality, fp) {
+	if ResultKey("h", effort.LowEffort, fp, profile.ModeExact) == ResultKey("h", effort.HighQuality, fp, profile.ModeExact) {
 		t.Error("quality must be part of the result key")
 	}
-	if ResultKey("h", effort.LowEffort, fp) == ResultKey("h", effort.LowEffort, fp2) {
+	if ResultKey("h", effort.LowEffort, fp, profile.ModeExact) == ResultKey("h", effort.LowEffort, fp2, profile.ModeExact) {
 		t.Error("config fingerprint must be part of the result key")
 	}
-	if ResultKey("h1", effort.LowEffort, fp) == ResultKey("h2", effort.LowEffort, fp) {
+	if ResultKey("h1", effort.LowEffort, fp, profile.ModeExact) == ResultKey("h2", effort.LowEffort, fp, profile.ModeExact) {
 		t.Error("scenario hash must be part of the result key")
+	}
+	if ResultKey("h", effort.LowEffort, fp, profile.ModeExact) == ResultKey("h", effort.LowEffort, fp, profile.ModeApprox) {
+		t.Error("profiling mode must be part of the result key")
 	}
 }
 

@@ -63,11 +63,11 @@ func ParseMode(s string) (Mode, error) {
 	return ModeExact, fmt.Errorf("profile: unknown mode %q (want exact or approx)", s)
 }
 
-// cacheFingerprint is the mode segment of durable cache keys: the
-// approximate segment embeds the sketch parameters, so entries computed
-// under different algorithms or bounds never collide — and approximate
-// entries never warm the exact cache.
-func (m Mode) cacheFingerprint() string {
+// CacheFingerprint is the mode segment of durable cache keys (stats and
+// results alike): the approximate segment embeds the sketch parameters,
+// so entries computed under different algorithms or bounds never collide
+// — and approximate entries never warm the exact cache.
+func (m Mode) CacheFingerprint() string {
 	if m == ModeApprox {
 		return "approx/" + ApproxFingerprint()
 	}
@@ -182,7 +182,7 @@ func diskKey(key profileKey) (string, bool) {
 	}
 	sum := sha256.Sum256([]byte(statsFormatVersion + "\x00" + tableHash + "\x00" +
 		key.table + "\x00" + key.column + "\x00" + key.typ.String() + "\x00" + coerced + "\x00" +
-		key.mode.cacheFingerprint()))
+		key.mode.CacheFingerprint()))
 	return hex.EncodeToString(sum[:]), true
 }
 
